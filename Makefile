@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments results examples vet fmt cover
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Every table and figure of the paper, as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Every table and figure, as readable text tables.
+experiments:
+	$(GO) run ./cmd/experiments -experiment all
+
+# Regenerate the archived experiment output.
+results:
+	$(GO) run ./cmd/experiments -experiment all | tee docs/RESULTS.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ropdefense
+	$(GO) run ./examples/jitrop
+	$(GO) run ./examples/cachestudy
+	$(GO) run ./examples/rerandomize
+	$(GO) run ./examples/multicore

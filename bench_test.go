@@ -1,0 +1,201 @@
+// Package vcfr's root benchmark suite regenerates every table and figure of
+// the paper as a testing.B benchmark, reporting each experiment's headline
+// number as a custom benchmark metric:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig12 -benchtime=3x
+//
+// The mapping from benchmark to paper artifact is in DESIGN.md's experiment
+// index; EXPERIMENTS.md records paper-vs-measured values.
+package vcfr_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vcfr/internal/harness"
+)
+
+// benchCfg is the shared experiment configuration: every SPEC analog at
+// scale 1 (a few hundred thousand instructions each), the calibrated
+// defaults otherwise.
+func benchCfg() harness.Config {
+	return harness.Config{Seed: 42}
+}
+
+// runExperiment executes the experiment once per benchmark iteration and
+// reports the average row's numeric cells as metrics.
+func runExperiment(b *testing.B, id string, metric string) {
+	b.Helper()
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tb, err := exp.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := averageMetric(tb); ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+// averageMetric extracts the last parseable number from the "average" row.
+func averageMetric(t *harness.Table) (float64, bool) {
+	for _, row := range t.Rows {
+		if len(row) == 0 || row[0] != "average" {
+			continue
+		}
+		for i := len(row) - 1; i >= 1; i-- {
+			cell := strings.TrimSuffix(strings.TrimPrefix(row[i], "+"), "%")
+			if v, err := strconv.ParseFloat(cell, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkFig2EmulatorSlowdown — Fig. 2: software-emulated ILR runs
+// hundreds of times slower than native execution.
+func BenchmarkFig2EmulatorSlowdown(b *testing.B) {
+	runExperiment(b, "fig2", "slowdown-x")
+}
+
+// BenchmarkFig3NaiveILRCaches — Fig. 3: naive hardware ILR's impact on IL1
+// miss rate, prefetch usefulness, and L2 pressure.
+func BenchmarkFig3NaiveILRCaches(b *testing.B) {
+	runExperiment(b, "fig3", "l2-pressure-pct")
+}
+
+// BenchmarkFig4NaiveILRIPC — Fig. 4: naive hardware ILR IPC normalized to
+// the baseline (paper: 0.61-0.66 average).
+func BenchmarkFig4NaiveILRIPC(b *testing.B) {
+	runExperiment(b, "fig4", "normalized-ipc")
+}
+
+// BenchmarkTable1Properties — Table I: per-architecture execution properties.
+func BenchmarkTable1Properties(b *testing.B) {
+	runExperiment(b, "table1", "normalized-ipc")
+}
+
+// BenchmarkTable2StaticAnalysis — Table II: static control-flow counts.
+func BenchmarkTable2StaticAnalysis(b *testing.B) {
+	runExperiment(b, "table2", "resolved-indirect")
+}
+
+// BenchmarkFig9Functions — Fig. 9: functions with/without ret instructions.
+func BenchmarkFig9Functions(b *testing.B) {
+	runExperiment(b, "fig9", "funcs-without-ret")
+}
+
+// BenchmarkFig11GadgetRemoval — Fig. 11: fraction of ROP gadgets removed by
+// randomization (paper: ~98%).
+func BenchmarkFig11GadgetRemoval(b *testing.B) {
+	runExperiment(b, "fig11", "removed-pct")
+}
+
+// BenchmarkPayloadAssembly — Sec. V-B: payload templates assemble before
+// randomization, none after.
+func BenchmarkPayloadAssembly(b *testing.B) {
+	runExperiment(b, "payloads", "")
+}
+
+// BenchmarkFig12VCFRSpeedup — Fig. 12: VCFR speedup over naive hardware ILR
+// with a 128-entry DRC (paper: 1.63x average).
+func BenchmarkFig12VCFRSpeedup(b *testing.B) {
+	runExperiment(b, "fig12", "speedup-x")
+}
+
+// BenchmarkFig13DRCSizes — Fig. 13: normalized IPC at DRC sizes 512/128/64
+// (paper: >= 97.9% everywhere).
+func BenchmarkFig13DRCSizes(b *testing.B) {
+	runExperiment(b, "fig13", "norm-ipc-at-64")
+}
+
+// BenchmarkFig14DRCMissRates — Fig. 14: DRC miss rates at 512 and 64 entries
+// (paper: 4.5% and 20.6%).
+func BenchmarkFig14DRCMissRates(b *testing.B) {
+	runExperiment(b, "fig14", "miss-at-64-pct")
+}
+
+// BenchmarkFig15PowerOverhead — Fig. 15: DRC dynamic power as a share of CPU
+// dynamic power (paper: 0.18% average).
+func BenchmarkFig15PowerOverhead(b *testing.B) {
+	runExperiment(b, "fig15", "power-ovh-pct")
+}
+
+// BenchmarkAblationDRCAssoc — design ablation: DRC associativity at fixed
+// capacity (the paper argues direct-mapped suffices).
+func BenchmarkAblationDRCAssoc(b *testing.B) {
+	runExperiment(b, "ablation-drc-assoc", "")
+}
+
+// BenchmarkAblationSplitDRC — design ablation: unified tagged DRC vs two
+// per-direction halves (the paper's unified choice).
+func BenchmarkAblationSplitDRC(b *testing.B) {
+	runExperiment(b, "ablation-drc-split", "")
+}
+
+// BenchmarkAblationRetRandMode — design ablation: none vs software vs
+// architectural return-address randomization.
+func BenchmarkAblationRetRandMode(b *testing.B) {
+	runExperiment(b, "ablation-retrand", "")
+}
+
+// BenchmarkAblationPredictSpace — design ablation: predicting on UPC (the
+// paper's choice) vs predicting on RPC.
+func BenchmarkAblationPredictSpace(b *testing.B) {
+	runExperiment(b, "ablation-predict-space", "")
+}
+
+// BenchmarkAblationPageConfined — design ablation: free placement vs
+// page-confined randomization (Sec. IV-D).
+func BenchmarkAblationPageConfined(b *testing.B) {
+	runExperiment(b, "ablation-page-confined", "")
+}
+
+// BenchmarkAblationDRC2 — design ablation: the paper's rejected alternative
+// of a dedicated level-2 DRC lookup buffer vs sharing the L2 (Sec. IV-B).
+func BenchmarkAblationDRC2(b *testing.B) {
+	runExperiment(b, "ablation-drc2", "")
+}
+
+// BenchmarkAblationContextSwitch — context switches flush the
+// process-private DRC state; how much does that cost?
+func BenchmarkAblationContextSwitch(b *testing.B) {
+	runExperiment(b, "ablation-context-switch", "")
+}
+
+// BenchmarkEntropy — Sec. V-C(a): placement entropy and guessing-attack
+// difficulty as a function of scatter spread.
+func BenchmarkEntropy(b *testing.B) {
+	runExperiment(b, "entropy", "")
+}
+
+// BenchmarkGadgetGuessing — Sec. II's threat model: blind gadget guessing
+// over the full 32-bit space.
+func BenchmarkGadgetGuessing(b *testing.B) {
+	runExperiment(b, "gadget-guessing", "")
+}
+
+// BenchmarkExtensionSuperscalar — the paper's future-work direction: VCFR
+// overhead on a dual-issue core.
+func BenchmarkExtensionSuperscalar(b *testing.B) {
+	runExperiment(b, "extension-superscalar", "")
+}
+
+// BenchmarkBaselineInPlace — the software in-place randomization baseline of
+// the paper's introduction vs complete ILR.
+func BenchmarkBaselineInPlace(b *testing.B) {
+	runExperiment(b, "baseline-inplace", "complete-removed-pct")
+}
+
+// BenchmarkExtensionMulticore — two VCFR processes over a shared L2
+// (Sec. IV-D).
+func BenchmarkExtensionMulticore(b *testing.B) {
+	runExperiment(b, "extension-multicore", "")
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -experiment fig12
+//	experiments -experiment all -scale 2
+//	experiments -experiment fig13 -workloads h264ref,lbm -maxinsts 2000000
+//
+// Each experiment prints an aligned text table with the same rows/series the
+// paper reports, plus the paper's headline number for comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vcfr/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		workloadsF = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own set)")
+		scale      = flag.Int("scale", 1, "workload iteration scale")
+		maxInsts   = flag.Uint64("instructions", 0, "per-run instruction cap (0 = run to completion)")
+		seed       = flag.Int64("seed", 42, "randomization seed")
+		spread     = flag.Int("spread", 0, "ILR scatter factor (0 = harness default)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		format     = flag.String("format", "text", "output format: text | json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-24s %s\n%-24s   paper: %s\n", e.ID, e.Desc, "", e.Paper)
+		}
+		return nil
+	}
+
+	cfg := harness.Config{
+		Scale:    *scale,
+		MaxInsts: *maxInsts,
+		Seed:     *seed,
+		Spread:   *spread,
+	}
+	if *workloadsF != "" {
+		cfg.Workloads = strings.Split(*workloadsF, ",")
+	}
+
+	var exps []harness.Experiment
+	if *experiment == "all" {
+		exps = harness.Experiments
+	} else {
+		e, err := harness.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	type jsonResult struct {
+		*harness.Table
+		Paper   string  `json:"paper"`
+		Seconds float64 `json:"seconds"`
+	}
+	var results []jsonResult
+	for _, e := range exps {
+		start := time.Now()
+		tb, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		switch *format {
+		case "text":
+			fmt.Print(tb.Render())
+			fmt.Printf("paper: %s   (%.1fs)\n\n", e.Paper, elapsed)
+		case "json":
+			results = append(results, jsonResult{Table: tb, Paper: e.Paper, Seconds: elapsed})
+		default:
+			return fmt.Errorf("unknown -format %q", *format)
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}

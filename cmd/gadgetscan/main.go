@@ -1,0 +1,121 @@
+// Command gadgetscan is the ROPgadget-style scanner (Sec. V-B): it lists the
+// gadget pool of a program image or built-in workload, shows which payload
+// templates the pool supports, and — given a seed — how much of the pool
+// survives randomization.
+//
+// Usage:
+//
+//	gadgetscan app.img
+//	gadgetscan -workload xalan -randomize -seed 7
+//	gadgetscan -print -max 3 app.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vcfr/internal/gadget"
+	"vcfr/internal/ilr"
+	"vcfr/internal/program"
+	"vcfr/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload  = flag.String("workload", "", "scan a built-in workload instead of an image file")
+		maxInsts  = flag.Int("max", gadget.DefaultMaxInsts, "max gadget body length (instructions)")
+		randomize = flag.Bool("randomize", false, "also report the post-randomization surviving pool")
+		seed      = flag.Int64("seed", 1, "randomization seed (with -randomize)")
+		print     = flag.Bool("print", false, "print every unique gadget")
+	)
+	flag.Parse()
+
+	var img *program.Image
+	switch {
+	case *workload != "":
+		w, err := workloads.ByName(*workload, 1)
+		if err != nil {
+			return err
+		}
+		img = w.Img
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		img, err = program.Unmarshal(data)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -workload or an image file; see -h")
+	}
+
+	pool := gadget.Scan(img, *maxInsts)
+	unique := gadget.Unique(pool)
+	fmt.Printf("%s: %d gadgets (%d unique)\n", img.Name, len(pool), len(unique))
+	reportCensus(pool)
+	reportTemplates("payloads", pool)
+
+	if *print {
+		lines := make([]string, 0, len(unique))
+		for _, g := range unique {
+			lines = append(lines, fmt.Sprintf("  %#08x  %s", g.Addr, g))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+
+	if *randomize {
+		res, err := ilr.Rewrite(img, ilr.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		surv := gadget.Survivors(pool, res.Tables)
+		fmt.Printf("after randomization (seed %d): %d surviving, %.1f%% removed\n",
+			*seed, len(surv), 100*gadget.RemovalRate(pool, surv))
+		reportTemplates("payloads after", surv)
+	}
+	return nil
+}
+
+func reportCensus(pool []gadget.Gadget) {
+	census := gadget.KindCensus(pool)
+	kinds := make([]string, 0, len(census))
+	for k := range census {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	fmt.Print("  capabilities:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, census[gadget.Kind(k)])
+	}
+	fmt.Println()
+}
+
+func reportTemplates(label string, pool []gadget.Gadget) {
+	results := gadget.TryAllTemplates(pool)
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		status := "fails"
+		if results[n] {
+			status = "assembles"
+		}
+		fmt.Printf("  %s: %-18s %s\n", label, n, status)
+	}
+}

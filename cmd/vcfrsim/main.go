@@ -1,0 +1,190 @@
+// Command vcfrsim runs the cycle-level simulator on a workload or a VX
+// source file, in any of the three architecture modes.
+//
+// Usage:
+//
+//	vcfrsim -workload h264ref -mode vcfr -drc 128
+//	vcfrsim -mode naive -instructions 2000000 app.s
+//	vcfrsim -workload xalan -mode all
+//
+// It prints IPC, the stall breakdown, cache statistics, and (under VCFR)
+// DRC statistics and the dynamic-power breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vcfr/internal/core"
+	"vcfr/internal/cpu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/power"
+	"vcfr/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcfrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "", "built-in workload name (see -list)")
+		bundle   = flag.String("bundle", "", "run a randomization bundle produced by ilrrand")
+		list     = flag.Bool("list", false, "list built-in workloads")
+		mode     = flag.String("mode", "vcfr", "baseline | naive | vcfr | all")
+		scale    = flag.Int("scale", 1, "workload scale")
+		maxInsts = flag.Uint64("instructions", 0, "instruction cap (0 = to completion)")
+		seed     = flag.Int64("seed", 1, "randomization seed")
+		spread   = flag.Int("spread", 8, "scatter factor")
+		drc      = flag.Int("drc", 128, "DRC entries")
+		trace    = flag.Uint64("trace", 0, "print the first N executed instructions (UPC/RPC/storage)")
+		width    = flag.Int("width", 1, "issue width (1 = the paper's core, 2 = dual-issue)")
+		ctxEvery = flag.Uint64("ctxswitch", 0, "flush process-private state every N instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			w, err := workloads.ByName(n, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %s\n", n, w.Desc)
+		}
+		return nil
+	}
+
+	var sys *core.System
+	var input []byte
+	switch {
+	case *bundle != "":
+		data, err := os.ReadFile(*bundle)
+		if err != nil {
+			return err
+		}
+		res, err := ilr.UnmarshalBundle(data)
+		if err != nil {
+			return err
+		}
+		sys = core.FromRewrite(res)
+	case *workload != "":
+		w, err := workloads.ByName(*workload, *scale)
+		if err != nil {
+			return err
+		}
+		input = w.Input
+		sys, err = core.NewSystem(w.Img, core.Options{Seed: *seed, Spread: *spread})
+		if err != nil {
+			return err
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(flag.Arg(0)), filepath.Ext(flag.Arg(0)))
+		sys, err = core.NewSystemFromSource(name, string(src), core.Options{Seed: *seed, Spread: *spread})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -workload or a source file; see -h")
+	}
+	_ = input // workload inputs are empty today; kept for interface symmetry
+
+	modes, err := parseModes(*mode)
+	if err != nil {
+		return err
+	}
+	mutate := func(c *cpu.Config) {
+		c.DRCEntries = *drc
+		c.IssueWidth = *width
+		c.ContextSwitchEvery = *ctxEvery
+	}
+	for _, m := range modes {
+		res, err := simulate(sys, m, mutate, *maxInsts, *trace)
+		if err != nil {
+			return err
+		}
+		report(m, res, *drc)
+	}
+	return nil
+}
+
+// simulate runs one mode, optionally tracing the first traceN instructions.
+func simulate(sys *core.System, m cpu.Mode, mutate func(*cpu.Config), maxInsts, traceN uint64) (cpu.Result, error) {
+	if traceN == 0 {
+		return sys.Simulate(m, mutate, maxInsts)
+	}
+	p, err := sys.Pipeline(m, mutate)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	fmt.Printf("--- trace (%s): first %d instructions ---\n", m, traceN)
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s %s\n", "seq", "cycle", "UPC", "RPC", "storage", "instruction")
+	p.SetTracer(func(e cpu.TraceEvent) {
+		if e.Seq < traceN {
+			fmt.Printf("%-8d %-10d %#-10x %#-10x %#-10x %s\n",
+				e.Seq, e.Cycle, e.UPC, e.RPC, e.Storage, e.Text)
+		}
+	})
+	return p.Run(maxInsts)
+}
+
+func parseModes(s string) ([]cpu.Mode, error) {
+	switch s {
+	case "baseline":
+		return []cpu.Mode{cpu.ModeBaseline}, nil
+	case "naive":
+		return []cpu.Mode{cpu.ModeNaiveILR}, nil
+	case "vcfr":
+		return []cpu.Mode{cpu.ModeVCFR}, nil
+	case "all":
+		return []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}, nil
+	default:
+		return nil, fmt.Errorf("unknown -mode %q", s)
+	}
+}
+
+func report(mode cpu.Mode, res cpu.Result, drcEntries int) {
+	s := res.Stats
+	fmt.Printf("=== %s ===\n", mode)
+	fmt.Printf("instructions  %d\n", s.Instructions)
+	fmt.Printf("cycles        %d\n", s.Cycles)
+	fmt.Printf("IPC           %.3f\n", s.IPC())
+	fmt.Printf("stalls        fetch=%d mem=%d exec=%d control=%d drc=%d\n",
+		s.FetchStall, s.MemStall, s.ExecStall, s.ControlStall, s.DRCStall)
+	fmt.Printf("il1           accesses=%d miss=%.2f%% prefetch-useless=%.1f%%\n",
+		res.IL1.Accesses, 100*res.IL1.MissRate(), 100*res.IL1.PrefetchMissRate())
+	fmt.Printf("dl1           accesses=%d miss=%.2f%%\n",
+		res.DL1.Accesses, 100*res.DL1.MissRate())
+	fmt.Printf("l2            accesses=%d miss=%.2f%%\n",
+		res.L2.Accesses, 100*res.L2.MissRate())
+	fmt.Printf("dram          accesses=%d row-hit=%.1f%%\n",
+		res.DRAM.Accesses, 100*res.DRAM.RowHitRate())
+	fmt.Printf("bpred         cond-acc=%.2f%% btb-miss=%d ras-mispred=%d\n",
+		100*res.BPred.CondAccuracy(), res.BPred.BTBMisses, res.BPred.RASMispred)
+	fmt.Printf("itlb          accesses=%d misses=%d\n", s.ITLBAccesses, s.ITLBMisses)
+	if mode == cpu.ModeVCFR {
+		fmt.Printf("drc           lookups=%d miss=%.2f%% (rand=%d derand=%d walks=%d)\n",
+			res.DRC.Lookups, 100*res.DRC.MissRate(),
+			res.DRC.RandLookups, res.DRC.DerandLookups, res.DRC.TableWalks)
+		cfg := cpu.DefaultConfig(mode)
+		cfg.DRCEntries = drcEntries
+		b := power.DefaultModel().Analyze(res, cfg)
+		fmt.Printf("power         drc=%.1fpJ cpu=%.1fpJ overhead=%.3f%%\n",
+			b.DRC, b.Total-b.DRAM, b.DRCOverheadPct())
+		a := power.DefaultModel().AnalyzeArea(cfg)
+		fmt.Printf("area          drc share of on-chip SRAM = %.3f%%\n", a.DRCOverheadPct())
+	}
+	if len(res.Out) > 0 && len(res.Out) < 64 {
+		fmt.Printf("output        %q\n", res.Out)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,114 @@
+// Command vxasm assembles VX assembly into a program image, or disassembles
+// an image back to a listing.
+//
+// Usage:
+//
+//	vxasm -o app.img app.s          assemble
+//	vxasm -d app.img                disassemble (listing to stdout)
+//	vxasm -workload xalan -o x.img  emit a built-in workload's image
+//	vxasm -workload xalan -src      dump a built-in workload's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/program"
+	"vcfr/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vxasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("o", "", "output image path")
+		disasm   = flag.Bool("d", false, "disassemble an image instead of assembling")
+		workload = flag.String("workload", "", "emit a built-in workload instead of reading a source file")
+		scale    = flag.Int("scale", 1, "workload scale (with -workload)")
+		srcOnly  = flag.Bool("src", false, "with -workload: print the generated source and exit")
+	)
+	flag.Parse()
+
+	if *workload != "" {
+		w, err := workloads.ByName(*workload, *scale)
+		if err != nil {
+			return err
+		}
+		if *srcOnly {
+			// Regenerate to get the source text (Workload carries the image).
+			lst, err := asm.Listing(w.Img)
+			if err != nil {
+				return err
+			}
+			fmt.Print(lst)
+			return nil
+		}
+		if *out == "" {
+			*out = w.Name + ".img"
+		}
+		return writeImage(w.Img, *out)
+	}
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("need exactly one input file (or -workload); see -h")
+	}
+	path := flag.Arg(0)
+
+	if *disasm {
+		img, err := readImage(path)
+		if err != nil {
+			return err
+		}
+		lst, err := asm.Listing(img)
+		if err != nil {
+			return err
+		}
+		fmt.Print(lst)
+		return nil
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	img, err := asm.Assemble(name, string(src))
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = name + ".img"
+	}
+	if err := writeImage(img, *out); err != nil {
+		return err
+	}
+	text := img.Text()
+	fmt.Printf("%s: %d bytes of text at %#x, entry %#x, %d relocs\n",
+		*out, len(text.Data), text.Addr, img.Entry, len(img.Relocs))
+	return nil
+}
+
+func writeImage(img *program.Image, path string) error {
+	data, err := img.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readImage(path string) (*program.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return program.Unmarshal(data)
+}

@@ -1,0 +1,53 @@
+// multicore runs two independently randomized processes on a two-core
+// cluster sharing an L2 — the deployment the paper calls out as easy
+// because VCFR randomizes only read-only instruction state (Sec. IV-D).
+// Each process carries its own tables; each core has a private DRC.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/workloads"
+)
+
+func main() {
+	// Two different programs, randomized under two different seeds — two
+	// processes with unrelated randomized layouts.
+	w0 := workloads.MustByName("h264ref", 1)
+	w1 := workloads.MustByName("hmmer", 1)
+	r0, err := ilr.Rewrite(w0.Img, ilr.Options{Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, err := ilr.Rewrite(w1.Img, ilr.Options{Seed: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := cpu.NewCluster(cpu.DefaultConfig(cpu.ModeVCFR), []cpu.ClusterProc{
+		{Img: r0.VCFR, Trans: r0.Tables, RandRA: r0.RandRA, Input: w0.Input},
+		{Img: r1.VCFR, Trans: r1.Tables, RandRA: r1.RandRA, Input: w1.Input},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := cluster.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{w0.Name, w1.Name}
+	for i, res := range results {
+		fmt.Printf("core %d (%s): output %q, IPC %.3f, %d private-DRC lookups (%.1f%% miss)\n",
+			i, names[i], res.Out, res.Stats.IPC(),
+			res.DRC.Lookups, 100*res.DRC.MissRate())
+	}
+	fmt.Printf("shared L2: %d accesses, %.2f%% miss — the only coupling between the cores\n",
+		results[0].L2.Accesses, 100*results[0].L2.MissRate())
+	fmt.Println("each core de-randomizes against its own process tables; nothing to invalidate across cores")
+}

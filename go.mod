@@ -1,0 +1,3 @@
+module vcfr
+
+go 1.22

@@ -1,0 +1,69 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// Disassemble performs a linear sweep of the image's text segment (the
+// objdump role in the paper's toolchain) and returns every instruction in
+// address order. The sweep tolerates zero-byte padding between instructions:
+// a zero byte is skipped, anything else that fails to decode is an error.
+func Disassemble(img *program.Image) ([]isa.Inst, error) {
+	text := img.Text()
+	if text == nil {
+		return nil, fmt.Errorf("asm: image %q has no text segment", img.Name)
+	}
+	var out []isa.Inst
+	for off := 0; off < len(text.Data); {
+		if text.Data[off] == 0 {
+			off++
+			continue
+		}
+		in, err := isa.Decode(text.Data[off:], text.Addr+uint32(off))
+		if err != nil {
+			return nil, fmt.Errorf("asm: disassemble %q at %#x: %w",
+				img.Name, text.Addr+uint32(off), err)
+		}
+		out = append(out, in)
+		off += in.Len()
+	}
+	return out, nil
+}
+
+// InstMap indexes a disassembly by instruction address.
+func InstMap(insts []isa.Inst) map[uint32]isa.Inst {
+	m := make(map[uint32]isa.Inst, len(insts))
+	for _, in := range insts {
+		m[in.Addr] = in
+	}
+	return m
+}
+
+// Listing renders a human-readable disassembly with symbol annotations,
+// one instruction per line.
+func Listing(img *program.Image) (string, error) {
+	insts, err := Disassemble(img)
+	if err != nil {
+		return "", err
+	}
+	symAt := make(map[uint32][]string)
+	for _, s := range img.Symbols {
+		symAt[s.Addr] = append(symAt[s.Addr], s.Name)
+	}
+	for _, names := range symAt {
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	for _, in := range insts {
+		for _, name := range symAt[in.Addr] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %#08x  %s\n", in.Addr, in)
+	}
+	return b.String(), nil
+}

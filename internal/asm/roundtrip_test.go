@@ -1,0 +1,163 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"vcfr/internal/emu"
+)
+
+// TestListingReassemblesEquivalently: for a code-only program, assembling
+// the disassembler's listing reproduces a semantically identical program
+// (same output), closing the asm -> disasm -> asm loop.
+func TestListingReassemblesEquivalently(t *testing.T) {
+	src := `
+.entry main
+main:
+	movi r1, 3
+	movi r2, 0
+loop:
+	cmpi r1, 0
+	je done
+	call bump
+	add r2, r0
+	subi r1, 1
+	jmp loop
+done:
+	mov r1, r2
+	sys 3
+	movi r1, 0
+	sys 0
+.func bump
+bump:
+	movi r0, 7
+	ret
+`
+	img := MustAssemble("orig", src)
+	want, err := emu.Run(img, emu.Config{Mode: emu.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	listing, err := Listing(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The listing prints "addr  inst" lines plus "label:" lines; strip the
+	// addresses and feed the rest back through the assembler. Direct-target
+	// operands are absolute hex (0x....) which the assembler accepts, but
+	// they refer to the ORIGINAL addresses, so pin the text base.
+	var b strings.Builder
+	b.WriteString(".text 0x1000\n.entry main\n")
+	for _, line := range strings.Split(listing, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			if line != "main:" { // .entry already declares main
+				b.WriteString(line + "\n")
+			} else {
+				b.WriteString(line + "\n")
+			}
+			continue
+		}
+		// "0x00001000  movi r1, 3" -> "movi r1, 3"
+		fields := strings.SplitN(line, "  ", 2)
+		if len(fields) == 2 {
+			b.WriteString("\t" + strings.TrimSpace(fields[1]) + "\n")
+		}
+	}
+	img2, err := Assemble("rt", b.String())
+	if err != nil {
+		t.Fatalf("reassemble listing: %v\nlisting source:\n%s", err, b.String())
+	}
+	got, err := emu.Run(img2, emu.Config{Mode: emu.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Out) != string(want.Out) {
+		t.Errorf("round-tripped output %q != original %q", got.Out, want.Out)
+	}
+	// Byte-for-byte identical text as well (same base, same encodings).
+	if string(img2.Text().Data) != string(img.Text().Data) {
+		t.Error("round-tripped text bytes differ")
+	}
+}
+
+func TestParseIntForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"-7", -7, true},
+		{"0x2a", 42, true},
+		{"0o17", 15, true},
+		{"'a'", 'a', true},
+		{"'\\n'", '\n', true},
+		{"'\\0'", 0, true},
+		{"''", 0, false},
+		{"'ab'", 0, false},
+		{"4x2", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseInt(tt.in)
+		if (err == nil) != tt.ok {
+			t.Errorf("parseInt(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && got != tt.want {
+			t.Errorf("parseInt(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	got, err := parseString(`"a\tb\nc\\d\"e\0f"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\nc\\d\"e\x00f"
+	if string(got) != want {
+		t.Errorf("parseString = %q, want %q", got, want)
+	}
+	for _, bad := range []string{`"unterminated`, `"bad\q"`, `"trailing\"`, `noquotes`} {
+		if _, err := parseString(bad); err == nil {
+			t.Errorf("parseString(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestAssembleNumericJumpTarget(t *testing.T) {
+	// Absolute numeric targets assemble as-is (the listing round-trip and
+	// hand-written shellcode-style tests rely on it).
+	img := MustAssemble("n", ".entry main\nmain:\n\tjmp 0x1000\n")
+	insts, err := Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Target != 0x1000 {
+		t.Errorf("target = %#x", insts[0].Target)
+	}
+}
+
+func TestAssembleLabelOnOwnLineAndShared(t *testing.T) {
+	img := MustAssemble("l", `
+.entry main
+main:
+a: b: nop
+c:	halt
+`)
+	for _, name := range []string{"a", "b", "c", "main"} {
+		if _, ok := img.Lookup(name); !ok {
+			t.Errorf("label %q missing", name)
+		}
+	}
+	aAddr, _ := img.Lookup("a")
+	bAddr, _ := img.Lookup("b")
+	if aAddr != bAddr {
+		t.Error("stacked labels differ")
+	}
+}

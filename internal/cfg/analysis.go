@@ -1,0 +1,251 @@
+package cfg
+
+import (
+	"sort"
+
+	"vcfr/internal/isa"
+)
+
+// regValue is the lattice value tracked by the block-local constant
+// propagation: unknown, a known 32-bit constant, or a value loaded from a
+// known jump-table base.
+type regValue struct {
+	kind  uint8 // 0 unknown, 1 const, 2 table-load
+	c     uint32
+	table uint32 // table base for kind 2
+}
+
+// resolveIndirect performs the constant-propagation pass of Sec. IV-A: code
+// addresses propagate from movi producers (and jump-table loads through
+// relocated tables) to indirect-transfer consumers. Resolved transfers get
+// exact target sets; everything else stays conservative.
+func (g *Graph) resolveIndirect() {
+	g.IndirectTargets = make(map[uint32][]uint32)
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		var regs [isa.NumRegs]regValue
+		for _, in := range b.Insts {
+			switch in.Op {
+			case isa.OpMovRI:
+				regs[in.Rd] = regValue{kind: 1, c: uint32(in.Imm)}
+			case isa.OpMovRR:
+				regs[in.Rd] = regs[in.Rs]
+			case isa.OpLea:
+				if regs[in.Rs].kind == 1 {
+					regs[in.Rd] = regValue{kind: 1, c: regs[in.Rs].c + uint32(in.Imm)}
+				} else {
+					regs[in.Rd] = regValue{}
+				}
+			case isa.OpLoad:
+				if regs[in.Rs].kind == 1 {
+					regs[in.Rd] = regValue{kind: 2, table: regs[in.Rs].c + uint32(in.Imm)}
+				} else {
+					regs[in.Rd] = regValue{}
+				}
+			case isa.OpLoadR:
+				// Indexed load from a constant base: a jump-table access.
+				if regs[in.Rs].kind == 1 {
+					regs[in.Rd] = regValue{kind: 2, table: regs[in.Rs].c}
+				} else if regs[in.Rt].kind == 1 {
+					regs[in.Rd] = regValue{kind: 2, table: regs[in.Rt].c}
+				} else {
+					regs[in.Rd] = regValue{}
+				}
+			case isa.OpJmpR, isa.OpCallR:
+				switch v := regs[in.Rd]; v.kind {
+				case 1:
+					if _, ok := g.InstAt[v.c]; ok {
+						g.IndirectTargets[in.Addr] = []uint32{v.c}
+					}
+				case 2:
+					if ts := g.tableTargets(v.table); len(ts) > 0 {
+						g.IndirectTargets[in.Addr] = ts
+					}
+				}
+			case isa.OpCall:
+				// Calls clobber the constant state conservatively.
+				regs = [isa.NumRegs]regValue{}
+			default:
+				// Any other writer invalidates its destination register.
+				if writesRd(in.Op) {
+					regs[in.Rd] = regValue{}
+				}
+			}
+		}
+	}
+}
+
+// writesRd reports whether the opcode writes its Rd operand (for the
+// constant-propagation kill set). Control transfers and stores do not.
+func writesRd(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpNeg,
+		isa.OpNot, isa.OpAddI, isa.OpSubI, isa.OpAndI, isa.OpOrI, isa.OpXorI,
+		isa.OpShlI, isa.OpShrI, isa.OpSarI, isa.OpLoadB, isa.OpPop:
+		return true
+	default:
+		return false
+	}
+}
+
+// tableTargets reads the jump table at base: consecutive relocated words,
+// each of which must be an instruction start. It stops at the first
+// non-relocated word, so adjacent data never leaks into the target set.
+func (g *Graph) tableTargets(base uint32) []uint32 {
+	relocAt := make(map[uint32]bool, len(g.Img.Relocs))
+	for _, r := range g.Img.Relocs {
+		if !r.InCode {
+			relocAt[r.Addr] = true
+		}
+	}
+	var out []uint32
+	seen := make(map[uint32]bool)
+	for addr := base; relocAt[addr]; addr += 4 {
+		v, err := g.Img.ReadWord(addr)
+		if err != nil {
+			break
+		}
+		if _, ok := g.InstAt[v]; !ok {
+			break
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reachable performs the recursive-descent pass (the IDA Pro role in the
+// paper's toolchain): the set of basic-block start addresses reachable from
+// the entry point, following direct edges, call edges, and the conservative
+// indirect-target edges. Return edges are implicit: a call contributes its
+// fall-through (EdgeCallFall).
+func (g *Graph) Reachable() map[uint32]bool {
+	seen := make(map[uint32]bool)
+	work := []uint32{g.Img.Entry}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[addr] {
+			continue
+		}
+		b, ok := g.Blocks[addr]
+		if !ok {
+			continue
+		}
+		seen[addr] = true
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachableInsts counts instructions inside reachable blocks.
+func (g *Graph) ReachableInsts() int {
+	reach := g.Reachable()
+	n := 0
+	for start, b := range g.Blocks {
+		if reach[start] {
+			n += len(b.Insts)
+		}
+	}
+	return n
+}
+
+// Func is one function discovered from the symbol table, with the
+// ret-presence analysis behind the paper's Fig. 9.
+type Func struct {
+	Name   string
+	Entry  uint32
+	End    uint32 // first address past the function's extent
+	HasRet bool
+	Insts  int
+}
+
+// Functions partitions the text segment by function symbols (sorted by
+// address; each function extends to the next function or the end of text)
+// and reports, per function, whether it contains a ret instruction.
+func (g *Graph) Functions() []Func {
+	var syms []struct {
+		name string
+		addr uint32
+	}
+	for _, s := range g.Img.Symbols {
+		if s.Func {
+			syms = append(syms, struct {
+				name string
+				addr uint32
+			}{s.Name, s.Addr})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	text := g.Img.Text()
+	out := make([]Func, 0, len(syms))
+	for i, s := range syms {
+		end := text.End()
+		if i+1 < len(syms) {
+			end = syms[i+1].addr
+		}
+		f := Func{Name: s.name, Entry: s.addr, End: end}
+		for _, in := range g.Insts {
+			if in.Addr < s.addr || in.Addr >= end {
+				continue
+			}
+			f.Insts++
+			if in.Op == isa.OpRet {
+				f.HasRet = true
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// SafeReturnSites classifies every call instruction: can its return address
+// be randomized without architectural support? Per the paper (Sec. IV-A),
+// indirect calls are never randomized, and calls whose callee directly
+// reads the return address off the stack (the PIC "call next; pop r" idiom)
+// are unsafe for the software rewriting option.
+func (g *Graph) SafeReturnSites() map[uint32]bool {
+	out := make(map[uint32]bool)
+	for _, in := range g.Insts {
+		switch in.Class() {
+		case isa.ClassCall:
+			out[in.Addr] = !g.calleeReadsRA(in.Target)
+		case isa.ClassCallR:
+			out[in.Addr] = false
+		}
+	}
+	return out
+}
+
+// calleeReadsRA reports whether the callee's entry block accesses the return
+// address on the stack before adjusting sp: a leading pop, or a load from
+// [sp+0].
+func (g *Graph) calleeReadsRA(entry uint32) bool {
+	b, ok := g.Blocks[entry]
+	if !ok {
+		return true // unknown callee: be conservative
+	}
+	for _, in := range b.Insts {
+		switch {
+		case in.Op == isa.OpPop:
+			return true
+		case (in.Op == isa.OpLoad || in.Op == isa.OpLea) && in.Rs == isa.RegSP && in.Imm == 0:
+			return in.Op == isa.OpLoad
+		case in.Op == isa.OpPush, in.Op == isa.OpCall, in.Op == isa.OpCallR:
+			return false // sp moved; the RA slot is no longer [sp]
+		case writesRd(in.Op) && in.Rd == isa.RegSP,
+			in.Op == isa.OpMovRR && in.Rd == isa.RegSP,
+			in.Op == isa.OpMovRI && in.Rd == isa.RegSP:
+			return false // sp rewritten; give up tracking (conservative for reads via copies)
+		}
+	}
+	return false
+}

@@ -1,0 +1,293 @@
+// Package cfg builds control-flow graphs and the static analyses the ILR
+// rewriter depends on: leader-algorithm basic blocks, direct and
+// conservative indirect edges, block-local constant propagation for
+// indirect-target resolution, the byte-scan code-pointer heuristic, and the
+// call/return analyses behind the paper's Table II and Fig. 9.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeFall     EdgeKind = iota + 1 // sequential fall-through
+	EdgeJump                         // unconditional direct jump
+	EdgeTaken                        // conditional branch, taken side
+	EdgeCall                         // direct call to callee entry
+	EdgeCallFall                     // call's return-to-next pseudo edge
+	EdgeIndirect                     // indirect transfer to a candidate target
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeFall:
+		return "fall"
+	case EdgeJump:
+		return "jump"
+	case EdgeTaken:
+		return "taken"
+	case EdgeCall:
+		return "call"
+	case EdgeCallFall:
+		return "call-fall"
+	case EdgeIndirect:
+		return "indirect"
+	default:
+		return fmt.Sprintf("edge(%d)", uint8(k))
+	}
+}
+
+// Edge is one outgoing CFG edge.
+type Edge struct {
+	To   uint32
+	Kind EdgeKind
+}
+
+// Block is a basic block: a maximal single-entry straight-line instruction
+// sequence.
+type Block struct {
+	Start uint32
+	Insts []isa.Inst
+	Succs []Edge
+	Preds []uint32 // start addresses of predecessor blocks
+}
+
+// End returns the first address past the block.
+func (b *Block) End() uint32 {
+	last := b.Insts[len(b.Insts)-1]
+	return last.NextAddr()
+}
+
+// Last returns the block's final instruction.
+func (b *Block) Last() isa.Inst { return b.Insts[len(b.Insts)-1] }
+
+// Graph is the control-flow graph of one image.
+type Graph struct {
+	Img    *program.Image
+	Insts  []isa.Inst          // every instruction, address order
+	InstAt map[uint32]isa.Inst // address -> instruction
+	Blocks map[uint32]*Block   // start address -> block
+	Order  []uint32            // block start addresses, ascending
+
+	// IndirectTargets maps each indirect-transfer instruction address to its
+	// resolved target set (from constant propagation and jump-table
+	// relocations). Instructions absent from the map are unresolved: they
+	// may reach any Candidate.
+	IndirectTargets map[uint32][]uint32
+
+	// Candidates is the conservative indirect-target set: every address
+	// referenced by a relocation plus every byte-scan hit (Sec. IV-A's
+	// "assume that all the instructions at relocatable addresses can be the
+	// targets", then pruned).
+	Candidates map[uint32]bool
+
+	// ScanOnlyCandidates are byte-scan hits NOT covered by any relocation:
+	// possible computed code addresses the rewriter cannot retarget. They
+	// must remain reachable at their original addresses (the failover path)
+	// and therefore stay un-prohibited.
+	ScanOnlyCandidates map[uint32]bool
+}
+
+// Build disassembles img and constructs its CFG.
+func Build(img *program.Image) (*Graph, error) {
+	insts, err := asm.Disassemble(img)
+	if err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("cfg: image %q has no instructions", img.Name)
+	}
+	g := &Graph{
+		Img:    img,
+		Insts:  insts,
+		InstAt: asm.InstMap(insts),
+		Blocks: make(map[uint32]*Block),
+	}
+	g.findCandidates()
+
+	// Leader algorithm: block starts are the entry, every direct-transfer
+	// target, every instruction following a control transfer, every function
+	// symbol, and every indirect-target candidate.
+	leaders := map[uint32]bool{img.Entry: true}
+	for _, in := range insts {
+		if in.Op.HasTarget() {
+			leaders[in.Target] = true
+		}
+		if in.Class().IsControl() {
+			leaders[in.NextAddr()] = true
+		}
+	}
+	for _, s := range img.Symbols {
+		if s.Func {
+			leaders[s.Addr] = true
+		}
+	}
+	for a := range g.Candidates {
+		leaders[a] = true
+	}
+
+	// Slice the instruction list into blocks.
+	var cur *Block
+	for _, in := range insts {
+		if cur == nil || leaders[in.Addr] {
+			cur = &Block{Start: in.Addr}
+			g.Blocks[in.Addr] = cur
+			g.Order = append(g.Order, in.Addr)
+		}
+		cur.Insts = append(cur.Insts, in)
+		if in.Class().IsControl() {
+			cur = nil
+		}
+	}
+	sort.Slice(g.Order, func(i, j int) bool { return g.Order[i] < g.Order[j] })
+
+	g.resolveIndirect()
+	g.addEdges()
+	return g, nil
+}
+
+// findCandidates gathers the conservative indirect-target set: values of all
+// relocated code-address fields, plus a byte-by-byte scan of data for
+// pointer-sized constants that decode as instruction starts (the Hiser et
+// al. heuristic the paper adopts).
+func (g *Graph) findCandidates() {
+	g.Candidates = make(map[uint32]bool)
+	g.ScanOnlyCandidates = make(map[uint32]bool)
+
+	relocTargets := make(map[uint32]bool)
+	for _, r := range g.Img.Relocs {
+		v, err := g.Img.ReadWord(r.Addr)
+		if err != nil {
+			continue
+		}
+		if _, ok := g.InstAt[v]; !ok {
+			continue
+		}
+		relocTargets[v] = true
+		// Direct-transfer targets are not *indirect* candidates unless some
+		// data word or code constant also names them; a reloc on a jmp/call
+		// target field only proves a direct edge.
+		if seg := g.Img.SegAt(r.Addr); seg != nil && seg.Perm&program.PermX != 0 {
+			if in, ok := g.instContaining(r.Addr); ok && in.Op.HasTarget() &&
+				in.Addr+isa.TargetFieldOffset == r.Addr {
+				continue
+			}
+		}
+		g.Candidates[v] = true
+	}
+
+	// Byte scan of non-executable data.
+	for i := range g.Img.Segments {
+		seg := &g.Img.Segments[i]
+		if seg.Perm&program.PermX != 0 {
+			continue
+		}
+		for off := 0; off+4 <= len(seg.Data); off++ {
+			v := uint32(seg.Data[off]) | uint32(seg.Data[off+1])<<8 |
+				uint32(seg.Data[off+2])<<16 | uint32(seg.Data[off+3])<<24
+			if _, ok := g.InstAt[v]; !ok {
+				continue
+			}
+			g.Candidates[v] = true
+			if !relocTargets[v] {
+				g.ScanOnlyCandidates[v] = true
+			}
+		}
+	}
+
+	// Scan movi immediates in code: a code-address constant without a
+	// relocation is a computed-target candidate the rewriter cannot patch.
+	for _, in := range g.Insts {
+		if in.Op != isa.OpMovRI {
+			continue
+		}
+		v := uint32(in.Imm)
+		if _, ok := g.InstAt[v]; !ok {
+			continue
+		}
+		g.Candidates[v] = true
+		if !relocTargets[v] {
+			g.ScanOnlyCandidates[v] = true
+		}
+	}
+}
+
+// instContaining finds the instruction whose encoding covers addr.
+func (g *Graph) instContaining(addr uint32) (isa.Inst, bool) {
+	// Instruction encodings are at most MaxLength bytes, so walk back a few
+	// addresses and check coverage.
+	for back := uint32(0); back < isa.MaxLength; back++ {
+		if in, ok := g.InstAt[addr-back]; ok {
+			if addr < in.Addr+uint32(in.Len()) {
+				return in, true
+			}
+			return isa.Inst{}, false
+		}
+	}
+	return isa.Inst{}, false
+}
+
+// addEdges wires successor/predecessor edges for every block.
+func (g *Graph) addEdges() {
+	addEdge := func(b *Block, to uint32, kind EdgeKind) {
+		if _, ok := g.Blocks[to]; !ok {
+			return // target outside known code (fault at run time)
+		}
+		b.Succs = append(b.Succs, Edge{To: to, Kind: kind})
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, b.Start)
+	}
+	var candList []uint32
+	for a := range g.Candidates {
+		candList = append(candList, a)
+	}
+	sort.Slice(candList, func(i, j int) bool { return candList[i] < candList[j] })
+
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		last := b.Last()
+		switch last.Class() {
+		case isa.ClassSeq:
+			addEdge(b, last.NextAddr(), EdgeFall)
+		case isa.ClassJump:
+			addEdge(b, last.Target, EdgeJump)
+		case isa.ClassBranch:
+			addEdge(b, last.Target, EdgeTaken)
+			addEdge(b, last.NextAddr(), EdgeFall)
+		case isa.ClassCall:
+			addEdge(b, last.Target, EdgeCall)
+			addEdge(b, last.NextAddr(), EdgeCallFall)
+		case isa.ClassCallR:
+			for _, to := range g.indirectSuccs(last, candList) {
+				addEdge(b, to, EdgeIndirect)
+			}
+			addEdge(b, last.NextAddr(), EdgeCallFall)
+		case isa.ClassJumpR:
+			for _, to := range g.indirectSuccs(last, candList) {
+				addEdge(b, to, EdgeIndirect)
+			}
+		case isa.ClassRet, isa.ClassHalt:
+			// Return edges are implicit (matched to call sites); halt has
+			// no successor.
+		}
+	}
+}
+
+// indirectSuccs returns the successor set for an indirect transfer: the
+// resolved targets when the analysis pinned them down, otherwise every
+// candidate.
+func (g *Graph) indirectSuccs(in isa.Inst, candList []uint32) []uint32 {
+	if ts, ok := g.IndirectTargets[in.Addr]; ok {
+		return ts
+	}
+	return candList
+}

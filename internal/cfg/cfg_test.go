@@ -1,0 +1,486 @@
+package cfg
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	img := asm.MustAssemble("t", src)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+const diamondSrc = `
+.entry main
+main:
+	movi r1, 5
+	cmpi r1, 3
+	jg big
+small:
+	movi r2, 1
+	jmp join
+big:
+	movi r2, 2
+join:
+	mov r1, r2
+	halt
+`
+
+func TestBuildDiamond(t *testing.T) {
+	g := build(t, diamondSrc)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (entry, small, big, join)", len(g.Blocks))
+	}
+	entry := g.Blocks[g.Img.Entry]
+	if entry == nil {
+		t.Fatal("no entry block")
+	}
+	if got := len(entry.Succs); got != 2 {
+		t.Fatalf("entry succs = %d, want 2", got)
+	}
+	var taken, fall int
+	for _, e := range entry.Succs {
+		switch e.Kind {
+		case EdgeTaken:
+			taken++
+		case EdgeFall:
+			fall++
+		}
+	}
+	if taken != 1 || fall != 1 {
+		t.Errorf("edge kinds: taken=%d fall=%d", taken, fall)
+	}
+	join, _ := g.Img.Lookup("join")
+	jb := g.Blocks[join]
+	if jb == nil {
+		t.Fatal("no join block")
+	}
+	if len(jb.Preds) != 2 {
+		t.Errorf("join preds = %d, want 2", len(jb.Preds))
+	}
+}
+
+func TestBuildCallEdges(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	call fn
+	halt
+.func fn
+fn:
+	ret
+`)
+	entry := g.Blocks[g.Img.Entry]
+	var call, callFall int
+	for _, e := range entry.Succs {
+		switch e.Kind {
+		case EdgeCall:
+			call++
+		case EdgeCallFall:
+			callFall++
+		}
+	}
+	if call != 1 || callFall != 1 {
+		t.Errorf("call=%d callFall=%d, want 1/1", call, callFall)
+	}
+	fn, _ := g.Img.Lookup("fn")
+	fb := g.Blocks[fn]
+	if fb == nil || fb.Last().Op != isa.OpRet {
+		t.Fatal("fn block missing or malformed")
+	}
+	if len(fb.Succs) != 0 {
+		t.Errorf("ret block has %d static succs, want 0", len(fb.Succs))
+	}
+}
+
+func TestConstPropResolvesMoviCallr(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	movi r5, fn
+	callr r5
+	halt
+.func fn
+fn:
+	ret
+`)
+	fn, _ := g.Img.Lookup("fn")
+	var callrAddr uint32
+	for _, in := range g.Insts {
+		if in.Op == isa.OpCallR {
+			callrAddr = in.Addr
+		}
+	}
+	ts, ok := g.IndirectTargets[callrAddr]
+	if !ok {
+		t.Fatal("callr not resolved by constant propagation")
+	}
+	if len(ts) != 1 || ts[0] != fn {
+		t.Errorf("resolved targets = %#v, want [%#x]", ts, fn)
+	}
+	if !g.Candidates[fn] {
+		t.Error("fn not in candidate set (movi code constant)")
+	}
+}
+
+func TestConstPropKilledByRedefinition(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	movi r5, fn
+	addi r5, 0      ; kills the constant
+	callr r5
+	halt
+.func fn
+fn:
+	ret
+`)
+	for _, in := range g.Insts {
+		if in.Op == isa.OpCallR {
+			if _, ok := g.IndirectTargets[in.Addr]; ok {
+				t.Error("callr resolved despite clobbered register")
+			}
+		}
+	}
+}
+
+func TestJumpTableResolution(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	movi r2, 1
+	shli r2, 2
+	movi r3, table
+	loadr r4, [r3+r2]
+	jmpr r4
+case0: halt
+case1: halt
+case2: halt
+.data
+table: .addr case0, case1, case2
+after: .word 1234
+`)
+	var jmprAddr uint32
+	for _, in := range g.Insts {
+		if in.Op == isa.OpJmpR {
+			jmprAddr = in.Addr
+		}
+	}
+	ts, ok := g.IndirectTargets[jmprAddr]
+	if !ok {
+		t.Fatal("jump table not resolved")
+	}
+	if len(ts) != 3 {
+		t.Fatalf("resolved %d targets, want 3: %#v", len(ts), ts)
+	}
+	for _, name := range []string{"case0", "case1", "case2"} {
+		a, _ := g.Img.Lookup(name)
+		found := false
+		for _, v := range ts {
+			if v == a {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s (%#x) missing from targets %#v", name, a, ts)
+		}
+		if !g.Candidates[a] {
+			t.Errorf("%s not a candidate", name)
+		}
+	}
+}
+
+func TestUnresolvedIndirectUsesCandidates(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	sys 2           ; r0 = attacker-influenced
+	mov r5, r0
+	jmpr r5         ; unresolvable
+t0:	halt
+.data
+ptr: .addr t0
+`)
+	var jb *Block
+	for _, b := range g.Blocks {
+		if b.Last().Op == isa.OpJmpR {
+			jb = b
+		}
+	}
+	if jb == nil {
+		t.Fatal("no jmpr block")
+	}
+	t0, _ := g.Img.Lookup("t0")
+	found := false
+	for _, e := range jb.Succs {
+		if e.To == t0 && e.Kind == EdgeIndirect {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unresolved jmpr lacks conservative edge to candidate t0")
+	}
+}
+
+func TestScanOnlyCandidates(t *testing.T) {
+	// A code address materialized via arithmetic-friendly .word (not .addr)
+	// still shows up via the byte scan, and is scan-only (unpatchable).
+	img := asm.MustAssemble("t", `
+.entry main
+main:
+	nop
+target:
+	halt
+.data
+d: .word 0
+`)
+	taddr, _ := img.Lookup("target")
+	// Plant the raw code address into data without a relocation record.
+	if err := img.WriteWord(0x00100000, taddr); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Candidates[taddr] {
+		t.Error("byte-scan missed planted code pointer")
+	}
+	if !g.ScanOnlyCandidates[taddr] {
+		t.Error("planted pointer not classified scan-only")
+	}
+}
+
+func TestStatsTableII(t *testing.T) {
+	g := build(t, `
+.entry main
+.func main
+main:
+	movi r1, 3
+	cmpi r1, 0
+	je done
+	call fn
+	movi r5, fn
+	callr r5
+	jmp main
+done:
+	halt
+.func fn
+fn:
+	movi r6, helper
+	jmpr r6
+.func helper
+helper:
+	ret
+.func noret
+noret:
+	nop
+	jmp main
+`)
+	s := g.Stats()
+	if s.DirectTransfers != 4 { // je, call, jmp main, jmp main(in noret)
+		t.Errorf("DirectTransfers = %d, want 4", s.DirectTransfers)
+	}
+	if s.IndirectTransfers != 2 { // callr, jmpr
+		t.Errorf("IndirectTransfers = %d, want 2", s.IndirectTransfers)
+	}
+	if s.Calls != 1 || s.IndirectCalls != 1 {
+		t.Errorf("Calls=%d IndirectCalls=%d, want 1/1", s.Calls, s.IndirectCalls)
+	}
+	if s.Rets != 1 {
+		t.Errorf("Rets = %d, want 1", s.Rets)
+	}
+	if s.ResolvedIndirect != 2 {
+		t.Errorf("ResolvedIndirect = %d, want 2", s.ResolvedIndirect)
+	}
+	if s.Functions != 4 {
+		t.Errorf("Functions = %d, want 4", s.Functions)
+	}
+	// helper has ret; main/fn/noret do not (fn exits via jmpr).
+	if s.FuncsWithRet != 1 || s.FuncsWithoutRet != 3 {
+		t.Errorf("FuncsWithRet=%d FuncsWithoutRet=%d, want 1/3",
+			s.FuncsWithRet, s.FuncsWithoutRet)
+	}
+	if s.Instructions != len(g.Insts) || s.BasicBlocks != len(g.Blocks) {
+		t.Error("instruction/block counts inconsistent")
+	}
+}
+
+func TestSafeReturnSites(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	call normal       ; safe
+	call picky        ; unsafe: callee pops RA
+	movi r5, normal
+	callr r5          ; unsafe: indirect call
+	halt
+.func normal
+normal:
+	movi r0, 1
+	ret
+.func picky
+picky:
+	pop r4            ; reads its own return address (PIC idiom)
+	jmpr r4
+`)
+	sites := g.SafeReturnSites()
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	normal, _ := g.Img.Lookup("normal")
+	picky, _ := g.Img.Lookup("picky")
+	for _, in := range g.Insts {
+		switch {
+		case in.Op == isa.OpCall && in.Target == normal:
+			if !sites[in.Addr] {
+				t.Error("call normal should be safe")
+			}
+		case in.Op == isa.OpCall && in.Target == picky:
+			if sites[in.Addr] {
+				t.Error("call picky should be unsafe")
+			}
+		case in.Op == isa.OpCallR:
+			if sites[in.Addr] {
+				t.Error("callr should be unsafe")
+			}
+		}
+	}
+}
+
+func TestFunctionsExtents(t *testing.T) {
+	g := build(t, `
+.entry main
+.func main
+main:
+	nop
+	ret
+.func second
+second:
+	nop
+	nop
+	halt
+`)
+	fns := g.Functions()
+	if len(fns) != 2 {
+		t.Fatalf("functions = %d, want 2", len(fns))
+	}
+	if fns[0].Name != "main" || !fns[0].HasRet || fns[0].Insts != 2 {
+		t.Errorf("main = %+v", fns[0])
+	}
+	if fns[1].Name != "second" || fns[1].HasRet || fns[1].Insts != 3 {
+		t.Errorf("second = %+v", fns[1])
+	}
+	if fns[0].End != fns[1].Entry {
+		t.Errorf("main end %#x != second entry %#x", fns[0].End, fns[1].Entry)
+	}
+}
+
+func TestBuildRejectsEmptyImage(t *testing.T) {
+	img := &program.Image{
+		Name:  "empty",
+		Entry: 0x1000,
+		Segments: []program.Segment{{
+			Name: program.SegText, Addr: 0x1000,
+			Data: make([]byte, 8), Perm: program.PermR | program.PermX,
+		}},
+	}
+	if _, err := Build(img); err == nil {
+		t.Error("Build of instruction-free image succeeded")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	kinds := []EdgeKind{EdgeFall, EdgeJump, EdgeTaken, EdgeCall, EdgeCallFall, EdgeIndirect}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if EdgeKind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestBlockEnd(t *testing.T) {
+	g := build(t, diamondSrc)
+	for _, b := range g.Blocks {
+		if b.End() <= b.Start {
+			t.Errorf("block at %#x has End %#x", b.Start, b.End())
+		}
+		// Blocks tile the text: each instruction in exactly one block.
+		n := 0
+		for _, in := range b.Insts {
+			if in.Addr < b.Start || in.Addr >= b.End() {
+				t.Errorf("inst %#x outside block [%#x,%#x)", in.Addr, b.Start, b.End())
+			}
+			n++
+		}
+		if n == 0 {
+			t.Errorf("empty block at %#x", b.Start)
+		}
+	}
+}
+
+func TestReachableFindsDeadCode(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	call used
+	halt
+.func used
+used:
+	ret
+.func dead
+dead:
+	movi r1, 1
+	movi r2, 2
+	ret
+`)
+	reach := g.Reachable()
+	used, _ := g.Img.Lookup("used")
+	dead, _ := g.Img.Lookup("dead")
+	if !reach[g.Img.Entry] || !reach[used] {
+		t.Error("live blocks not reachable")
+	}
+	if reach[dead] {
+		t.Error("dead function marked reachable")
+	}
+	total := len(g.Insts)
+	live := g.ReachableInsts()
+	if live >= total {
+		t.Errorf("reachable %d >= total %d despite dead code", live, total)
+	}
+	if live < 3 {
+		t.Errorf("reachable %d implausibly low", live)
+	}
+}
+
+func TestReachableFollowsIndirectCandidates(t *testing.T) {
+	g := build(t, `
+.entry main
+main:
+	movi r5, handler
+	addi r5, 0        ; defeat constant resolution: stays conservative
+	jmpr r5
+	halt
+.func handler
+handler:
+	ret
+`)
+	handler, _ := g.Img.Lookup("handler")
+	if !g.Reachable()[handler] {
+		t.Error("conservative indirect edge not followed")
+	}
+}

@@ -1,0 +1,103 @@
+package cfg
+
+import (
+	"testing"
+
+	"vcfr/internal/workloads"
+)
+
+// TestGraphStructuralInvariants checks, over a battery of random structured
+// programs and all SPEC analogs, the properties every well-formed CFG must
+// have: blocks tile the instruction list exactly, every edge targets a block
+// start, predecessors mirror successors, and control transfers only ever end
+// blocks.
+func TestGraphStructuralInvariants(t *testing.T) {
+	var graphs []*Graph
+	for seed := uint32(0); seed < 12; seed++ {
+		g, err := Build(workloads.Random(seed).Img)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		graphs = append(graphs, g)
+	}
+	for _, name := range workloads.SpecNames {
+		g, err := Build(workloads.MustByName(name, 1).Img)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	for _, g := range graphs {
+		// Blocks tile the instruction list: every instruction in exactly one
+		// block, blocks contiguous, in address order.
+		covered := 0
+		for _, start := range g.Order {
+			b := g.Blocks[start]
+			if b.Start != b.Insts[0].Addr {
+				t.Fatalf("%s: block start %#x != first inst %#x",
+					g.Img.Name, b.Start, b.Insts[0].Addr)
+			}
+			prevEnd := b.Start
+			for _, in := range b.Insts {
+				if in.Addr != prevEnd {
+					t.Fatalf("%s: gap inside block at %#x", g.Img.Name, in.Addr)
+				}
+				prevEnd = in.NextAddr()
+				covered++
+			}
+			// Only the final instruction may transfer control.
+			for _, in := range b.Insts[:len(b.Insts)-1] {
+				if in.Class().IsControl() {
+					t.Fatalf("%s: control transfer %v inside block %#x",
+						g.Img.Name, in, b.Start)
+				}
+			}
+		}
+		if covered != len(g.Insts) {
+			t.Fatalf("%s: blocks cover %d of %d instructions",
+				g.Img.Name, covered, len(g.Insts))
+		}
+
+		// Every successor edge targets a block start, and appears in the
+		// target's predecessor list.
+		for _, start := range g.Order {
+			b := g.Blocks[start]
+			for _, e := range b.Succs {
+				tb, ok := g.Blocks[e.To]
+				if !ok {
+					t.Fatalf("%s: edge %#x -> %#x targets a non-block",
+						g.Img.Name, b.Start, e.To)
+				}
+				found := false
+				for _, p := range tb.Preds {
+					if p == b.Start {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: edge %#x -> %#x missing from preds",
+						g.Img.Name, b.Start, e.To)
+				}
+			}
+		}
+
+		// Resolved indirect targets are valid instruction starts.
+		for addr, ts := range g.IndirectTargets {
+			if _, ok := g.InstAt[addr]; !ok {
+				t.Fatalf("%s: resolved transfer at non-instruction %#x", g.Img.Name, addr)
+			}
+			for _, target := range ts {
+				if _, ok := g.InstAt[target]; !ok {
+					t.Fatalf("%s: resolved target %#x not an instruction", g.Img.Name, target)
+				}
+			}
+		}
+
+		// The entry block is always reachable and counted.
+		if !g.Reachable()[g.Img.Entry] {
+			t.Fatalf("%s: entry unreachable", g.Img.Name)
+		}
+	}
+}

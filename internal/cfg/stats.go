@@ -1,0 +1,56 @@
+package cfg
+
+import "vcfr/internal/isa"
+
+// Stats are the static control-flow counts reported in the paper's Table II
+// (direct vs indirect transfers, calls vs indirect calls) and Fig. 9
+// (functions with and without ret instructions).
+type Stats struct {
+	Instructions      int
+	BasicBlocks       int
+	DirectTransfers   int // jmp + conditional branches + direct calls
+	IndirectTransfers int // jmpr + callr
+	Calls             int // direct calls
+	IndirectCalls     int // callr
+	Rets              int
+	ResolvedIndirect  int // indirect transfers with analysis-pinned targets
+	Functions         int
+	FuncsWithRet      int
+	FuncsWithoutRet   int
+}
+
+// Stats computes the static analysis summary for the graph's image.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Instructions: len(g.Insts),
+		BasicBlocks:  len(g.Blocks),
+	}
+	for _, in := range g.Insts {
+		switch in.Class() {
+		case isa.ClassJump, isa.ClassBranch:
+			s.DirectTransfers++
+		case isa.ClassCall:
+			s.DirectTransfers++
+			s.Calls++
+		case isa.ClassJumpR:
+			s.IndirectTransfers++
+		case isa.ClassCallR:
+			s.IndirectTransfers++
+			s.IndirectCalls++
+		case isa.ClassRet:
+			s.Rets++
+		}
+		if _, ok := g.IndirectTargets[in.Addr]; ok && in.Class().IsIndirect() {
+			s.ResolvedIndirect++
+		}
+	}
+	for _, f := range g.Functions() {
+		s.Functions++
+		if f.HasRet {
+			s.FuncsWithRet++
+		} else {
+			s.FuncsWithoutRet++
+		}
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/cpu"
+)
+
+const demoSrc = `
+.entry main
+main:
+	movi r1, 9
+	call square
+	mov r1, r0
+	sys 3
+	movi r1, 0
+	sys 0
+.func square
+square:
+	mov r0, r1
+	mul r0, r1
+	ret
+`
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystemFromSource("demo", demoSrc, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemRunModes(t *testing.T) {
+	sys := newSys(t)
+	for _, mode := range []ExecMode{ExecNative, ExecVCFR, ExecEmulated} {
+		out, err := sys.Run(mode)
+		if err != nil {
+			t.Fatalf("Run(%d): %v", mode, err)
+		}
+		if string(out.Out) != "81" {
+			t.Errorf("Run(%d) = %q, want 81", mode, out.Out)
+		}
+	}
+	if _, err := sys.Run(ExecMode(42)); err == nil {
+		t.Error("unknown exec mode accepted")
+	}
+}
+
+func TestSystemSimulate(t *testing.T) {
+	sys := newSys(t)
+	for _, mode := range []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR} {
+		res, err := sys.Simulate(mode, nil, 0)
+		if err != nil {
+			t.Fatalf("Simulate(%v): %v", mode, err)
+		}
+		if string(res.Out) != "81" {
+			t.Errorf("Simulate(%v) = %q", mode, res.Out)
+		}
+		if res.Stats.Cycles == 0 {
+			t.Errorf("Simulate(%v): no cycles", mode)
+		}
+	}
+	res, err := sys.Simulate(cpu.ModeVCFR, func(c *cpu.Config) { c.DRCEntries = 64 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRC.Lookups == 0 {
+		t.Error("DRC unused under VCFR simulation")
+	}
+	if _, err := sys.Simulate(cpu.Mode(9), nil, 0); err == nil {
+		t.Error("unknown cpu mode accepted")
+	}
+}
+
+func TestSystemImagesDistinct(t *testing.T) {
+	sys := newSys(t)
+	if sys.Original() == sys.Randomized() {
+		t.Error("original and randomized images are the same object")
+	}
+	if sys.Scattered().Entry == sys.Original().Entry {
+		t.Error("scattered entry not randomized")
+	}
+	if sys.Stats().Instructions == 0 || sys.Stats().TableBytes == 0 {
+		t.Errorf("stats empty: %+v", sys.Stats())
+	}
+	if sys.Rewrite() == nil {
+		t.Error("Rewrite() nil")
+	}
+}
+
+func TestSystemGadgetReport(t *testing.T) {
+	sys := newSys(t)
+	rep := sys.GadgetReport()
+	if rep.Total == 0 {
+		t.Fatal("no gadgets found in original image")
+	}
+	if rep.RemovalRate < 0.9 {
+		t.Errorf("removal rate %.2f, want >= 0.9", rep.RemovalRate)
+	}
+	for tmpl, ok := range rep.PayloadsAfter {
+		if ok {
+			t.Errorf("payload %q still assembles after randomization", tmpl)
+		}
+	}
+}
+
+func TestSystemRerandomize(t *testing.T) {
+	sys := newSys(t)
+	re, err := sys.Rerandomize(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New layout, same behaviour.
+	a, _ := sys.Rewrite().Tables.ToRand(sys.Original().Entry)
+	b, _ := re.Rewrite().Tables.ToRand(re.Original().Entry)
+	if a == b {
+		t.Error("re-randomization kept the entry placement")
+	}
+	out, err := re.Run(ExecVCFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Out) != "81" {
+		t.Errorf("re-randomized run = %q", out.Out)
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	img := asm.MustAssemble("d", demoSrc)
+	sys, err := NewSystem(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Run(ExecVCFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Out) != "81" {
+		t.Errorf("zero-options run = %q", out.Out)
+	}
+	// Software ret-rand option plumbs through.
+	soft, err := NewSystem(img, Options{SoftwareRetRand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.Rewrite().Opts.RetRand.String() != "software" {
+		t.Errorf("ret-rand mode = %v", soft.Rewrite().Opts.RetRand)
+	}
+}
+
+func TestNewSystemFromSourceErrors(t *testing.T) {
+	if _, err := NewSystemFromSource("bad", "definitely not asm", Options{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package cpu
+
+import "testing"
+
+func TestGshareLearnsLoop(t *testing.T) {
+	g := newGshare(10)
+	// A branch taken 9 of every 10 times (loop back-edge): after warm-up,
+	// the predictor should be right most of the time.
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		taken := i%10 != 9
+		if g.predict(0x1234) == taken {
+			correct++
+		}
+		g.update(0x1234, taken)
+	}
+	if correct < 800 {
+		t.Errorf("gshare correct %d/1000 on a 90%% biased branch", correct)
+	}
+}
+
+func TestGshareAlternatingWithHistory(t *testing.T) {
+	g := newGshare(10)
+	// A strictly alternating branch is perfectly predictable with global
+	// history once warmed up.
+	correct := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if i >= 1000 && g.predict(0x40) == taken {
+			correct++
+		}
+		g.update(0x40, taken)
+	}
+	if correct < 950 {
+		t.Errorf("gshare correct %d/1000 on alternating branch", correct)
+	}
+}
+
+func TestBTBInstallLookup(t *testing.T) {
+	b := newBTB(16, 4)
+	if _, hit := b.lookup(0x100); hit {
+		t.Error("empty BTB hit")
+	}
+	b.install(0x100, targetPair{orig: 0x200, rand: 0x9200})
+	pair, hit := b.lookup(0x100)
+	if !hit || pair.orig != 0x200 || pair.rand != 0x9200 {
+		t.Errorf("lookup = %+v, %v", pair, hit)
+	}
+	// Reinstall updates in place.
+	b.install(0x100, targetPair{orig: 0x300, rand: 0x9300})
+	pair, _ = b.lookup(0x100)
+	if pair.orig != 0x300 {
+		t.Error("reinstall did not update")
+	}
+}
+
+func TestBTBLRUWithinSet(t *testing.T) {
+	b := newBTB(8, 4) // 2 sets x 4 ways
+	// Fill one set (pcs mapping to set 0) beyond capacity.
+	pcs := []uint32{0x00, 0x10, 0x20, 0x30, 0x40} // (pc>>1)&1 == 0 for all
+	for _, pc := range pcs {
+		b.install(pc, targetPair{orig: pc + 1})
+	}
+	if _, hit := b.lookup(0x00); hit {
+		t.Error("LRU victim survived")
+	}
+	for _, pc := range pcs[1:] {
+		if _, hit := b.lookup(pc); !hit {
+			t.Errorf("entry %#x evicted prematurely", pc)
+		}
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := newRAS(4)
+	if _, ok := r.pop(); ok {
+		t.Error("empty RAS popped")
+	}
+	for i := uint32(1); i <= 3; i++ {
+		r.push(targetPair{orig: i})
+	}
+	for want := uint32(3); want >= 1; want-- {
+		pair, ok := r.pop()
+		if !ok || pair.orig != want {
+			t.Errorf("pop = %+v, %v, want orig %d", pair, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("drained RAS popped")
+	}
+}
+
+func TestRASOverflowLosesOldest(t *testing.T) {
+	r := newRAS(2)
+	r.push(targetPair{orig: 1})
+	r.push(targetPair{orig: 2})
+	r.push(targetPair{orig: 3}) // overflow: 1 is lost
+	if p, ok := r.pop(); !ok || p.orig != 3 {
+		t.Errorf("pop1 = %+v", p)
+	}
+	if p, ok := r.pop(); !ok || p.orig != 2 {
+		t.Errorf("pop2 = %+v", p)
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("overflowed entry resurfaced")
+	}
+}
+
+func TestBPredStatsAccuracy(t *testing.T) {
+	s := BPredStats{CondLookups: 100, CondMispred: 5}
+	if got := s.CondAccuracy(); got != 0.95 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if (BPredStats{}).CondAccuracy() != 0 {
+		t.Error("zero lookups accuracy not 0")
+	}
+}

@@ -1,0 +1,82 @@
+package cpu
+
+import (
+	"testing"
+
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/workloads"
+)
+
+// TestPipelineLockstepWithEmulator steps the cycle-level pipeline and the
+// reference interpreter one instruction at a time and compares the complete
+// architectural state (registers, flags, halt status) after every step — a
+// far stronger invariant than output equality. Run for the baseline and for
+// VCFR (against the VCFR-mode interpreter).
+func TestPipelineLockstepWithEmulator(t *testing.T) {
+	const steps = 30_000
+	for seed := uint32(100); seed < 106; seed++ {
+		w := workloads.Random(seed)
+		res, err := ilr.Rewrite(w.Img, ilr.Options{Seed: int64(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type pair struct {
+			name string
+			p    *Pipeline
+			m    *emu.Machine
+		}
+		basePipe, err := New(res.Orig, DefaultConfig(ModeBaseline), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseMach, err := emu.NewMachine(res.Orig, emu.Config{Mode: emu.ModeNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcfrPipe, err := New(res.VCFR, DefaultConfig(ModeVCFR), res.Tables, res.RandRA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcfrMach, err := emu.NewMachine(res.VCFR, emu.Config{
+			Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range []pair{
+			{"baseline", basePipe, baseMach},
+			{"vcfr", vcfrPipe, vcfrMach},
+		} {
+			for step := 0; step < steps; step++ {
+				pRunning, pErr := pr.p.Step()
+				mRunning, mErr := pr.m.Step()
+				if (pErr != nil) != (mErr != nil) {
+					t.Fatalf("seed %d %s step %d: error divergence: pipeline=%v machine=%v",
+						seed, pr.name, step, pErr, mErr)
+				}
+				if pErr != nil {
+					break
+				}
+				ps, ms := pr.p.State(), pr.m.State()
+				if ps.R != ms.R {
+					t.Fatalf("seed %d %s step %d (pc %#x): registers diverged\n pipe %v\n mach %v",
+						seed, pr.name, step, pr.p.PC(), ps.R, ms.R)
+				}
+				if ps.Z != ms.Z || ps.N != ms.N || ps.C != ms.C || ps.V != ms.V {
+					t.Fatalf("seed %d %s step %d: flags diverged", seed, pr.name, step)
+				}
+				if pr.p.PC() != pr.m.PC() {
+					t.Fatalf("seed %d %s step %d: PC diverged %#x vs %#x",
+						seed, pr.name, step, pr.p.PC(), pr.m.PC())
+				}
+				if pRunning != mRunning {
+					t.Fatalf("seed %d %s step %d: halt divergence", seed, pr.name, step)
+				}
+				if !pRunning {
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"fmt"
+
+	"vcfr/internal/emu"
+	"vcfr/internal/mem"
+	"vcfr/internal/program"
+)
+
+// This file adds multi-core execution: several pipelines, each with private
+// L1s, predictors, DRC, and randomization tables, over one shared L2 and
+// DRAM. The paper argues this composition is easy precisely because VCFR
+// randomizes only the instruction address space — read-only state — so
+// nothing a core caches in its private DRC can be invalidated by another
+// core (Sec. IV-D). Each process carries its own tables as context.
+//
+// Timing model: the cluster steps cores round-robin, one instruction per
+// turn. Shared-cache contention appears through shared capacity and
+// replacement state; port contention is not modelled (documented
+// simplification — the paper's single-issue cores rarely saturate an L2
+// port).
+
+// NewWithHierarchy is New with an externally built memory hierarchy, the
+// hook multi-core clusters use to share an L2.
+func NewWithHierarchy(img *program.Image, cfg Config, trans emu.Translator,
+	randRA map[uint32]uint32, hier *mem.Hierarchy) (*Pipeline, error) {
+	p, err := New(img, cfg, trans, randRA)
+	if err != nil {
+		return nil, err
+	}
+	p.hier = hier
+	return p, nil
+}
+
+// Cluster is a set of cores advancing together over a shared L2.
+type Cluster struct {
+	Cores []*Pipeline
+}
+
+// NewCluster wires cores[i] to per-core L1s over one shared L2/DRAM. Each
+// entry supplies the image and randomization context for that core's
+// process.
+func NewCluster(cfg Config, procs []ClusterProc) (*Cluster, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("cpu: empty cluster")
+	}
+	hiers, err := mem.NewSharedHierarchy(cfg.Mem, len(procs))
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Cores: make([]*Pipeline, len(procs))}
+	for i, pr := range procs {
+		mode := cfg.Mode
+		if pr.Mode != 0 {
+			mode = pr.Mode
+		}
+		ccfg := cfg
+		ccfg.Mode = mode
+		p, err := NewWithHierarchy(pr.Img, ccfg, pr.Trans, pr.RandRA, hiers[i])
+		if err != nil {
+			return nil, fmt.Errorf("cpu: core %d: %w", i, err)
+		}
+		p.SetInput(pr.Input)
+		cl.Cores[i] = p
+	}
+	return cl, nil
+}
+
+// ClusterProc describes one core's process.
+type ClusterProc struct {
+	Img    *program.Image
+	Trans  emu.Translator
+	RandRA map[uint32]uint32
+	Input  []byte
+	Mode   Mode // 0 inherits the cluster config's mode
+}
+
+// Run steps every core round-robin until all halt or each reaches maxInsts
+// (0 = run to completion). It returns one result per core.
+func (cl *Cluster) Run(maxInsts uint64) ([]Result, error) {
+	if maxInsts == 0 {
+		maxInsts = emu.DefaultMaxSteps
+	}
+	running := make([]bool, len(cl.Cores))
+	for i := range running {
+		running[i] = true
+	}
+	for {
+		alive := false
+		for i, p := range cl.Cores {
+			if !running[i] {
+				continue
+			}
+			if p.stats.Instructions >= maxInsts {
+				running[i] = false
+				continue
+			}
+			ok, err := p.Step()
+			if err != nil {
+				return cl.results(), fmt.Errorf("cpu: core %d: %w", i, err)
+			}
+			if !ok {
+				running[i] = false
+				continue
+			}
+			alive = true
+		}
+		if !alive {
+			break
+		}
+	}
+	return cl.results(), nil
+}
+
+func (cl *Cluster) results() []Result {
+	out := make([]Result, len(cl.Cores))
+	for i, p := range cl.Cores {
+		out[i] = p.result()
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"vcfr/internal/ilr"
+)
+
+func clusterProcs(t *testing.T) []ClusterProc {
+	t.Helper()
+	a := rewriteSrc(t, "fib", fibSrc)
+	b, err := ilr.Rewrite(a.Orig, ilr.Options{Seed: 555}) // same program, different epoch
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rewriteSrc(t, "calls", callHeavySrc)
+	return []ClusterProc{
+		{Img: a.VCFR, Trans: a.Tables, RandRA: a.RandRA},
+		{Img: b.VCFR, Trans: b.Tables, RandRA: b.RandRA},
+		{Img: c.VCFR, Trans: c.Tables, RandRA: c.RandRA},
+	}
+}
+
+func TestClusterRunsIndependentProcesses(t *testing.T) {
+	cl, err := NewCluster(DefaultConfig(ModeVCFR), clusterProcs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Two differently randomized copies of the same program agree with each
+	// other; the third process computes its own answer.
+	if string(results[0].Out) != "6765" || string(results[1].Out) != "6765" {
+		t.Errorf("fib cores: %q, %q", results[0].Out, results[1].Out)
+	}
+	if string(results[2].Out) != "144000" {
+		t.Errorf("calls core: %q", results[2].Out)
+	}
+	for i, r := range results {
+		if !r.Halted {
+			t.Errorf("core %d did not halt", i)
+		}
+		if r.DRC.Lookups == 0 {
+			t.Errorf("core %d never used its private DRC", i)
+		}
+	}
+	// Shared L2: the per-core views report the same (shared) L2 counters.
+	if results[0].L2.Accesses != results[2].L2.Accesses {
+		t.Error("cores disagree about the shared L2 counters")
+	}
+}
+
+// TestClusterSharedL2Contention: co-running raises a core's cycle count
+// relative to running alone (shared L2 capacity), but never changes results.
+func TestClusterSharedL2Contention(t *testing.T) {
+	procs := clusterProcs(t)
+
+	solo, err := NewCluster(DefaultConfig(ModeVCFR), procs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRes, err := solo.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, err := NewCluster(DefaultConfig(ModeVCFR), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coRes, err := co.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(soloRes[0].Out) != string(coRes[0].Out) {
+		t.Errorf("co-running changed output: %q vs %q", soloRes[0].Out, coRes[0].Out)
+	}
+	if coRes[0].Stats.Instructions != soloRes[0].Stats.Instructions {
+		t.Error("co-running changed the instruction count")
+	}
+}
+
+func TestClusterMixedModes(t *testing.T) {
+	a := rewriteSrc(t, "fib", fibSrc)
+	cl, err := NewCluster(DefaultConfig(ModeVCFR), []ClusterProc{
+		{Img: a.VCFR, Trans: a.Tables, RandRA: a.RandRA},
+		{Img: a.Orig, Mode: ModeBaseline},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(results[0].Out) != string(results[1].Out) {
+		t.Errorf("protected and unprotected cores disagree: %q vs %q",
+			results[0].Out, results[1].Out)
+	}
+	if results[1].DRC.Lookups != 0 {
+		t.Error("baseline core used a DRC")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(DefaultConfig(ModeVCFR), nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	a := rewriteSrc(t, "fib", fibSrc)
+	if _, err := NewCluster(DefaultConfig(ModeVCFR), []ClusterProc{
+		{Img: a.VCFR /* missing translator */},
+	}); err == nil || !strings.Contains(err.Error(), "Translator") {
+		t.Errorf("VCFR core without translator accepted: %v", err)
+	}
+}

@@ -1,0 +1,827 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+	"vcfr/internal/mem"
+	"vcfr/internal/program"
+)
+
+// Stats aggregates one simulation's counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	Branches   uint64 // executed conditional branches
+	Jumps      uint64 // executed unconditional direct jumps
+	Calls      uint64
+	Rets       uint64
+	Indirects  uint64 // jmpr + callr executed
+	Loads      uint64
+	Stores     uint64
+	Syscalls   uint64
+	Unrand     uint64 // instructions executed at un-randomized addresses
+	FetchLines uint64 // line fetches issued by the front end
+
+	// Stall breakdown (cycles).
+	FetchStall    uint64
+	MemStall      uint64
+	ExecStall     uint64
+	ControlStall  uint64
+	DRCStall      uint64
+	SyscallCycles uint64
+
+	ITLBAccesses uint64
+	ITLBMisses   uint64
+
+	BPred BPredStats
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Result is everything one run produces, including the component statistics
+// the experiments and the power model consume.
+type Result struct {
+	Stats Stats
+	IL1   mem.CacheStats
+	DL1   mem.CacheStats
+	L2    mem.CacheStats
+	DRAM  mem.DRAMStats
+	DRC   DRCStats
+	BPred BPredStats
+
+	Out      []byte
+	ExitCode uint32
+	Halted   bool
+}
+
+// ErrControlViolation mirrors emu.ErrControlViolation for the pipeline: a
+// control transfer targeted the prohibited un-randomized address of a
+// randomized instruction.
+var ErrControlViolation = errors.New("cpu: control transfer to prohibited un-randomized address")
+
+// ErrTablePageAccess reports a user-space data access to the
+// randomization/de-randomization table pages. The paper protects them with a
+// TLB page-visibility bit (Sec. IV-B): "during execution of an application,
+// these address translation tables can only be accessed by the
+// micro-architecture".
+var ErrTablePageAccess = errors.New("cpu: user-space access to invisible translation-table page")
+
+// noLine marks an empty byte queue.
+const noLine = ^uint32(0)
+
+// Pipeline is the cycle-accounting machine.
+type Pipeline struct {
+	cfg    Config
+	state  *emu.State
+	mem    *program.AddressSpace
+	hier   *mem.Hierarchy
+	gsh    *gshare
+	btb    *btb
+	ras    *ras
+	drc    *drc
+	drc2   *drc // optional dedicated level-2 buffer (Config.DRC2Entries)
+	trans  emu.Translator
+	randRA map[uint32]uint32
+	bitmap map[uint32]bool
+
+	pc         uint32 // UPC: the original-space cursor
+	inRand     bool
+	curLine    uint32
+	tableSlots uint32
+	itlb       *itlb
+	stats      Stats
+
+	// pendingDerands counts auto-de-randomizing stack-bitmap loads performed
+	// by the current instruction (timing charged after Exec).
+	pendingDerands int
+
+	issue  issueState
+	tracer func(TraceEvent)
+}
+
+// New builds a pipeline for img under cfg. trans and randRA supply the
+// randomization artifacts; both must be nil for ModeBaseline and non-nil
+// (trans at least) otherwise.
+func New(img *program.Image, cfg Config, trans emu.Translator, randRA map[uint32]uint32) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != ModeBaseline && trans == nil {
+		return nil, fmt.Errorf("cpu: mode %v requires a Translator", cfg.Mode)
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	space := program.NewAddressSpace()
+	space.LoadImage(img)
+	st := emu.NewState(space)
+	st.SetSP(emu.DefaultStackTop)
+
+	p := &Pipeline{
+		cfg:     cfg,
+		state:   st,
+		mem:     space,
+		hier:    hier,
+		gsh:     newGshare(cfg.GshareBits),
+		btb:     newBTB(cfg.BTBEntries, cfg.BTBAssoc),
+		ras:     newRAS(cfg.RASDepth),
+		trans:   trans,
+		randRA:  randRA,
+		pc:      img.Entry,
+		inRand:  cfg.Mode == ModeVCFR,
+		curLine: noLine,
+		itlb:    newITLB(cfg.ITLBEntries),
+	}
+	switch cfg.Mode {
+	case ModeVCFR:
+		p.drc = newDRC(cfg.DRCEntries, cfg.DRCAssoc, cfg.DRCSplit, trans)
+		if cfg.DRC2Entries > 0 {
+			p.drc2 = newDRC(cfg.DRC2Entries, cfg.DRCAssoc, false, trans)
+		}
+		p.bitmap = make(map[uint32]bool)
+		st.Hooks = emu.Hooks{
+			ReturnAddr: p.vcfrReturnAddr,
+			LoadedWord: p.vcfrLoadedWord,
+			StoredWord: p.vcfrStoredWord,
+		}
+		p.tableSlots = nextPow2(uint32(translatorLen(trans)))
+	case ModeNaiveILR:
+		if orig, ok := trans.ToOrig(img.Entry); ok {
+			p.pc = orig
+		}
+	}
+	return p, nil
+}
+
+// translatorLen sizes the in-memory table for walk addressing; translators
+// that do not expose a length get a default.
+func translatorLen(t emu.Translator) int {
+	type sized interface{ Len() int }
+	if s, ok := t.(sized); ok {
+		return s.Len()
+	}
+	return 4096
+}
+
+func nextPow2(v uint32) uint32 {
+	n := uint32(1)
+	for n < v {
+		n <<= 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// SetInput provides the byte stream served to SysGetChar.
+func (p *Pipeline) SetInput(in []byte) { p.state.In = in }
+
+// TraceEvent describes one executed instruction for the tracer: the program
+// counter in both spaces, where the bytes were fetched from, and the
+// cumulative cycle count before the instruction issued.
+type TraceEvent struct {
+	Seq     uint64
+	UPC     uint32 // original-space program counter
+	RPC     uint32 // randomized-space program counter (== UPC when unmapped)
+	Storage uint32 // address the bytes were fetched from
+	Text    string // disassembled instruction
+	Cycle   uint64
+}
+
+// SetTracer installs a per-instruction callback (nil disables tracing).
+// Tracing does not perturb timing.
+func (p *Pipeline) SetTracer(fn func(TraceEvent)) { p.tracer = fn }
+
+func (p *Pipeline) emitTrace(in isa.Inst, sAddr uint32) {
+	if p.tracer == nil {
+		return
+	}
+	rpc := p.pc
+	if p.cfg.Mode != ModeBaseline && p.trans != nil {
+		if r, ok := p.trans.ToRand(p.pc); ok {
+			rpc = r
+		}
+	}
+	p.tracer(TraceEvent{
+		Seq:     p.stats.Instructions,
+		UPC:     p.pc,
+		RPC:     rpc,
+		Storage: sAddr,
+		Text:    in.String(),
+		Cycle:   p.stats.Cycles,
+	})
+}
+
+// State exposes architectural state for tests and the attack harness.
+func (p *Pipeline) State() *emu.State { return p.state }
+
+// Hierarchy exposes the memory system (power model, experiments).
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// PC returns the current original-space program counter.
+func (p *Pipeline) PC() uint32 { return p.pc }
+
+func (p *Pipeline) vcfrReturnAddr(next uint32) uint32 {
+	if r, ok := p.randRA[next]; ok {
+		return r
+	}
+	return next
+}
+
+func (p *Pipeline) vcfrLoadedWord(addr, val uint32) uint32 {
+	if !p.bitmap[addr] {
+		return val
+	}
+	if orig, ok := p.trans.ToOrig(val); ok {
+		p.pendingDerands++
+		return orig
+	}
+	return val
+}
+
+func (p *Pipeline) vcfrStoredWord(addr, val uint32, isCallPush bool) {
+	if isCallPush {
+		if _, ok := p.trans.ToOrig(val); ok {
+			p.bitmap[addr] = true
+			return
+		}
+	}
+	delete(p.bitmap, addr)
+}
+
+// storageAddr maps the logical pc to where the bytes live.
+func (p *Pipeline) storageAddr(pc uint32) uint32 {
+	if p.cfg.Mode == ModeNaiveILR {
+		if r, ok := p.trans.ToRand(pc); ok {
+			return r
+		}
+	}
+	return pc
+}
+
+// predictIndex is the PC the predictors are indexed with: the original-space
+// PC, or the randomized one under the PredictOnRPC ablation.
+func (p *Pipeline) predictIndex(pc uint32) uint32 {
+	if p.cfg.PredictOnRPC && p.cfg.Mode == ModeVCFR {
+		if r, ok := p.trans.ToRand(pc); ok {
+			return r
+		}
+	}
+	return pc
+}
+
+// lineOf returns the line-aligned address containing addr.
+func (p *Pipeline) lineOf(addr uint32) uint32 {
+	return addr &^ uint32(p.cfg.Mem.IL1.LineSize-1)
+}
+
+// itlb is the fully associative instruction TLB. A miss pays the page-walk
+// latency. The randomization tables' page-visibility bit lives conceptually
+// in this structure; the pipeline enforces it in Step.
+type itlb struct {
+	pages    map[uint32]uint64 // page number -> last-use clock
+	cap      int
+	clock    uint64
+	accesses uint64
+	misses   uint64
+}
+
+func newITLB(entries int) *itlb {
+	return &itlb{pages: make(map[uint32]uint64, entries), cap: entries}
+}
+
+// access touches the page containing addr and reports whether it missed.
+func (t *itlb) access(addr uint32) bool {
+	page := addr >> 12
+	t.clock++
+	t.accesses++
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.clock
+		return false
+	}
+	t.misses++
+	if len(t.pages) >= t.cap {
+		var victim uint32
+		oldest := ^uint64(0)
+		for pg, use := range t.pages {
+			if use < oldest {
+				oldest, victim = use, pg
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.clock
+	return true
+}
+
+// fetchLine brings a new line into the byte queue and returns its fetch
+// latency. It also fires the next-line prefetcher and the iTLB.
+func (p *Pipeline) fetchLine(line uint32) int {
+	p.stats.FetchLines++
+	lat := p.hier.IL1.Access(line, false)
+	if p.itlb.access(line) {
+		lat += p.cfg.PageWalkLatency
+	}
+	p.hier.IL1.Prefetch(line + uint32(p.cfg.Mem.IL1.LineSize))
+	p.curLine = line
+	return lat
+}
+
+// fetchSupply accounts the front-end bubbles needed to deliver the
+// instruction at sAddr (length n) along the sequential/predicted stream,
+// where the decoupled front end hides up to FetchAhead cycles.
+func (p *Pipeline) fetchSupply(sAddr uint32, n int) uint64 {
+	var bubble int
+	first := p.lineOf(sAddr)
+	last := p.lineOf(sAddr + uint32(n) - 1)
+	for line := first; ; line += uint32(p.cfg.Mem.IL1.LineSize) {
+		if line != p.curLine {
+			if lat := p.fetchLine(line); lat > p.cfg.FetchAhead {
+				bubble += lat - p.cfg.FetchAhead
+			}
+		}
+		if line == last {
+			break
+		}
+	}
+	return uint64(bubble)
+}
+
+// redirectFill accounts the target-line fetch of a control-flow redirect.
+// overlap is the number of redirect cycles already being charged, which the
+// line fetch proceeds under.
+func (p *Pipeline) redirectFill(target uint32, overlap int) uint64 {
+	line := p.lineOf(target)
+	if line == p.curLine {
+		return 0
+	}
+	lat := p.fetchLine(line)
+	if lat > overlap {
+		return uint64(lat - overlap)
+	}
+	return 0
+}
+
+// drcWalkAddr is the table-page address a missed key walks to (open-address
+// layout: 8 bytes per slot starting at TableBase).
+func (p *Pipeline) drcWalkAddr(key uint32) uint32 {
+	slot := (key >> 2) & (p.tableSlots - 1)
+	return p.cfg.TableBase + slot*8
+}
+
+// drcLookup performs a timed DRC access in the given direction. It returns
+// the translation (ok=false when the key has no entry) and the stall cycles
+// exposed beyond overlap.
+func (p *Pipeline) drcLookup(kind lookupKind, key uint32, overlap int) (val uint32, ok bool, stall uint64) {
+	val, hit, ok := p.drc.lookup(kind, key)
+	if hit {
+		return val, ok, 0
+	}
+	// Optional dedicated level-2 buffer (the paper's considered-and-rejected
+	// alternative): a hit there avoids the L2 table walk.
+	if p.drc2 != nil {
+		p.drc.stats.L2Lookups++
+		if _, hit2 := p.drc2.probe(kind, key); hit2 {
+			p.drc.stats.L2Hits++
+			if p.cfg.DRC2Latency > overlap {
+				stall = uint64(p.cfg.DRC2Latency - overlap)
+			}
+			return val, ok, stall
+		}
+	}
+	p.drc.stats.TableWalks++
+	walk := p.hier.L2.Access(p.drcWalkAddr(key), false)
+	if walk > overlap {
+		stall = uint64(walk - overlap)
+	}
+	if p.drc2 != nil && ok {
+		p.drc2.install(kind, key, val)
+	}
+	return val, ok, stall
+}
+
+// contextSwitch models a switch-out/switch-in pair: process-private
+// translation state (DRC hierarchy, iTLB) is flushed.
+func (p *Pipeline) contextSwitch() {
+	if p.drc != nil {
+		p.drc.flush()
+	}
+	if p.drc2 != nil {
+		p.drc2.flush()
+	}
+	p.itlb.pages = make(map[uint32]uint64, p.itlb.cap)
+}
+
+// Step executes one instruction. It returns false once the machine halts.
+func (p *Pipeline) Step() (bool, error) {
+	if p.state.Halted {
+		return false, nil
+	}
+	if every := p.cfg.ContextSwitchEvery; every > 0 &&
+		p.stats.Instructions > 0 && p.stats.Instructions%every == 0 {
+		p.contextSwitch()
+	}
+	sAddr := p.storageAddr(p.pc)
+	in, err := emu.FetchDecode(p.mem, sAddr)
+	if err != nil {
+		return false, err
+	}
+	in.Addr = p.pc
+	p.emitTrace(in, sAddr)
+
+	// Front end.
+	fetchBubble := p.fetchSupply(sAddr, in.Len())
+	p.stats.FetchStall += fetchBubble
+	cost := 1 + fetchBubble
+
+	// Execute functionally.
+	p.pendingDerands = 0
+	out, err := emu.Exec(p.state, in)
+	if err != nil {
+		return false, err
+	}
+	p.stats.Instructions++
+	if p.cfg.Mode == ModeVCFR && !p.inRand {
+		p.stats.Unrand++
+	}
+	// Page-visibility enforcement: the translation tables are invisible to
+	// user-space data accesses.
+	if p.cfg.Mode == ModeVCFR && out.MemKind != emu.MemNone &&
+		out.MemAddr >= p.cfg.TableBase && out.MemAddr < p.cfg.TableBase+p.tableSlots*8 {
+		return false, fmt.Errorf("%w: %#x", ErrTablePageAccess, out.MemAddr)
+	}
+
+	// Execution-stage stalls.
+	cost += p.execStall(in, out)
+
+	// Auto-de-randomized stack loads each pay a standalone DRC lookup.
+	for i := 0; i < p.pendingDerands; i++ {
+		// The key was the randomized value; the hook already translated it
+		// functionally. Charge a derand lookup on the raw value — we can't
+		// recover it here, so account a representative lookup keyed by the
+		// load address (documented approximation: one DRC access + possible
+		// walk per marked-slot load).
+		_, _, stall := p.drcLookup(lookupDerand, out.MemAddr, 0)
+		p.stats.DRCStall += stall
+		cost += stall
+	}
+
+	// Control flow.
+	if in.Class().IsControl() && in.Class() != isa.ClassHalt {
+		ctl, err := p.control(in, out)
+		if err != nil {
+			return false, err
+		}
+		cost += ctl
+	} else {
+		p.pc = in.NextAddr()
+	}
+
+	// Multi-issue: a simple, hazard-free ALU instruction that incurred no
+	// stalls joins the current issue group for free.
+	if p.issue.coIssues(p.cfg.IssueWidth, in, out, cost != 1) {
+		cost = 0
+	}
+	p.stats.Cycles += cost
+	return !p.state.Halted, nil
+}
+
+// execStall accounts execute-stage stalls: data-cache misses, long-latency
+// arithmetic, and syscalls.
+func (p *Pipeline) execStall(in isa.Inst, out emu.Outcome) uint64 {
+	var stall uint64
+	switch out.MemKind {
+	case emu.MemLoad:
+		p.stats.Loads++
+		lat := p.hier.DL1.Access(out.MemAddr, false)
+		if lat > p.cfg.Mem.DL1.Latency {
+			stall += uint64(lat - p.cfg.Mem.DL1.Latency)
+		}
+	case emu.MemStore:
+		p.stats.Stores++
+		// Stores retire through the write buffer: traffic, no stall.
+		p.hier.DL1.Access(out.MemAddr, true)
+	}
+	p.stats.MemStall += stall
+
+	var execExtra uint64
+	switch in.Op {
+	case isa.OpMul:
+		execExtra = uint64(p.cfg.MulLatency)
+	case isa.OpDiv, isa.OpMod:
+		execExtra = uint64(p.cfg.DivLatency)
+	case isa.OpSys:
+		p.stats.Syscalls++
+		execExtra = uint64(p.cfg.SyscallLatency)
+		p.stats.SyscallCycles += execExtra
+	}
+	p.stats.ExecStall += execExtra
+	return stall + execExtra
+}
+
+// resolveTarget converts the architectural (possibly randomized) target into
+// the next original-space pc, enforcing the randomized-tag prohibition.
+func (p *Pipeline) resolveTarget(target uint32) (uint32, error) {
+	if p.cfg.Mode != ModeVCFR {
+		return target, nil
+	}
+	if orig, ok := p.trans.ToOrig(target); ok {
+		p.inRand = true
+		return orig, nil
+	}
+	if p.trans.Prohibited(target) {
+		return 0, fmt.Errorf("%w: %#x", ErrControlViolation, target)
+	}
+	p.inRand = false
+	return target, nil
+}
+
+// control accounts prediction, redirect, and DRC costs for an executed
+// control-transfer instruction, and advances the pc.
+func (p *Pipeline) control(in isa.Inst, out emu.Outcome) (uint64, error) {
+	idx := p.predictIndex(in.Addr)
+	var cost uint64
+
+	// Architectural target in the executed space; nextUPC computed below.
+	switch in.Class() {
+	case isa.ClassBranch:
+		p.stats.Branches++
+		p.stats.BPred.CondLookups++
+		predicted := p.gsh.predict(idx)
+		p.gsh.update(idx, out.Taken)
+		switch {
+		case predicted != out.Taken:
+			p.stats.BPred.CondMispred++
+			cost += uint64(p.cfg.MispredictPenalty)
+			if out.Taken {
+				c, err := p.redirect(in, out, p.cfg.MispredictPenalty)
+				if err != nil {
+					return 0, err
+				}
+				cost += c
+			} else {
+				p.pc = in.NextAddr()
+				cost += p.redirectFill(p.storageAddr(p.pc), p.cfg.MispredictPenalty)
+			}
+		case out.Taken:
+			c, err := p.predictedTaken(idx, in, out)
+			if err != nil {
+				return 0, err
+			}
+			cost += c
+		default:
+			p.pc = in.NextAddr()
+		}
+		p.stats.ControlStall += cost
+		return cost, nil
+
+	case isa.ClassJump:
+		p.stats.Jumps++
+		c, err := p.predictedTaken(idx, in, out)
+		if err != nil {
+			return 0, err
+		}
+		p.stats.ControlStall += c
+		return c, nil
+
+	case isa.ClassCall, isa.ClassCallR:
+		if in.Class() == isa.ClassCall {
+			p.stats.Calls++
+		} else {
+			p.stats.Calls++
+			p.stats.Indirects++
+		}
+		var c uint64
+		var err error
+		if in.Class() == isa.ClassCall {
+			c, err = p.predictedTaken(idx, in, out)
+		} else {
+			c, err = p.indirectResolve(idx, in, out)
+		}
+		if err != nil {
+			return 0, err
+		}
+		// RAS push: the pair of the fall-through in both spaces.
+		nextUPC := in.NextAddr()
+		pushed := nextUPC
+		if p.cfg.Mode == ModeVCFR {
+			if r, ok := p.randRA[nextUPC]; ok {
+				pushed = r
+				// The randomization-direction DRC lookup that produces the
+				// randomized RA. The fall-through address is known as soon as
+				// the call is decoded, so the decoupled front end starts the
+				// walk in the fetch-ahead shadow.
+				_, _, stall := p.drcLookup(lookupRand, nextUPC, p.cfg.FetchAhead)
+				p.stats.DRCStall += stall
+				c += stall
+			}
+		}
+		p.ras.push(targetPair{orig: nextUPC, rand: pushed})
+		p.stats.BPred.RASPushes++
+		p.stats.ControlStall += c
+		return c, nil
+
+	case isa.ClassRet:
+		p.stats.Rets++
+		p.stats.Indirects++
+		p.stats.BPred.RASPops++
+		pair, ok := p.ras.pop()
+		if ok && pair.rand == out.Target {
+			// Correct RAS prediction: fetch already redirected to pair.orig.
+			p.pc = pair.orig
+			p.inRandAfterRet(out.Target)
+			c := uint64(p.cfg.TakenBubble)
+			c += p.redirectFill(p.storageAddr(p.pc), p.cfg.FetchAhead)
+			p.stats.ControlStall += c
+			return c, nil
+		}
+		p.stats.BPred.RASMispred++
+		cost = uint64(p.cfg.MispredictPenalty)
+		c, err := p.redirect(in, out, p.cfg.MispredictPenalty)
+		if err != nil {
+			return 0, err
+		}
+		cost += c
+		p.stats.ControlStall += cost
+		return cost, nil
+
+	case isa.ClassJumpR:
+		p.stats.Indirects++
+		c, err := p.indirectResolve(idx, in, out)
+		if err != nil {
+			return 0, err
+		}
+		p.stats.ControlStall += c
+		return c, nil
+	}
+	return 0, fmt.Errorf("cpu: unexpected control class %v", in.Class())
+}
+
+// inRandAfterRet updates the space flag after a correctly predicted return.
+func (p *Pipeline) inRandAfterRet(target uint32) {
+	if p.cfg.Mode != ModeVCFR {
+		return
+	}
+	if _, ok := p.trans.ToOrig(target); ok {
+		p.inRand = true
+	} else {
+		p.inRand = false
+	}
+}
+
+// predictedTaken handles a direct transfer that is actually taken: BTB hit
+// with the right target is a cheap front-end redirect; otherwise the jump
+// resolves at decode (direct transfers carry their target), paying the
+// decode-redirect penalty and, under VCFR, a DRC de-randomization of the
+// randomized target.
+func (p *Pipeline) predictedTaken(idx uint32, in isa.Inst, out emu.Outcome) (uint64, error) {
+	p.stats.BPred.BTBLookups++
+	pair, hit := p.btb.lookup(idx)
+	nextUPC, err := p.resolveTarget(out.Target)
+	if err != nil {
+		return 0, err
+	}
+	var cost uint64
+	switch {
+	case hit && pair.rand == out.Target:
+		cost = uint64(p.cfg.TakenBubble)
+		cost += p.rpcPredictionTax(out.Target)
+		p.pc = nextUPC
+		cost += p.redirectFill(p.storageAddr(nextUPC), p.cfg.FetchAhead)
+	default:
+		if hit {
+			p.stats.BPred.BTBWrongTgt++
+		} else {
+			p.stats.BPred.BTBMisses++
+		}
+		cost = uint64(p.cfg.DecodeRedirect)
+		if p.cfg.Mode == ModeVCFR {
+			// A direct transfer's randomized target is an immediate: the
+			// pre-decode pipeline exposes it while the front end is still
+			// running ahead, so the walk overlaps the fetch-ahead window.
+			_, _, stall := p.drcLookup(lookupDerand, out.Target, p.cfg.FetchAhead)
+			p.stats.DRCStall += stall
+			cost += stall
+		}
+		p.pc = nextUPC
+		cost += p.redirectFill(p.storageAddr(nextUPC), int(cost))
+	}
+	p.btb.install(idx, targetPair{orig: nextUPC, rand: out.Target})
+	return cost, nil
+}
+
+// indirectResolve handles register-indirect transfers: BTB-predicted when the
+// stored randomized target matches the register value; a full misprediction
+// otherwise.
+func (p *Pipeline) indirectResolve(idx uint32, in isa.Inst, out emu.Outcome) (uint64, error) {
+	p.stats.BPred.BTBLookups++
+	pair, hit := p.btb.lookup(idx)
+	nextUPC, err := p.resolveTarget(out.Target)
+	if err != nil {
+		return 0, err
+	}
+	var cost uint64
+	if hit && pair.rand == out.Target {
+		cost = uint64(p.cfg.TakenBubble)
+		cost += p.rpcPredictionTax(out.Target)
+		p.pc = nextUPC
+		cost += p.redirectFill(p.storageAddr(nextUPC), p.cfg.FetchAhead)
+	} else {
+		if hit {
+			p.stats.BPred.IndirectWrong++
+		} else {
+			p.stats.BPred.BTBMisses++
+		}
+		cost = uint64(p.cfg.MispredictPenalty)
+		if p.cfg.Mode == ModeVCFR {
+			_, _, stall := p.drcLookup(lookupDerand, out.Target, p.cfg.MispredictPenalty)
+			p.stats.DRCStall += stall
+			cost += stall
+		}
+		p.pc = nextUPC
+		cost += p.redirectFill(p.storageAddr(nextUPC), int(cost))
+	}
+	p.btb.install(idx, targetPair{orig: nextUPC, rand: out.Target})
+	return cost, nil
+}
+
+// rpcPredictionTax models the PredictOnRPC ablation: when the front end
+// predicts in randomized space, even a correct taken prediction must
+// de-randomize the predicted target through the DRC before fetch can use it
+// (Sec. IV-D explains that VCFR avoids exactly this by predicting on UPC).
+func (p *Pipeline) rpcPredictionTax(randTarget uint32) uint64 {
+	if !p.cfg.PredictOnRPC || p.cfg.Mode != ModeVCFR {
+		return 0
+	}
+	_, _, stall := p.drcLookup(lookupDerand, randTarget, p.cfg.TakenBubble)
+	p.stats.DRCStall += stall
+	return stall
+}
+
+// redirect handles the taken side of a mispredicted transfer: resolve the
+// target (with DRC under VCFR) and refill the fetch stream.
+func (p *Pipeline) redirect(in isa.Inst, out emu.Outcome, overlap int) (uint64, error) {
+	nextUPC, err := p.resolveTarget(out.Target)
+	if err != nil {
+		return 0, err
+	}
+	var cost uint64
+	if p.cfg.Mode == ModeVCFR {
+		_, _, stall := p.drcLookup(lookupDerand, out.Target, overlap)
+		p.stats.DRCStall += stall
+		cost += stall
+	}
+	p.pc = nextUPC
+	cost += p.redirectFill(p.storageAddr(nextUPC), overlap+int(cost))
+	return cost, nil
+}
+
+// Run executes up to maxInsts instructions (0 means emu.DefaultMaxSteps) and
+// returns the collected result.
+func (p *Pipeline) Run(maxInsts uint64) (Result, error) {
+	if maxInsts == 0 {
+		maxInsts = emu.DefaultMaxSteps
+	}
+	for p.stats.Instructions < maxInsts {
+		running, err := p.Step()
+		if err != nil {
+			return p.result(), err
+		}
+		if !running {
+			break
+		}
+	}
+	return p.result(), nil
+}
+
+func (p *Pipeline) result() Result {
+	p.stats.ITLBAccesses = p.itlb.accesses
+	p.stats.ITLBMisses = p.itlb.misses
+	r := Result{
+		Stats:    p.stats,
+		IL1:      p.hier.IL1.Stats(),
+		DL1:      p.hier.DL1.Stats(),
+		L2:       p.hier.L2.Stats(),
+		DRAM:     p.hier.DRAM.Stats(),
+		BPred:    p.stats.BPred,
+		Out:      p.state.Out,
+		ExitCode: p.state.ExitCode,
+		Halted:   p.state.Halted,
+	}
+	if p.drc != nil {
+		r.DRC = p.drc.stats
+	}
+	return r
+}

@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+)
+
+// This file implements the dual-issue pairing logic for Config.IssueWidth > 1
+// — the repository's take on the paper's future-work direction of wider
+// cores. The model is a classic in-order multi-issue machine: an instruction
+// co-issues with its predecessors in the same cycle when
+//
+//   - it is a simple ALU/move instruction (no memory access, no control
+//     transfer, no syscall),
+//   - it has no read-after-write or write-after-write hazard against the
+//     instructions already issued this cycle, and
+//   - an issue slot is free and nothing stalled this cycle.
+//
+// Co-issued instructions contribute zero additional cycles. Everything else
+// (stalls, transfers, memory) starts a new cycle group, exactly as before.
+
+// regSet is a bitmask over the 16 architectural registers.
+type regSet uint16
+
+func (s regSet) has(r isa.Reg) bool { return s&(1<<uint(r)) != 0 }
+func (s *regSet) add(r isa.Reg)     { *s |= 1 << uint(r) }
+
+// instReads returns the registers the instruction reads.
+func instReads(in isa.Inst) regSet {
+	var s regSet
+	switch in.Op {
+	case isa.OpMovRR:
+		s.add(in.Rs)
+	case isa.OpMovRI:
+		// immediate only
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpCmp, isa.OpTest:
+		s.add(in.Rd)
+		s.add(in.Rs)
+	case isa.OpNeg, isa.OpNot, isa.OpAddI, isa.OpSubI, isa.OpAndI, isa.OpOrI,
+		isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpSarI, isa.OpCmpI:
+		s.add(in.Rd)
+	case isa.OpLea:
+		s.add(in.Rs)
+	}
+	return s
+}
+
+// instWrite returns the register the instruction writes, if any.
+func instWrite(in isa.Inst) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.OpMovRR, isa.OpMovRI, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv,
+		isa.OpMod, isa.OpNeg, isa.OpNot, isa.OpAddI, isa.OpSubI, isa.OpAndI,
+		isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpSarI, isa.OpLea:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// pairable reports whether the instruction is eligible for co-issue at all:
+// simple ALU/move work with no side channels into memory or control flow.
+func pairable(in isa.Inst, out emu.Outcome) bool {
+	if in.Class() != isa.ClassSeq || out.MemKind != emu.MemNone {
+		return false
+	}
+	switch in.Op {
+	case isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpSys:
+		return false // long-latency or privileged
+	}
+	return true
+}
+
+// issueState tracks the current cycle's issue group.
+type issueState struct {
+	slots   int    // instructions issued in the current group
+	written regSet // registers written by the group so far
+}
+
+// coIssues decides whether the instruction joins the current group (true:
+// zero-cycle issue) or starts a new one. It updates the state either way.
+func (st *issueState) coIssues(width int, in isa.Inst, out emu.Outcome, stalled bool) bool {
+	if width <= 1 || stalled || !pairable(in, out) {
+		st.reset(in, out)
+		return false
+	}
+	if st.slots == 0 || st.slots >= width {
+		st.reset(in, out)
+		return false
+	}
+	reads := instReads(in)
+	if reads&st.written != 0 {
+		st.reset(in, out) // RAW against the group
+		return false
+	}
+	if w, ok := instWrite(in); ok {
+		if st.written.has(w) {
+			st.reset(in, out) // WAW against the group
+			return false
+		}
+		st.written.add(w)
+	}
+	st.slots++
+	return true
+}
+
+// reset starts a new issue group seeded with the instruction.
+func (st *issueState) reset(in isa.Inst, out emu.Outcome) {
+	st.slots = 1
+	st.written = 0
+	if pairable(in, out) {
+		if w, ok := instWrite(in); ok {
+			st.written.add(w)
+		}
+	} else {
+		// Non-pairable instructions occupy the whole group.
+		st.slots = 1 << 16 // poison: nothing can join
+	}
+}

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+)
+
+func TestDualIssueImprovesIPC(t *testing.T) {
+	res := rewriteSrc(t, "fib", fibSrc)
+	single := runPipe(t, res, ModeBaseline, nil)
+	dual := runPipe(t, res, ModeBaseline, func(c *Config) { c.IssueWidth = 2 })
+	if string(single.Out) != string(dual.Out) {
+		t.Fatalf("issue width changed output: %q vs %q", single.Out, dual.Out)
+	}
+	if dual.Stats.IPC() <= single.Stats.IPC() {
+		t.Errorf("dual-issue IPC %.3f <= single %.3f", dual.Stats.IPC(), single.Stats.IPC())
+	}
+	if dual.Stats.IPC() > 2*single.Stats.IPC() {
+		t.Errorf("dual-issue IPC %.3f more than doubled %.3f", dual.Stats.IPC(), single.Stats.IPC())
+	}
+}
+
+func TestDualIssueVCFRStillCorrect(t *testing.T) {
+	res := rewriteSrc(t, "calls", callHeavySrc)
+	out := runPipe(t, res, ModeVCFR, func(c *Config) { c.IssueWidth = 2 })
+	if string(out.Out) != "144000" {
+		t.Errorf("dual-issue VCFR output = %q", out.Out)
+	}
+	if out.DRC.Lookups == 0 {
+		t.Error("DRC unused under dual-issue VCFR")
+	}
+}
+
+func TestIssueWidthValidation(t *testing.T) {
+	cfg := DefaultConfig(ModeBaseline)
+	cfg.IssueWidth = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("width 0 accepted")
+	}
+	cfg.IssueWidth = 5
+	if err := cfg.Validate(); err == nil {
+		t.Error("width 5 accepted")
+	}
+}
+
+func TestIssueStateHazards(t *testing.T) {
+	// Direct unit checks on the pairing rules.
+	var st issueState
+
+	// Two independent adds pair.
+	add12 := decodeOne(t, "add r1, r2")
+	add34 := decodeOne(t, "add r3, r4")
+	if st.coIssues(2, add12, outNone(), false) {
+		t.Error("first instruction of a group co-issued")
+	}
+	if !st.coIssues(2, add34, outNone(), false) {
+		t.Error("independent add did not pair")
+	}
+
+	// RAW: second reads what the first wrote.
+	st = issueState{}
+	st.coIssues(2, add12, outNone(), false) // writes r1
+	useR1 := decodeOne(t, "add r5, r1")
+	if st.coIssues(2, useR1, outNone(), false) {
+		t.Error("RAW hazard paired")
+	}
+
+	// WAW: both write r1.
+	st = issueState{}
+	st.coIssues(2, add12, outNone(), false)
+	movi1 := decodeOne(t, "movi r1, 5")
+	if st.coIssues(2, movi1, outNone(), false) {
+		t.Error("WAW hazard paired")
+	}
+
+	// Width cap: third simple op does not join a 2-wide group.
+	st = issueState{}
+	st.coIssues(2, add12, outNone(), false)
+	st.coIssues(2, add34, outNone(), false)
+	add56 := decodeOne(t, "add r5, r6")
+	if st.coIssues(2, add56, outNone(), false) {
+		t.Error("third instruction joined a 2-wide group")
+	}
+
+	// A stalled instruction never pairs.
+	st = issueState{}
+	st.coIssues(2, add12, outNone(), false)
+	if st.coIssues(2, add34, outNone(), true) {
+		t.Error("stalled instruction paired")
+	}
+}
+
+// decodeOne assembles a single instruction for unit tests.
+func decodeOne(t *testing.T, line string) isa.Inst {
+	t.Helper()
+	img := asm.MustAssemble("one", ".entry main\nmain:\n\t"+line+"\n\thalt")
+	insts, err := asm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts[0]
+}
+
+func outNone() emu.Outcome { return emu.Outcome{} }

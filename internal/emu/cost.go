@@ -1,0 +1,63 @@
+package emu
+
+import "vcfr/internal/isa"
+
+// CostModel charges host cycles per interpreted guest instruction for
+// ModeEmulatedILR. It models the work a software complete-ILR virtual
+// machine (Hiser et al.'s Strata-based VM, or the "instruction level machine
+// emulator" of the paper's Fig. 2) performs for every guest instruction:
+//
+//   - Dispatch: indirect-threaded dispatch through the interpreter loop —
+//     load opcode, table jump, mispredicted indirect branch on the host.
+//   - Decode: operand extraction, scaled by encoded length.
+//   - Mediation: the ILR rewrite-rule lookup. Complete ILR must consult the
+//     fallthrough map after *every* instruction (each instruction's successor
+//     is randomized), and control transfers pay an additional lookup to map
+//     the taken target.
+//   - Memory: guest loads/stores go through the VM's address translation and
+//     bounds checks.
+//   - Syscall: trap out of the VM, marshal, re-enter.
+//
+// The defaults are calibrated so that whole-program slowdowns versus native
+// execution land in the paper's Fig. 2 band (hundreds of times, varying by
+// instruction mix), not to match any absolute host.
+type CostModel struct {
+	Dispatch     uint64 // per instruction
+	DecodePerB   uint64 // per encoded byte
+	FallthruMap  uint64 // per instruction: successor lookup in rewrite rules
+	ControlXfer  uint64 // additional, per taken transfer
+	IndirectXfer uint64 // additional, per indirect transfer (hash-table probe)
+	MemAccess    uint64 // additional, per guest load/store
+	Syscall      uint64 // additional, per guest syscall
+}
+
+// DefaultCostModel returns the calibrated Fig. 2 cost model.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		Dispatch:     55,
+		DecodePerB:   9,
+		FallthruMap:  70,
+		ControlXfer:  90,
+		IndirectXfer: 160,
+		MemAccess:    65,
+		Syscall:      600,
+	}
+}
+
+// Cycles returns the host-cycle charge for one executed instruction.
+func (c *CostModel) Cycles(in isa.Inst, out Outcome) uint64 {
+	n := c.Dispatch + c.DecodePerB*uint64(in.Len()) + c.FallthruMap
+	if out.Taken {
+		n += c.ControlXfer
+		if in.Class().IsIndirect() {
+			n += c.IndirectXfer
+		}
+	}
+	if out.MemKind != MemNone {
+		n += c.MemAccess
+	}
+	if in.Op == isa.OpSys {
+		n += c.Syscall
+	}
+	return n
+}

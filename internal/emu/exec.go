@@ -1,0 +1,299 @@
+package emu
+
+import "vcfr/internal/isa"
+
+// MemKind classifies the data-memory access an instruction performed, for
+// the timing model.
+type MemKind uint8
+
+// Data-memory access kinds.
+const (
+	MemNone MemKind = iota
+	MemLoad
+	MemStore
+)
+
+// Outcome reports what an executed instruction did, for the benefit of the
+// timing model and the fetch unit.
+type Outcome struct {
+	// Taken is true when control transferred away from the fall-through
+	// path. Target is then the architectural target address — under VCFR
+	// this is a randomized-space address that the fetch unit must
+	// de-randomize.
+	Taken  bool
+	Target uint32
+
+	// Data-memory access performed by this instruction (at most one; stack
+	// pushes/pops included).
+	MemKind MemKind
+	MemAddr uint32
+
+	// Call/Return classification, for the return-address stack predictor.
+	IsCall bool
+	IsRet  bool
+}
+
+// Exec executes one instruction against s and returns its outcome.
+//
+// Exec does not advance a program counter: the caller owns PC semantics.
+// in.Addr must be the instruction's address in the space the caller fetches
+// from (the original space under VCFR); call return addresses derive from it
+// via the ReturnAddr hook.
+func Exec(s *State, in isa.Inst) (Outcome, error) {
+	var out Outcome
+	r := &s.R
+
+	setZN := func(v uint32) {
+		s.Z = v == 0
+		s.N = int32(v) < 0
+	}
+	logic := func(v uint32) {
+		setZN(v)
+		s.C, s.V = false, false
+	}
+	addFlags := func(a, b, res uint32) {
+		setZN(res)
+		s.C = res < a
+		s.V = (a^b^0x8000_0000)&(a^res)&0x8000_0000 != 0
+	}
+	subFlags := func(a, b, res uint32) {
+		setZN(res)
+		s.C = a < b // unsigned borrow
+		s.V = (a^b)&(a^res)&0x8000_0000 != 0
+	}
+	loadWord := func(addr uint32) uint32 {
+		v := s.Mem.ReadWord(addr)
+		if s.Hooks.LoadedWord != nil {
+			v = s.Hooks.LoadedWord(addr, v)
+		}
+		out.MemKind, out.MemAddr = MemLoad, addr
+		return v
+	}
+	storeWord := func(addr, v uint32, isCallPush bool) {
+		s.Mem.WriteWord(addr, v)
+		if s.Hooks.StoredWord != nil {
+			s.Hooks.StoredWord(addr, v, isCallPush)
+		}
+		out.MemKind, out.MemAddr = MemStore, addr
+	}
+	push := func(v uint32, isCallPush bool) {
+		sp := r[isa.RegSP] - 4
+		r[isa.RegSP] = sp
+		storeWord(sp, v, isCallPush)
+	}
+	pop := func() uint32 {
+		sp := r[isa.RegSP]
+		v := loadWord(sp)
+		r[isa.RegSP] = sp + 4
+		return v
+	}
+	// popRaw bypasses the LoadedWord hook: a ret consumes the randomized
+	// return address as-is (the fetch unit de-randomizes it), whereas an
+	// explicit pop/load of a marked slot must observe the de-randomized
+	// value (PIC and exception-unwind compatibility, Sec. IV-C).
+	popRaw := func() uint32 {
+		sp := r[isa.RegSP]
+		v := s.Mem.ReadWord(sp)
+		out.MemKind, out.MemAddr = MemLoad, sp
+		r[isa.RegSP] = sp + 4
+		return v
+	}
+	branch := func(cond bool) {
+		if cond {
+			out.Taken, out.Target = true, in.Target
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		s.Halted = true
+	case isa.OpSys:
+		switch in.Imm {
+		case isa.SysExit:
+			s.Halted = true
+			s.ExitCode = r[1]
+		case isa.SysPutChar:
+			s.Out = append(s.Out, byte(r[1]))
+		case isa.SysGetChar:
+			r[0] = s.getChar()
+		case isa.SysWriteInt:
+			s.Out = appendInt(s.Out, int32(r[1]))
+		default:
+			return out, faultf(in.Addr, "unknown syscall %d", in.Imm)
+		}
+	case isa.OpMovRR:
+		r[in.Rd] = r[in.Rs]
+	case isa.OpMovRI:
+		r[in.Rd] = uint32(in.Imm)
+	case isa.OpAdd:
+		a, b := r[in.Rd], r[in.Rs]
+		r[in.Rd] = a + b
+		addFlags(a, b, r[in.Rd])
+	case isa.OpSub:
+		a, b := r[in.Rd], r[in.Rs]
+		r[in.Rd] = a - b
+		subFlags(a, b, r[in.Rd])
+	case isa.OpAnd:
+		r[in.Rd] &= r[in.Rs]
+		logic(r[in.Rd])
+	case isa.OpOr:
+		r[in.Rd] |= r[in.Rs]
+		logic(r[in.Rd])
+	case isa.OpXor:
+		r[in.Rd] ^= r[in.Rs]
+		logic(r[in.Rd])
+	case isa.OpShl:
+		r[in.Rd] <<= r[in.Rs] & 31
+		logic(r[in.Rd])
+	case isa.OpShr:
+		r[in.Rd] >>= r[in.Rs] & 31
+		logic(r[in.Rd])
+	case isa.OpSar:
+		r[in.Rd] = uint32(int32(r[in.Rd]) >> (r[in.Rs] & 31))
+		logic(r[in.Rd])
+	case isa.OpMul:
+		r[in.Rd] *= r[in.Rs]
+		logic(r[in.Rd])
+	case isa.OpDiv:
+		if r[in.Rs] == 0 {
+			return out, faultf(in.Addr, "divide by zero")
+		}
+		r[in.Rd] = uint32(int32(r[in.Rd]) / int32(r[in.Rs]))
+		logic(r[in.Rd])
+	case isa.OpMod:
+		if r[in.Rs] == 0 {
+			return out, faultf(in.Addr, "modulo by zero")
+		}
+		r[in.Rd] = uint32(int32(r[in.Rd]) % int32(r[in.Rs]))
+		logic(r[in.Rd])
+	case isa.OpNeg:
+		r[in.Rd] = -r[in.Rd]
+		logic(r[in.Rd])
+	case isa.OpNot:
+		r[in.Rd] = ^r[in.Rd]
+		logic(r[in.Rd])
+	case isa.OpAddI:
+		a, b := r[in.Rd], uint32(in.Imm)
+		r[in.Rd] = a + b
+		addFlags(a, b, r[in.Rd])
+	case isa.OpSubI:
+		a, b := r[in.Rd], uint32(in.Imm)
+		r[in.Rd] = a - b
+		subFlags(a, b, r[in.Rd])
+	case isa.OpAndI:
+		r[in.Rd] &= uint32(in.Imm)
+		logic(r[in.Rd])
+	case isa.OpOrI:
+		r[in.Rd] |= uint32(in.Imm)
+		logic(r[in.Rd])
+	case isa.OpXorI:
+		r[in.Rd] ^= uint32(in.Imm)
+		logic(r[in.Rd])
+	case isa.OpShlI:
+		r[in.Rd] <<= uint32(in.Imm) & 31
+		logic(r[in.Rd])
+	case isa.OpShrI:
+		r[in.Rd] >>= uint32(in.Imm) & 31
+		logic(r[in.Rd])
+	case isa.OpSarI:
+		r[in.Rd] = uint32(int32(r[in.Rd]) >> (uint32(in.Imm) & 31))
+		logic(r[in.Rd])
+	case isa.OpCmp:
+		a, b := r[in.Rd], r[in.Rs]
+		subFlags(a, b, a-b)
+	case isa.OpCmpI:
+		a, b := r[in.Rd], uint32(in.Imm)
+		subFlags(a, b, a-b)
+	case isa.OpTest:
+		logic(r[in.Rd] & r[in.Rs])
+	case isa.OpLoad:
+		r[in.Rd] = loadWord(r[in.Rs] + uint32(in.Imm))
+	case isa.OpStore:
+		storeWord(r[in.Rd]+uint32(in.Imm), r[in.Rs], false)
+	case isa.OpLoadB:
+		addr := r[in.Rs] + uint32(in.Imm)
+		r[in.Rd] = uint32(s.Mem.ByteAt(addr))
+		out.MemKind, out.MemAddr = MemLoad, addr
+	case isa.OpStoreB:
+		addr := r[in.Rd] + uint32(in.Imm)
+		s.Mem.SetByte(addr, byte(r[in.Rs]))
+		if s.Hooks.StoredWord != nil {
+			s.Hooks.StoredWord(addr, uint32(byte(r[in.Rs])), false)
+		}
+		out.MemKind, out.MemAddr = MemStore, addr
+	case isa.OpLea:
+		r[in.Rd] = r[in.Rs] + uint32(in.Imm)
+	case isa.OpLoadR:
+		r[in.Rd] = loadWord(r[in.Rs] + r[in.Rt])
+	case isa.OpStoreR:
+		storeWord(r[in.Rd]+r[in.Rt], r[in.Rs], false)
+	case isa.OpPush:
+		push(r[in.Rd], false)
+	case isa.OpPop:
+		r[in.Rd] = pop()
+	case isa.OpJmp:
+		out.Taken, out.Target = true, in.Target
+	case isa.OpJe:
+		branch(s.Z)
+	case isa.OpJne:
+		branch(!s.Z)
+	case isa.OpJl:
+		branch(s.N != s.V)
+	case isa.OpJge:
+		branch(s.N == s.V)
+	case isa.OpJg:
+		branch(!s.Z && s.N == s.V)
+	case isa.OpJle:
+		branch(s.Z || s.N != s.V)
+	case isa.OpJb:
+		branch(s.C)
+	case isa.OpJae:
+		branch(!s.C)
+	case isa.OpCall:
+		ra := in.NextAddr()
+		if s.Hooks.ReturnAddr != nil {
+			ra = s.Hooks.ReturnAddr(ra)
+		}
+		push(ra, true)
+		out.Taken, out.Target, out.IsCall = true, in.Target, true
+	case isa.OpCallR:
+		ra := in.NextAddr()
+		if s.Hooks.ReturnAddr != nil {
+			ra = s.Hooks.ReturnAddr(ra)
+		}
+		target := r[in.Rd] // read before the push: call through sp is legal
+		push(ra, true)
+		out.Taken, out.Target, out.IsCall = true, target, true
+	case isa.OpJmpR:
+		out.Taken, out.Target = true, r[in.Rd]
+	case isa.OpRet:
+		out.Taken, out.Target, out.IsRet = true, popRaw(), true
+	default:
+		return out, faultf(in.Addr, "invalid opcode %v", in.Op)
+	}
+	return out, nil
+}
+
+// appendInt appends the decimal representation of v.
+func appendInt(dst []byte, v int32) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		return appendUint(dst, uint32(-int64(v)))
+	}
+	return appendUint(dst, uint32(v))
+}
+
+func appendUint(dst []byte, v uint32) []byte {
+	var buf [10]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, buf[i:]...)
+}

@@ -1,0 +1,344 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// Mode selects how the Machine maps logical instruction addresses to stored
+// instruction bytes.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNative runs an image whose layout and control flow agree (the
+	// original binary, before randomization).
+	ModeNative Mode = iota + 1
+
+	// ModeScattered runs a completely ILR-randomized image in which the
+	// instruction originally at U is stored at Translator.ToRand(U). The
+	// machine executes logically in the original space and fetches each
+	// instruction's bytes from its scattered location — the zero-cost
+	// address-mapping assumption of the paper's naive hardware ILR (Sec. III).
+	ModeScattered
+
+	// ModeVCFR runs a VCFR image: original storage layout, but direct
+	// control-transfer targets, code constants, and data code-words rewritten
+	// into the randomized space. Taken targets are de-randomized at fetch,
+	// calls push randomized return addresses, and the stack bitmap
+	// auto-de-randomizes explicit loads of return-address slots.
+	ModeVCFR
+
+	// ModeEmulatedILR is ModeScattered plus the software-emulation cost
+	// model: every guest instruction pays the interpreter's dispatch,
+	// decode, and mediation cost in host cycles (the paper's Fig. 2
+	// baseline).
+	ModeEmulatedILR
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeScattered:
+		return "scattered"
+	case ModeVCFR:
+		return "vcfr"
+	case ModeEmulatedILR:
+		return "emulated-ilr"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultStackTop is where the stack pointer starts if the config does not
+// override it. The stack grows down from just under 256 MiB.
+const DefaultStackTop = 0x0fff_fff0
+
+// DefaultMaxSteps bounds runaway programs.
+const DefaultMaxSteps = 500_000_000
+
+// Config configures a Machine run.
+type Config struct {
+	Mode Mode
+
+	// Trans supplies the randomization tables. Required for every mode
+	// except ModeNative.
+	Trans Translator
+
+	// RandRA maps original return addresses to their randomized values for
+	// call sites whose return address the rewriter proved safe to
+	// randomize. Nil disables return-address randomization (ModeVCFR).
+	RandRA map[uint32]uint32
+
+	// Cost is the host-cycle model for ModeEmulatedILR. Nil selects
+	// DefaultCostModel.
+	Cost *CostModel
+
+	StackTop uint32 // initial stack pointer; DefaultStackTop if zero
+	MaxSteps uint64 // instruction budget; DefaultMaxSteps if zero
+	Input    []byte // bytes served to SysGetChar
+}
+
+// Stats aggregates dynamic execution counts.
+type Stats struct {
+	Instructions uint64
+	Taken        uint64 // executed taken control transfers
+	Calls        uint64
+	Rets         uint64
+	IndirectCF   uint64 // executed indirect transfers (jmpr/callr/ret)
+	Loads        uint64
+	Stores       uint64
+	Syscalls     uint64
+	HostCycles   uint64 // accumulated cost-model cycles (ModeEmulatedILR)
+	Unrandomized uint64 // instructions executed at un-randomized addresses (VCFR failover)
+}
+
+// RunResult is the outcome of Machine.Run.
+type RunResult struct {
+	Stats    Stats
+	Out      []byte
+	ExitCode uint32
+}
+
+// ErrStepLimit reports that the instruction budget was exhausted before the
+// program halted.
+var ErrStepLimit = errors.New("emu: step limit exceeded")
+
+// ErrControlViolation reports a control transfer to a prohibited
+// un-randomized address — the randomized-tag check of Sec. IV-A, which is
+// what turns a ROP attempt into a fault instead of an exploit.
+var ErrControlViolation = errors.New("emu: control transfer to prohibited un-randomized address")
+
+// Machine interprets a loaded program in one of the four modes.
+type Machine struct {
+	cfg    Config
+	state  *State
+	mem    *program.AddressSpace
+	pc     uint32 // logical PC: original-space cursor (UPC under VCFR)
+	inRand bool   // VCFR: currently executing at a randomized (mapped) address
+	bitmap map[uint32]bool
+	stats  Stats
+	cost   *CostModel
+}
+
+// NewMachine loads img into a fresh address space and prepares a machine.
+func NewMachine(img *program.Image, cfg Config) (*Machine, error) {
+	if cfg.Mode < ModeNative || cfg.Mode > ModeEmulatedILR {
+		return nil, fmt.Errorf("emu: invalid mode %d", cfg.Mode)
+	}
+	if cfg.Mode != ModeNative && cfg.Trans == nil {
+		return nil, fmt.Errorf("emu: mode %v requires a Translator", cfg.Mode)
+	}
+	if cfg.StackTop == 0 {
+		cfg.StackTop = DefaultStackTop
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	mem := program.NewAddressSpace()
+	mem.LoadImage(img)
+	st := NewState(mem)
+	st.In = cfg.Input
+	st.SetSP(cfg.StackTop)
+
+	m := &Machine{
+		cfg:   cfg,
+		state: st,
+		mem:   mem,
+		pc:    img.Entry,
+		cost:  cfg.Cost,
+	}
+	if m.cost == nil {
+		m.cost = DefaultCostModel()
+	}
+	// A scattered image's entry point is a randomized-space address; the
+	// machine's cursor lives in the logical (original) space.
+	if cfg.Mode == ModeScattered || cfg.Mode == ModeEmulatedILR {
+		if orig, ok := cfg.Trans.ToOrig(img.Entry); ok {
+			m.pc = orig
+		}
+	}
+	if cfg.Mode == ModeVCFR {
+		m.inRand = true
+		m.bitmap = make(map[uint32]bool)
+		st.Hooks = Hooks{
+			ReturnAddr: m.vcfrReturnAddr,
+			LoadedWord: m.vcfrLoadedWord,
+			StoredWord: m.vcfrStoredWord,
+		}
+	}
+	return m, nil
+}
+
+// State exposes the architectural state (tests and the attack harness use it
+// to inject payloads).
+func (m *Machine) State() *State { return m.state }
+
+// Mem exposes the machine's memory.
+func (m *Machine) Mem() *program.AddressSpace { return m.mem }
+
+// PC returns the current logical (original-space) program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+func (m *Machine) vcfrReturnAddr(next uint32) uint32 {
+	if r, ok := m.cfg.RandRA[next]; ok {
+		return r
+	}
+	return next
+}
+
+func (m *Machine) vcfrLoadedWord(addr, val uint32) uint32 {
+	if !m.bitmap[addr] {
+		return val
+	}
+	if orig, ok := m.cfg.Trans.ToOrig(val); ok {
+		return orig
+	}
+	return val
+}
+
+func (m *Machine) vcfrStoredWord(addr, val uint32, isCallPush bool) {
+	if isCallPush {
+		if _, ok := m.cfg.Trans.ToOrig(val); ok {
+			m.bitmap[addr] = true
+			return
+		}
+	}
+	delete(m.bitmap, addr)
+}
+
+// storageAddr maps the logical (original-space) pc to where the instruction
+// bytes actually live.
+func (m *Machine) storageAddr(pc uint32) uint32 {
+	switch m.cfg.Mode {
+	case ModeScattered, ModeEmulatedILR:
+		if r, ok := m.cfg.Trans.ToRand(pc); ok {
+			return r
+		}
+	}
+	return pc
+}
+
+// redirect resolves a taken architectural target to the next logical pc.
+// Under VCFR the target is typically a randomized-space address; an
+// un-randomized target is the failover path and must pass the
+// randomized-tag check.
+func (m *Machine) redirect(target uint32) (uint32, error) {
+	if m.cfg.Mode != ModeVCFR {
+		return target, nil
+	}
+	if orig, ok := m.cfg.Trans.ToOrig(target); ok {
+		m.inRand = true
+		return orig, nil
+	}
+	if m.cfg.Trans.Prohibited(target) {
+		return 0, fmt.Errorf("%w: %#x", ErrControlViolation, target)
+	}
+	m.inRand = false
+	return target, nil
+}
+
+// Step executes one instruction. It returns false when the machine halted.
+func (m *Machine) Step() (bool, error) {
+	if m.state.Halted {
+		return false, nil
+	}
+	in, err := FetchDecode(m.mem, m.storageAddr(m.pc))
+	if err != nil {
+		return false, err
+	}
+	in.Addr = m.pc // logical address: return addresses derive from it
+	out, err := Exec(m.state, in)
+	if err != nil {
+		return false, err
+	}
+
+	m.stats.Instructions++
+	if m.cfg.Mode == ModeEmulatedILR {
+		m.stats.HostCycles += m.cost.Cycles(in, out)
+	}
+	if m.cfg.Mode == ModeVCFR && !m.inRand {
+		m.stats.Unrandomized++
+	}
+	switch out.MemKind {
+	case MemLoad:
+		m.stats.Loads++
+	case MemStore:
+		m.stats.Stores++
+	}
+	if in.Op == isa.OpSys {
+		m.stats.Syscalls++
+	}
+	if out.Taken {
+		m.stats.Taken++
+		if out.IsCall {
+			m.stats.Calls++
+		}
+		if out.IsRet {
+			m.stats.Rets++
+		}
+		if in.Class().IsIndirect() {
+			m.stats.IndirectCF++
+		}
+		next, err := m.redirect(out.Target)
+		if err != nil {
+			return false, err
+		}
+		m.pc = next
+	} else {
+		m.pc = in.NextAddr()
+	}
+	return !m.state.Halted, nil
+}
+
+// Run executes until halt, fault, or the step budget is exhausted.
+func (m *Machine) Run() (RunResult, error) {
+	for m.stats.Instructions < m.cfg.MaxSteps {
+		running, err := m.Step()
+		if err != nil {
+			return m.result(), err
+		}
+		if !running {
+			return m.result(), nil
+		}
+	}
+	return m.result(), fmt.Errorf("%w (%d)", ErrStepLimit, m.cfg.MaxSteps)
+}
+
+// RunN executes at most n further instructions, returning early on halt.
+func (m *Machine) RunN(n uint64) (RunResult, error) {
+	end := m.stats.Instructions + n
+	for m.stats.Instructions < end {
+		running, err := m.Step()
+		if err != nil {
+			return m.result(), err
+		}
+		if !running {
+			break
+		}
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() RunResult {
+	return RunResult{
+		Stats:    m.stats,
+		Out:      m.state.Out,
+		ExitCode: m.state.ExitCode,
+	}
+}
+
+// Run loads img and executes it to completion in the given mode — the
+// one-call convenience entry point.
+func Run(img *program.Image, cfg Config) (RunResult, error) {
+	m, err := NewMachine(img, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,167 @@
+package emu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/isa"
+)
+
+func TestFaultErrorMessage(t *testing.T) {
+	err := faultf(0xdead, "bad %s", "thing")
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatal("not a Fault")
+	}
+	if f.Addr != 0xdead {
+		t.Errorf("addr = %#x", f.Addr)
+	}
+	if !strings.Contains(err.Error(), "0xdead") || !strings.Contains(err.Error(), "bad thing") {
+		t.Errorf("message = %q", err)
+	}
+}
+
+func TestMachineStepAfterHalt(t *testing.T) {
+	img := asm.MustAssemble("h", ".entry main\nmain: halt")
+	m, err := NewMachine(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if running, err := m.Step(); err != nil || running {
+		t.Fatalf("first step: running=%v err=%v", running, err)
+	}
+	// Stepping a halted machine is a no-op, not an error.
+	if running, err := m.Step(); err != nil || running {
+		t.Errorf("step after halt: running=%v err=%v", running, err)
+	}
+	res, err := m.RunN(100)
+	if err != nil || res.Stats.Instructions != 1 {
+		t.Errorf("RunN after halt: %+v, %v", res.Stats, err)
+	}
+}
+
+func TestMachineDivFaultSurfacesAddress(t *testing.T) {
+	img := asm.MustAssemble("d", `
+.entry main
+main:
+	movi r1, 5
+	movi r2, 0
+	div r1, r2
+	halt
+`)
+	_, err := Run(img, Config{Mode: ModeNative})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v", err)
+	}
+	divAddr := img.Entry + 12 // two movi (6 B each) precede the div
+	if f.Addr != divAddr {
+		t.Errorf("fault addr = %#x, want %#x", f.Addr, divAddr)
+	}
+}
+
+func TestMachineAccessorSurface(t *testing.T) {
+	img := asm.MustAssemble("a", ".entry main\nmain:\n\tmovi r3, 9\n\thalt")
+	m, err := NewMachine(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != img.Entry {
+		t.Errorf("PC = %#x", m.PC())
+	}
+	if m.Mem() == nil || m.State() == nil {
+		t.Fatal("nil accessors")
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State().R[3] != 9 {
+		t.Error("state not shared with accessor")
+	}
+	if m.PC() != img.Entry+6 {
+		t.Errorf("PC after movi = %#x", m.PC())
+	}
+}
+
+func TestExecCallThroughSPPushesFirst(t *testing.T) {
+	// callr through a register equal to sp must read the target before the
+	// push modifies sp (the comment in exec.go's callr case).
+	s := newTestState()
+	target := s.SP() // jump "to" the current sp value
+	s.R[isa.RegSP] = target
+	out, err := Exec(s, isa.Inst{Op: isa.OpCallR, Rd: isa.RegSP, Addr: 0x400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Target != target {
+		t.Errorf("callr sp target = %#x, want pre-push %#x", out.Target, target)
+	}
+}
+
+func TestCostModelComponents(t *testing.T) {
+	c := DefaultCostModel()
+	plain := c.Cycles(isa.Inst{Op: isa.OpNop}, Outcome{})
+	mem := c.Cycles(isa.Inst{Op: isa.OpLoad}, Outcome{MemKind: MemLoad})
+	ctl := c.Cycles(isa.Inst{Op: isa.OpJmp}, Outcome{Taken: true})
+	ind := c.Cycles(isa.Inst{Op: isa.OpRet}, Outcome{Taken: true, IsRet: true})
+	sys := c.Cycles(isa.Inst{Op: isa.OpSys}, Outcome{})
+	if !(plain < mem && plain < ctl && ctl < ind && plain < sys) {
+		t.Errorf("cost ordering wrong: plain=%d mem=%d ctl=%d ind=%d sys=%d",
+			plain, mem, ctl, ind, sys)
+	}
+	// Longer encodings cost more to decode.
+	short := c.Cycles(isa.Inst{Op: isa.OpRet}, Outcome{})
+	long := c.Cycles(isa.Inst{Op: isa.OpMovRI}, Outcome{})
+	if long <= short {
+		t.Errorf("decode scaling missing: %d <= %d", long, short)
+	}
+}
+
+func TestMachineVCFRRedirectBackToRandomizedSpace(t *testing.T) {
+	// After a failover to an un-randomized address, the next direct
+	// transfer (whose immediate was rewritten) must bring execution back to
+	// randomized space.
+	img, tr, randRA := buildVCFRCase(t)
+	fn, _ := img.Lookup("fn")
+	tr.prohibit[fn] = false // allow fn's original address as failover
+	m, err := NewMachine(img, Config{Mode: ModeVCFR, Trans: tr, RandRA: randRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.redirect(fn)
+	if err != nil || next != fn {
+		t.Fatalf("failover: %v %#x", err, next)
+	}
+	if m.inRand {
+		t.Fatal("still in randomized space")
+	}
+	// A randomized target re-enters randomized space.
+	randMain, _ := tr.ToRand(img.Entry)
+	next, err = m.redirect(randMain)
+	if err != nil || next != img.Entry {
+		t.Fatalf("re-entry: %v %#x", err, next)
+	}
+	if !m.inRand {
+		t.Error("did not return to randomized space")
+	}
+}
+
+func BenchmarkMachineStepNative(b *testing.B) {
+	img := asm.MustAssemble("bench", fibSource)
+	m, err := NewMachine(img, Config{Mode: ModeNative})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		running, err := m.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !running {
+			m, _ = NewMachine(img, Config{Mode: ModeNative})
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+const fibSource = `
+; print fib(10) = 55
+.entry main
+main:
+	movi r1, 0      ; a
+	movi r2, 1      ; b
+	movi r3, 10     ; n
+loop:
+	cmpi r3, 0
+	je done
+	mov r4, r2
+	add r2, r1
+	mov r1, r4
+	subi r3, 1
+	jmp loop
+done:
+	mov r1, r1
+	sys 3           ; write r1 as int
+	movi r1, 0
+	sys 0
+`
+
+func TestMachineRunNative(t *testing.T) {
+	img := asm.MustAssemble("fib", fibSource)
+	res, err := Run(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(res.Out) != "55" {
+		t.Errorf("out = %q, want 55", res.Out)
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+	if res.Stats.Instructions == 0 || res.Stats.Taken == 0 {
+		t.Errorf("stats not collected: %+v", res.Stats)
+	}
+}
+
+func TestMachineRecursion(t *testing.T) {
+	img := asm.MustAssemble("fact", `
+.entry main
+main:
+	movi r1, 6
+	call fact
+	mov r1, r0
+	sys 3
+	movi r1, 0
+	sys 0
+.func fact
+fact:
+	cmpi r1, 1
+	jg rec
+	movi r0, 1
+	ret
+rec:
+	push r1
+	subi r1, 1
+	call fact
+	pop r1
+	mul r0, r1
+	ret
+`)
+	res, err := Run(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(res.Out) != "720" {
+		t.Errorf("out = %q, want 720", res.Out)
+	}
+	if res.Stats.Calls != 6 || res.Stats.Rets != 6 {
+		t.Errorf("calls=%d rets=%d, want 6/6", res.Stats.Calls, res.Stats.Rets)
+	}
+}
+
+func TestMachineEcho(t *testing.T) {
+	img := asm.MustAssemble("echo", `
+.entry main
+main:
+	sys 2             ; getchar -> r0
+	cmpi r0, -1
+	je done
+	mov r1, r0
+	sys 1             ; putchar
+	jmp main
+done:
+	movi r1, 0
+	sys 0
+`)
+	res, err := Run(img, Config{Mode: ModeNative, Input: []byte("hello")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(res.Out) != "hello" {
+		t.Errorf("out = %q", res.Out)
+	}
+}
+
+func TestMachineIndirectJumpTable(t *testing.T) {
+	img := asm.MustAssemble("switch", `
+.entry main
+main:
+	movi r2, 2              ; case selector
+	movi r3, table
+	shli r2, 2
+	loadr r4, [r3+r2]
+	jmpr r4
+case0: movi r1, '0'
+	jmp out
+case1: movi r1, '1'
+	jmp out
+case2: movi r1, '2'
+	jmp out
+out:
+	sys 1
+	movi r1, 0
+	sys 0
+.data
+table: .addr case0, case1, case2
+`)
+	res, err := Run(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(res.Out) != "2" {
+		t.Errorf("out = %q, want 2", res.Out)
+	}
+	if res.Stats.IndirectCF == 0 {
+		t.Error("indirect transfer not counted")
+	}
+}
+
+func TestMachineStepLimit(t *testing.T) {
+	img := asm.MustAssemble("spin", ".entry main\nmain: jmp main")
+	_, err := Run(img, Config{Mode: ModeNative, MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestMachineRunN(t *testing.T) {
+	img := asm.MustAssemble("spin", ".entry main\nmain: jmp main")
+	m, err := NewMachine(img, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunN(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions != 100 {
+		t.Errorf("instructions = %d, want 100", res.Stats.Instructions)
+	}
+}
+
+func TestMachineFaultOnGarbageFetch(t *testing.T) {
+	img := asm.MustAssemble("fall", ".entry main\nmain: nop") // falls off the end
+	_, err := Run(img, Config{Mode: ModeNative})
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	img := asm.MustAssemble("m", ".entry main\nmain: halt")
+	if _, err := NewMachine(img, Config{Mode: 0}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := NewMachine(img, Config{Mode: ModeVCFR}); err == nil {
+		t.Error("VCFR without translator accepted")
+	}
+	if _, err := NewMachine(img, Config{Mode: ModeScattered}); err == nil {
+		t.Error("scattered without translator accepted")
+	}
+}
+
+// stubTrans is a hand-built Translator for machine-mode tests.
+type stubTrans struct {
+	o2r, r2o map[uint32]uint32
+	prohibit map[uint32]bool
+}
+
+func (s *stubTrans) ToOrig(r uint32) (uint32, bool) { v, ok := s.r2o[r]; return v, ok }
+func (s *stubTrans) ToRand(o uint32) (uint32, bool) { v, ok := s.o2r[o]; return v, ok }
+func (s *stubTrans) Prohibited(o uint32) bool       { return s.prohibit[o] }
+
+// scatter builds a scattered copy of img: instruction i of the original is
+// stored at scatterBase + perm(i)*8, and the translator maps both ways.
+// Instruction bytes (including direct targets) are unchanged — the machine
+// executes logically in the original space.
+func scatter(t *testing.T, img *program.Image, scatterBase uint32) (*program.Image, *stubTrans) {
+	t.Helper()
+	insts, err := asm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &stubTrans{
+		o2r:      make(map[uint32]uint32),
+		r2o:      make(map[uint32]uint32),
+		prohibit: make(map[uint32]bool),
+	}
+	buf := make([]byte, len(insts)*8)
+	for i, in := range insts {
+		// Reverse order with 8-byte strides: deterministic, collision-free.
+		slot := uint32(len(insts)-1-i) * 8
+		raddr := scatterBase + slot
+		tr.o2r[in.Addr] = raddr
+		tr.r2o[raddr] = in.Addr
+		tr.prohibit[in.Addr] = true
+		isa.Encode(buf[slot:slot:slot+8], in)
+	}
+	out := img.Clone()
+	text := out.Text()
+	text.Addr = scatterBase
+	text.Data = buf
+	out.Entry = tr.o2r[img.Entry]
+	// Non-text segments stay put; entry must stay inside text for Validate,
+	// which it is (mapped entry).
+	return out, tr
+}
+
+func TestMachineScatteredEquivalence(t *testing.T) {
+	orig := asm.MustAssemble("fib", fibSource)
+	want, err := Run(orig, Config{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simg, tr := scatter(t, orig, 0x0040_0000)
+	m, err := NewMachine(simg, Config{Mode: ModeScattered, Trans: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scattered machine starts at the original entry (logical space).
+	m.pc = orig.Entry
+	got, err := m.Run()
+	if err != nil {
+		t.Fatalf("scattered run: %v", err)
+	}
+	if string(got.Out) != string(want.Out) {
+		t.Errorf("scattered out = %q, native = %q", got.Out, want.Out)
+	}
+	if got.Stats.Instructions != want.Stats.Instructions {
+		t.Errorf("instruction counts differ: %d vs %d",
+			got.Stats.Instructions, want.Stats.Instructions)
+	}
+}
+
+func TestMachineEmulatedILRAccruesHostCycles(t *testing.T) {
+	orig := asm.MustAssemble("fib", fibSource)
+	simg, tr := scatter(t, orig, 0x0040_0000)
+	m, err := NewMachine(simg, Config{Mode: ModeEmulatedILR, Trans: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.pc = orig.Entry
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.HostCycles == 0 {
+		t.Fatal("no host cycles accrued")
+	}
+	perInst := float64(res.Stats.HostCycles) / float64(res.Stats.Instructions)
+	if perInst < 100 || perInst > 1000 {
+		t.Errorf("host cycles per instruction = %.0f, want order 10^2 (Fig. 2 band)", perInst)
+	}
+}
+
+// buildVCFRCase hand-builds a miniature VCFR program: original layout with
+// the call target rewritten into randomized space, a randomized return
+// address, and a full prohibition map.
+func buildVCFRCase(t *testing.T) (*program.Image, *stubTrans, map[uint32]uint32) {
+	t.Helper()
+	img := asm.MustAssemble("v", `
+.entry main
+main:
+	movi r1, 'A'
+	sys 1
+	call fn
+	movi r1, 'B'
+	sys 1
+	movi r1, 0
+	sys 0
+.func fn
+fn:
+	movi r1, 'C'
+	sys 1
+	ret
+`)
+	insts, err := asm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &stubTrans{
+		o2r:      make(map[uint32]uint32),
+		r2o:      make(map[uint32]uint32),
+		prohibit: make(map[uint32]bool),
+	}
+	for i, in := range insts {
+		// Arbitrary, collision-free randomized addresses far from the text.
+		r := 0x7000_0000 + uint32(i*16) + uint32((i*7)%5)
+		tr.o2r[in.Addr] = r
+		tr.r2o[r] = in.Addr
+		tr.prohibit[in.Addr] = true
+	}
+	// Rewrite the direct transfer targets (call fn) into randomized space.
+	text := img.Text()
+	randRA := make(map[uint32]uint32)
+	for _, in := range insts {
+		if in.Op == isa.OpCall {
+			off := int(in.Addr - text.Addr)
+			if err := isa.PatchTarget(text.Data, off, tr.o2r[in.Target]); err != nil {
+				t.Fatal(err)
+			}
+			randRA[in.NextAddr()] = tr.o2r[in.NextAddr()]
+		}
+	}
+	return img, tr, randRA
+}
+
+func TestMachineVCFREquivalence(t *testing.T) {
+	img, tr, randRA := buildVCFRCase(t)
+	res, err := Run(img, Config{Mode: ModeVCFR, Trans: tr, RandRA: randRA})
+	if err != nil {
+		t.Fatalf("VCFR run: %v", err)
+	}
+	if string(res.Out) != "ACB" {
+		t.Errorf("out = %q, want ACB", res.Out)
+	}
+	if res.Stats.Unrandomized != 0 {
+		t.Errorf("unrandomized executions = %d, want 0", res.Stats.Unrandomized)
+	}
+}
+
+func TestMachineVCFRRandomizedRAOnStack(t *testing.T) {
+	img, tr, randRA := buildVCFRCase(t)
+	m, err := NewMachine(img, Config{Mode: ModeVCFR, Trans: tr, RandRA: randRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step to just after the call: the stack must hold the RANDOMIZED
+	// return address, not the original one (that is the security property:
+	// a stack disclosure leaks only randomized addresses).
+	for i := 0; i < 3; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra := m.State().Mem.ReadWord(m.State().SP())
+	if _, isRand := tr.ToOrig(ra); !isRand {
+		t.Errorf("stack RA %#x is not a randomized address", ra)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineVCFRControlViolation(t *testing.T) {
+	img, tr, randRA := buildVCFRCase(t)
+	// An attacker-style jump to the ORIGINAL address of a randomized
+	// instruction must fault with ErrControlViolation.
+	m, err := NewMachine(img, Config{Mode: ModeVCFR, Trans: tr, RandRA: randRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil { // execute movi
+		t.Fatal(err)
+	}
+	fn, _ := img.Lookup("fn")
+	m.State().R[9] = fn // original-space address: prohibited
+	m.state.Hooks = Hooks{}
+	out, err := Exec(m.state, isa.Inst{Op: isa.OpJmpR, Rd: 9, Addr: m.pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.redirect(out.Target); !errors.Is(err, ErrControlViolation) {
+		t.Errorf("redirect to prohibited address: err = %v, want ErrControlViolation", err)
+	}
+}
+
+func TestMachineVCFRFailoverToUnrandomized(t *testing.T) {
+	img, tr, randRA := buildVCFRCase(t)
+	fn, _ := img.Lookup("fn")
+	// Mark fn's original address as an allowed failover target (an indirect
+	// target the rewriter could not prove dead) and jump there.
+	tr.prohibit[fn] = false
+	m, err := NewMachine(img, Config{Mode: ModeVCFR, Trans: tr, RandRA: randRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.redirect(fn)
+	if err != nil {
+		t.Fatalf("failover redirect: %v", err)
+	}
+	if next != fn {
+		t.Errorf("failover target = %#x, want %#x", next, fn)
+	}
+	if m.inRand {
+		t.Error("machine still claims randomized space after failover")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeNative: "native", ModeScattered: "scattered",
+		ModeVCFR: "vcfr", ModeEmulatedILR: "emulated-ilr", Mode(99): "mode(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package emu implements the functional semantics of the VX ISA and the
+// instruction-level machine emulator used as the paper's software-ILR
+// baseline (Fig. 2).
+//
+// The package has two consumers with one semantic core:
+//
+//   - Machine, a functional interpreter that runs images natively, in
+//     scattered (naive-ILR) layout, under VCFR translation, or under an
+//     emulation cost model. It is the golden reference the test suite uses
+//     to prove that randomized binaries are semantically identical to the
+//     originals.
+//   - package cpu, the cycle-level pipeline, which calls Exec for
+//     instruction semantics and wraps its own timing around the Outcome.
+//
+// Keeping one Exec means the timing model can never drift semantically from
+// the reference interpreter.
+package emu
+
+import (
+	"fmt"
+
+	"vcfr/internal/isa"
+)
+
+// Memory is the byte-addressable memory interface Exec operates on.
+// *program.AddressSpace implements it.
+type Memory interface {
+	ByteAt(addr uint32) byte
+	SetByte(addr uint32, b byte)
+	ReadWord(addr uint32) uint32
+	WriteWord(addr uint32, v uint32)
+}
+
+// Translator converts between the randomized instruction space and the
+// original instruction space. ilr.Tables implements it; defining the
+// interface here keeps emu and cpu free of a dependency on the rewriter.
+type Translator interface {
+	// ToOrig de-randomizes: randomized instruction address -> original.
+	ToOrig(rand uint32) (uint32, bool)
+	// ToRand randomizes: original instruction address -> randomized.
+	ToRand(orig uint32) (uint32, bool)
+	// Prohibited reports whether orig carries the paper's "randomized tag":
+	// the instruction was safely randomized, so transferring control to its
+	// un-randomized address is an attack indicator and must fault.
+	Prohibited(orig uint32) bool
+}
+
+// Hooks let an execution substrate override the architectural events that
+// VCFR redefines. A nil hook means default (identity) behaviour.
+type Hooks struct {
+	// ReturnAddr maps a call's fall-through address to the value actually
+	// pushed on the stack. VCFR pushes the randomized return address.
+	ReturnAddr func(next uint32) uint32
+	// LoadedWord post-processes a word loaded from memory. VCFR auto-
+	// de-randomizes loads from stack slots marked in the return-address
+	// bitmap (the PIC "call next; pop r" idiom, C++ unwinding).
+	LoadedWord func(addr, val uint32) uint32
+	// StoredWord observes every word store. VCFR clears the return-address
+	// bitmap bit for overwritten slots; the call path sets it.
+	StoredWord func(addr, val uint32, isCallPush bool)
+}
+
+// State is the architectural machine state shared by the interpreter and the
+// pipeline: registers, flags, and memory. The program counter is owned by
+// the execution substrate (Machine or the pipeline fetch unit), because its
+// meaning differs between instruction spaces.
+type State struct {
+	R     [isa.NumRegs]uint32
+	Z     bool // zero
+	N     bool // negative (sign)
+	C     bool // carry / unsigned borrow
+	V     bool // signed overflow
+	Mem   Memory
+	Hooks Hooks
+
+	// Tiny OS surface.
+	Halted   bool
+	ExitCode uint32
+	Out      []byte // bytes written via SysPutChar / SysWriteInt
+	In       []byte // input stream consumed by SysGetChar
+	inPos    int
+}
+
+// NewState returns a state with the given memory and an empty input stream.
+func NewState(mem Memory) *State { return &State{Mem: mem} }
+
+// SP returns the stack pointer.
+func (s *State) SP() uint32 { return s.R[isa.RegSP] }
+
+// SetSP sets the stack pointer.
+func (s *State) SetSP(v uint32) { s.R[isa.RegSP] = v }
+
+// getChar consumes one input byte, returning 0xFFFFFFFF at EOF.
+func (s *State) getChar() uint32 {
+	if s.inPos >= len(s.In) {
+		return 0xffff_ffff
+	}
+	b := s.In[s.inPos]
+	s.inPos++
+	return uint32(b)
+}
+
+// Fault is a runtime execution error (divide by zero, invalid fetch,
+// control-flow violation). It carries the faulting address.
+type Fault struct {
+	Addr uint32
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("emu: fault at %#x: %s", f.Addr, f.Msg)
+}
+
+// faultf builds a Fault.
+func faultf(addr uint32, format string, args ...any) error {
+	return &Fault{Addr: addr, Msg: fmt.Sprintf(format, args...)}
+}
+
+// FetchDecode reads and decodes the instruction stored at addr.
+func FetchDecode(mem Memory, addr uint32) (isa.Inst, error) {
+	var buf [isa.MaxLength]byte
+	for i := range buf {
+		buf[i] = mem.ByteAt(addr + uint32(i))
+	}
+	in, err := isa.Decode(buf[:], addr)
+	if err != nil {
+		return isa.Inst{}, faultf(addr, "fetch: %v", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,86 @@
+package gadget
+
+import (
+	"sort"
+
+	"vcfr/internal/isa"
+)
+
+// Kind is the coarse capability a gadget offers an attacker, in ROPgadget's
+// taxonomy.
+type Kind string
+
+// Gadget kinds.
+const (
+	KindLoadReg   Kind = "load-reg"    // pop rX: load a constant from the chain
+	KindMoveReg   Kind = "move-reg"    // mov rX, rY
+	KindArith     Kind = "arith"       // ALU over registers
+	KindLoadMem   Kind = "load-mem"    // read memory into a register
+	KindStoreMem  Kind = "store-mem"   // write-what-where primitive
+	KindSyscall   Kind = "syscall"     // kernel interaction
+	KindStackPiv  Kind = "stack-pivot" // rewrites sp
+	KindJumpStart Kind = "jop"         // ends in jmpr/callr (JOP, not ROP)
+	KindBare      Kind = "bare-ret"    // empty body: chain glue only
+)
+
+// Classify reports every capability class a gadget provides. A gadget can
+// carry several (e.g. "pop r5 ; store [r5], r1 ; ret" is both load-reg and
+// store-mem).
+func Classify(g Gadget) []Kind {
+	set := make(map[Kind]bool)
+	if len(g.Insts) == 0 && g.End.Op == isa.OpRet {
+		set[KindBare] = true
+	}
+	for _, in := range g.Insts {
+		switch in.Op {
+		case isa.OpPop:
+			set[KindLoadReg] = true
+			if in.Rd == isa.RegSP {
+				set[KindStackPiv] = true
+			}
+		case isa.OpMovRR:
+			set[KindMoveReg] = true
+			if in.Rd == isa.RegSP {
+				set[KindStackPiv] = true
+			}
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+			isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpNeg,
+			isa.OpNot, isa.OpAddI, isa.OpSubI, isa.OpAndI, isa.OpOrI,
+			isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpSarI:
+			set[KindArith] = true
+			if in.Rd == isa.RegSP {
+				set[KindStackPiv] = true
+			}
+		case isa.OpLoad, isa.OpLoadB, isa.OpLoadR:
+			set[KindLoadMem] = true
+			if in.Rd == isa.RegSP {
+				set[KindStackPiv] = true
+			}
+		case isa.OpStore, isa.OpStoreB, isa.OpStoreR:
+			set[KindStoreMem] = true
+		case isa.OpSys:
+			set[KindSyscall] = true
+		}
+	}
+	if g.End.Op != isa.OpRet {
+		set[KindJumpStart] = true
+	}
+	out := make([]Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KindCensus counts, per kind, how many gadgets in the pool provide it —
+// the attacker's capability inventory.
+func KindCensus(pool []Gadget) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, g := range pool {
+		for _, k := range Classify(g) {
+			out[k]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package gadget
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/isa"
+)
+
+func kindsOf(t *testing.T, body string) map[Kind]bool {
+	t.Helper()
+	img := asm.MustAssemble("k", ".entry main\nmain:\n\thalt\n.func g\ng:\n"+body+"\tret\n")
+	gaddr, _ := img.Lookup("g")
+	for _, g := range Scan(img, DefaultMaxInsts) {
+		if g.Addr == gaddr {
+			out := make(map[Kind]bool)
+			for _, k := range Classify(g) {
+				out[k] = true
+			}
+			return out
+		}
+	}
+	t.Fatalf("gadget at g not found")
+	return nil
+}
+
+func TestClassifyKinds(t *testing.T) {
+	tests := []struct {
+		body string
+		want Kind
+	}{
+		{"\tpop r1\n", KindLoadReg},
+		{"\tmov r1, r2\n", KindMoveReg},
+		{"\tadd r1, r2\n", KindArith},
+		{"\tload r1, [r2+0]\n", KindLoadMem},
+		{"\tstore [r1+0], r2\n", KindStoreMem},
+		{"\tsys 1\n", KindSyscall},
+		{"\tmov sp, r1\n", KindStackPiv},
+		{"\tpop sp\n", KindStackPiv},
+		{"", KindBare},
+	}
+	for _, tt := range tests {
+		got := kindsOf(t, tt.body)
+		if !got[tt.want] {
+			t.Errorf("body %q: kinds %v missing %q", tt.body, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyJOP(t *testing.T) {
+	g := Gadget{End: isa.Inst{Op: isa.OpJmpR, Rd: 3}}
+	found := false
+	for _, k := range Classify(g) {
+		if k == KindJumpStart {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("jmpr-terminated gadget not classified as JOP")
+	}
+}
+
+func TestKindCensus(t *testing.T) {
+	img := asm.MustAssemble("c", victimSrc)
+	census := KindCensus(Scan(img, DefaultMaxInsts))
+	for _, want := range []Kind{KindLoadReg, KindSyscall, KindStoreMem} {
+		if census[want] == 0 {
+			t.Errorf("census missing %q: %v", want, census)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package gadget
+
+import (
+	"math/rand"
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/ilr"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// TestScanRandomImagesNeverPanics throws random byte soup at the scanner:
+// it must terminate, never panic, and every reported gadget must decode
+// cleanly from its start address and end in an indirect transfer.
+func TestScanRandomImagesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 512+rng.Intn(2048))
+		rng.Read(data)
+		img := &program.Image{
+			Name:  "fuzz",
+			Entry: 0x1000,
+			Segments: []program.Segment{{
+				Name: program.SegText, Addr: 0x1000, Data: data,
+				Perm: program.PermR | program.PermX,
+			}},
+		}
+		for _, g := range Scan(img, DefaultMaxInsts) {
+			// Re-decode the gadget from scratch and verify its shape.
+			off := g.Addr - 0x1000
+			addr := g.Addr
+			for _, want := range g.Insts {
+				in, err := isa.Decode(data[off:], addr)
+				if err != nil {
+					t.Fatalf("trial %d: reported gadget fails to decode at %#x: %v",
+						trial, addr, err)
+				}
+				if in.Op != want.Op {
+					t.Fatalf("trial %d: decode disagrees at %#x", trial, addr)
+				}
+				off += uint32(in.Len())
+				addr += uint32(in.Len())
+			}
+			end, err := isa.Decode(data[off:], addr)
+			if err != nil || !end.Class().IsIndirect() {
+				t.Fatalf("trial %d: gadget terminator invalid at %#x", trial, addr)
+			}
+			if len(g.Insts) > DefaultMaxInsts {
+				t.Fatalf("trial %d: gadget longer than bound", trial)
+			}
+		}
+	}
+}
+
+// TestSurvivorsSubsetProperty: survivors are always a subset of the scanned
+// pool, and removal never exceeds 100%.
+func TestSurvivorsSubsetProperty(t *testing.T) {
+	img := asm.MustAssemble("s", victimSrc)
+	pool := Scan(img, DefaultMaxInsts)
+	inPool := make(map[uint32]bool, len(pool))
+	for _, g := range pool {
+		inPool[g.Addr] = true
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := ilr.Rewrite(img, ilr.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		surv := Survivors(pool, res.Tables)
+		if len(surv) > len(pool) {
+			t.Fatalf("seed %d: more survivors than pool", seed)
+		}
+		for _, g := range surv {
+			if !inPool[g.Addr] {
+				t.Fatalf("seed %d: survivor %#x not in pool", seed, g.Addr)
+			}
+		}
+		rate := RemovalRate(pool, surv)
+		if rate < 0 || rate > 1 {
+			t.Fatalf("seed %d: removal rate %f out of range", seed, rate)
+		}
+	}
+}
+
+// TestChainsAreWellFormed: assembled chains reference only gadget addresses
+// from the pool plus immediates; the gadget list matches the words.
+func TestChainsAreWellFormed(t *testing.T) {
+	img := asm.MustAssemble("c", victimSrc)
+	pool := Scan(img, DefaultMaxInsts)
+	addrs := make(map[uint32]bool, len(pool))
+	for _, g := range pool {
+		addrs[g.Addr] = true
+	}
+	chain, err := BuildPrintChain(pool, "ABC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gadgetWords := 0
+	for _, w := range chain.Words {
+		if addrs[w] {
+			gadgetWords++
+		}
+	}
+	// Per character: pop-gadget + putc-gadget; plus pop + exit at the end.
+	if gadgetWords != 2*3+2 {
+		t.Errorf("chain has %d gadget words, want 8", gadgetWords)
+	}
+	for _, g := range chain.Gadgets {
+		if !addrs[g.Addr] {
+			t.Errorf("chain gadget %#x not from pool", g.Addr)
+		}
+	}
+}

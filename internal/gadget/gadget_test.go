@@ -1,0 +1,454 @@
+package gadget
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/isa"
+)
+
+// victimSrc is a program with a stack-overflow vulnerability and a natural
+// supply of gadgets (utility functions whose epilogues pop registers, a
+// putchar helper, an exit helper) — the moral equivalent of a small binary
+// linked against a libc.
+const victimSrc = `
+.entry main
+main:
+	call vuln
+	movi r1, 'o'
+	sys 1
+	movi r1, 'k'
+	sys 1
+	movi r1, 0
+	sys 0
+
+; vuln reads its input into a 32-byte stack buffer with no bounds check.
+.func vuln
+vuln:
+	subi sp, 32
+	mov r2, sp
+readl:
+	sys 2
+	cmpi r0, -1
+	je rdone
+	mov r1, r0
+	storeb [r2+0], r1
+	addi r2, 1
+	jmp readl
+rdone:
+	addi sp, 32
+	ret
+
+; "library" functions that happen to contain useful gadgets.
+.func putch
+putch:
+	sys 1
+	ret
+
+.func quit
+quit:
+	sys 0
+	ret
+
+.func restore1
+restore1:
+	pop r1
+	ret
+
+.func restore5
+restore5:
+	pop r5
+	ret
+
+.func storefn
+storefn:
+	store [r5+0], r1
+	ret
+
+.func loadfn
+loadfn:
+	load r1, [r5+0]
+	ret
+`
+
+func scanVictim(t *testing.T) ([]Gadget, *ilr.Result) {
+	t.Helper()
+	img := asm.MustAssemble("victim", victimSrc)
+	res, err := ilr.Rewrite(img, ilr.Options{Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scan(res.Orig, DefaultMaxInsts), res
+}
+
+func TestScanFindsKnownGadgets(t *testing.T) {
+	gs, _ := scanVictim(t)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets found")
+	}
+	var texts []string
+	for _, g := range gs {
+		texts = append(texts, g.String())
+	}
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{"pop r1 ; ret", "pop r5 ; ret", "sys 1 ; ret", "sys 0 ; ret"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("gadget %q not found in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestScanFindsMisalignedGadget(t *testing.T) {
+	// Encode "pop r1 ; ret" inside a movi immediate — the VX analogue of
+	// x86's unintended instructions.
+	imm := uint32(byte(isa.OpPop)) | uint32(1)<<8 | uint32(byte(isa.OpRet))<<16 |
+		uint32(byte(isa.OpNop))<<24
+	img := asm.MustAssemble("mis", ".entry main\nmain:\n\tmovi r9, "+itoa(imm)+"\n\thalt")
+	gs := Scan(img, DefaultMaxInsts)
+	found := false
+	for _, g := range gs {
+		if g.String() == "pop r1 ; ret" && g.Addr == img.Entry+2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("misaligned gadget not found; gadgets: %v", render(gs))
+	}
+}
+
+func itoa(v uint32) string {
+	return strings.TrimSpace(strings.Join([]string{of(v)}, ""))
+}
+
+func of(v uint32) string {
+	// minimal uint formatting without fmt in a helper-heavy test file
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func render(gs []Gadget) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.String()
+	}
+	return out
+}
+
+func TestUniqueDeduplicates(t *testing.T) {
+	img := asm.MustAssemble("dup", `
+.entry main
+main:
+	halt
+.func a
+a:
+	pop r1
+	ret
+.func b
+b:
+	pop r1
+	ret
+`)
+	gs := Scan(img, DefaultMaxInsts)
+	uq := Unique(gs)
+	if len(uq) >= len(gs) && len(gs) > 1 {
+		t.Errorf("Unique did not deduplicate: %d -> %d", len(gs), len(uq))
+	}
+	counts := make(map[string]int)
+	for _, g := range uq {
+		counts[g.String()]++
+		if counts[g.String()] > 1 {
+			t.Errorf("duplicate gadget %q in unique set", g)
+		}
+	}
+}
+
+func TestSurvivorsNearlyEmptyAfterRandomization(t *testing.T) {
+	gs, res := scanVictim(t)
+	surv := Survivors(gs, res.Tables)
+	rate := RemovalRate(gs, surv)
+	if rate < 0.9 {
+		t.Errorf("removal rate %.3f, want >= 0.9 (paper: ~0.98 avg)", rate)
+	}
+	// Every survivor must genuinely be an allowed failover target.
+	for _, g := range surv {
+		if res.Tables.Prohibited(g.Addr) {
+			t.Errorf("survivor at %#x is prohibited", g.Addr)
+		}
+	}
+}
+
+func TestScanScatteredImageFindsAlmostNothing(t *testing.T) {
+	gs, res := scanVictim(t)
+	scattered := Scan(res.Scattered, DefaultMaxInsts)
+	// The scattered text is mostly zero padding between isolated
+	// instructions: multi-instruction gadget bodies cannot survive.
+	long := 0
+	for _, g := range scattered {
+		if len(g.Insts) > 0 {
+			long++
+		}
+	}
+	origLong := 0
+	for _, g := range gs {
+		if len(g.Insts) > 0 {
+			origLong++
+		}
+	}
+	if origLong == 0 {
+		t.Fatal("original pool has no multi-instruction gadgets")
+	}
+	if long*10 > origLong {
+		t.Errorf("scattered image still has %d multi-inst gadgets (orig %d)", long, origLong)
+	}
+}
+
+func TestBuildPrintChainOnOriginalPool(t *testing.T) {
+	gs, _ := scanVictim(t)
+	chain, err := BuildPrintChain(gs, "HI")
+	if err != nil {
+		t.Fatalf("BuildPrintChain: %v", err)
+	}
+	// 3 words per character + 3 for the exit.
+	if len(chain.Words) != 2*3+3 {
+		t.Errorf("chain words = %d", len(chain.Words))
+	}
+	if len(chain.Bytes()) != 4*len(chain.Words) {
+		t.Error("Bytes length mismatch")
+	}
+}
+
+func TestBuildChainsFailOnSurvivorPool(t *testing.T) {
+	gs, res := scanVictim(t)
+	surv := Survivors(gs, res.Tables)
+	if _, err := BuildPrintChain(surv, "X"); err == nil {
+		t.Error("print chain assembled from survivor pool")
+	}
+	results := TryAllTemplates(surv)
+	for name, ok := range results {
+		if ok {
+			t.Errorf("template %q still assemblable after randomization", name)
+		}
+	}
+	// And on the original pool, both templates work.
+	results = TryAllTemplates(gs)
+	for name, ok := range results {
+		if !ok {
+			t.Errorf("template %q not assemblable on the original pool", name)
+		}
+	}
+}
+
+// TestEndToEndROPAttack mounts the assembled chain against the vulnerable
+// program: on the unprotected baseline the attack hijacks control and prints
+// the attacker's message; under VCFR the very first gadget address faults on
+// the randomized-tag check.
+func TestEndToEndROPAttack(t *testing.T) {
+	gs, res := scanVictim(t)
+	chain, err := BuildPrintChain(gs, "PWNED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(make([]byte, 32), chain.Bytes()...) // fill buffer, smash RA
+
+	// Unprotected: the attack succeeds.
+	got, err := emu.Run(res.Orig, emu.Config{Mode: emu.ModeNative, Input: payload})
+	if err != nil {
+		t.Fatalf("native run under attack: %v", err)
+	}
+	if !strings.Contains(string(got.Out), "PWNED") {
+		t.Errorf("attack output = %q, want PWNED (attack should succeed on baseline)", got.Out)
+	}
+	if strings.Contains(string(got.Out), "ok") {
+		t.Error("victim completed normally despite hijack")
+	}
+
+	// VCFR: the first gadget address is a prohibited un-randomized address.
+	_, err = emu.Run(res.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA, Input: payload,
+	})
+	if !errors.Is(err, emu.ErrControlViolation) {
+		t.Errorf("VCFR under attack: err = %v, want ErrControlViolation", err)
+	}
+
+	// And with benign input both run identically.
+	benign := []byte("hello")
+	a, err := emu.Run(res.Orig, emu.Config{Mode: emu.ModeNative, Input: benign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := emu.Run(res.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA, Input: benign,
+	})
+	if err != nil {
+		t.Fatalf("VCFR benign run: %v", err)
+	}
+	if string(a.Out) != string(b.Out) {
+		t.Errorf("benign outputs differ: %q vs %q", a.Out, b.Out)
+	}
+}
+
+func TestBuildWriteChainExecutes(t *testing.T) {
+	gs, res := scanVictim(t)
+	const target, value = 0x00180000, 0xdeadbeef
+	chain, err := BuildWriteChain(gs, target, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(make([]byte, 32), chain.Bytes()...)
+	m, err := emu.NewMachine(res.Orig, emu.Config{Mode: emu.ModeNative, Input: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("attack run: %v", err)
+	}
+	if got := m.Mem().ReadWord(target); got != value {
+		t.Errorf("write-what-where: mem[%#x] = %#x, want %#x", target, got, value)
+	}
+}
+
+func TestScanRespectsMaxInsts(t *testing.T) {
+	img := asm.MustAssemble("long", `
+.entry main
+main:
+	halt
+.func f
+f:
+	addi r1, 1
+	addi r2, 1
+	addi r3, 1
+	addi r4, 1
+	addi r5, 1
+	addi r6, 1
+	ret
+`)
+	short := Scan(img, 2)
+	long := Scan(img, 10)
+	if len(long) <= len(short) {
+		t.Errorf("maxInsts had no effect: %d vs %d", len(short), len(long))
+	}
+	for _, g := range short {
+		if len(g.Insts) > 2 {
+			t.Errorf("gadget longer than bound: %v", g)
+		}
+	}
+}
+
+func TestRemovalRateDegenerate(t *testing.T) {
+	if RemovalRate(nil, nil) != 0 {
+		t.Error("empty pools should report 0")
+	}
+}
+
+// TestJITROPDisclosureAttack replays the Snow-et-al. just-in-time code-reuse
+// sequence (disclose code at run time, harvest gadgets, compile, hijack):
+// it must defeat in-place randomization but fault under VCFR, where the
+// disclosed (original-layout) addresses are not executable.
+func TestJITROPDisclosureAttack(t *testing.T) {
+	img := asm.MustAssemble("victim", victimSrc)
+
+	// In-place randomized victim: the leak IS the executable layout.
+	inplace, _, err := ilr.InPlace(img, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := inplace.Text()
+	m, err := emu.NewMachine(inplace, emu.Config{Mode: emu.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked := make([]byte, len(text.Data))
+	m.Mem().ReadBytes(text.Addr, leaked)
+	leakImg := inplace.Clone()
+	leakImg.Text().Data = leaked
+	pool := Scan(leakImg, DefaultMaxInsts)
+	chain, err := BuildPrintChain(pool, "X")
+	if err != nil {
+		t.Fatalf("JIT-ROP payload vs in-place: %v", err)
+	}
+	payload := append(make([]byte, 32), chain.Bytes()...)
+	out, err := emu.Run(inplace, emu.Config{Mode: emu.ModeNative, Input: payload})
+	if err != nil || !strings.Contains(string(out.Out), "X") {
+		t.Errorf("JIT-ROP vs in-place should succeed: out=%q err=%v", out.Out, err)
+	}
+
+	// VCFR victim: identical disclosure, compiled chain faults.
+	res, err := ilr.Rewrite(img, ilr.Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := emu.NewMachine(res.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := res.VCFR.Text()
+	vleaked := make([]byte, len(vt.Data))
+	vm.Mem().ReadBytes(vt.Addr, vleaked)
+	vleakImg := res.VCFR.Clone()
+	vleakImg.Text().Data = vleaked
+	vpool := Scan(vleakImg, DefaultMaxInsts)
+	vchain, err := BuildPrintChain(vpool, "X")
+	if err != nil {
+		t.Fatalf("JIT-ROP payload vs VCFR leak: %v", err)
+	}
+	vpayload := append(make([]byte, 32), vchain.Bytes()...)
+	_, err = emu.Run(res.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA, Input: vpayload})
+	if !errors.Is(err, emu.ErrControlViolation) {
+		t.Errorf("JIT-ROP vs VCFR: err = %v, want ErrControlViolation", err)
+	}
+}
+
+// TestBuildExfilChainLeaksSecret: the confidentiality attack — exfiltrate a
+// secret planted in the victim's data through a compiled ROP chain.
+func TestBuildExfilChainLeaksSecret(t *testing.T) {
+	gs, res := scanVictim(t)
+	const secretAddr = 0x00180000
+	chain, err := BuildExfilChain(gs, secretAddr, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(make([]byte, 32), chain.Bytes()...)
+
+	m, err := emu.NewMachine(res.Orig, emu.Config{Mode: emu.ModeNative, Input: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem().WriteBytes(secretAddr, []byte("SECRET"))
+	out, err := m.Run()
+	if err != nil {
+		t.Fatalf("exfil run: %v", err)
+	}
+	if !strings.Contains(string(out.Out), "SECRET") {
+		t.Errorf("exfiltration failed: out = %q", out.Out)
+	}
+
+	// Under VCFR the same chain faults before leaking a byte.
+	vm, err := emu.NewMachine(res.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA, Input: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Mem().WriteBytes(secretAddr, []byte("SECRET"))
+	vout, err := vm.Run()
+	if !errors.Is(err, emu.ErrControlViolation) {
+		t.Errorf("VCFR exfil: err = %v, want ErrControlViolation", err)
+	}
+	if strings.Contains(string(vout.Out), "S") && strings.Contains(string(vout.Out), "SECRET") {
+		t.Errorf("VCFR leaked the secret: %q", vout.Out)
+	}
+}

@@ -1,0 +1,239 @@
+// Package harness runs the paper's experiments end to end: it builds a
+// workload, applies the ILR rewriter, runs the cycle simulator in the
+// configurations each table or figure needs, and renders the same rows the
+// paper reports. Each experiment in experiments.go corresponds to one table
+// or figure of the evaluation (see DESIGN.md's experiment index).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/program"
+	"vcfr/internal/workloads"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Workloads to include; nil means the experiment's default set (the 11
+	// SPEC analogs, or the Fig. 2 set for fig2).
+	Workloads []string
+	// Scale multiplies workload iteration counts. Default 1.
+	Scale int
+	// MaxInsts caps simulated instructions per run; 0 runs to completion
+	// (the paper runs 500 M or to completion, whichever is longer; our
+	// analogs complete in a few hundred thousand instructions per scale
+	// unit).
+	MaxInsts uint64
+	// Seed drives the randomization. Default 42.
+	Seed int64
+	// Spread is the ILR scatter factor. Default 8 (see withDefaults).
+	Spread int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Spread <= 0 {
+		// Spread 8 places scattered instructions ~64 bytes apart (about one
+		// per cache line): dense enough that the naive layout's damage is
+		// dominated by the paper's mechanism (IL1/prefetch/L2 pressure)
+		// rather than by iTLB saturation from a sparse gigantic image (see
+		// EXPERIMENTS.md, "calibration").
+		c.Spread = 8
+	}
+	return c
+}
+
+func (c Config) names(def []string) []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return def
+}
+
+// App is one prepared workload: generated, assembled, and randomized.
+type App struct {
+	W workloads.Workload
+	R *ilr.Result
+}
+
+// Prepare builds and randomizes one workload.
+func Prepare(name string, cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	w, err := workloads.ByName(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ilr.Rewrite(w.Img, ilr.Options{Seed: cfg.Seed, Spread: cfg.Spread})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", name, err)
+	}
+	return &App{W: w, R: res}, nil
+}
+
+// PrepareOpts is Prepare with explicit rewriter options (ablations).
+func PrepareOpts(name string, cfg Config, opts ilr.Options) (*App, error) {
+	cfg = cfg.withDefaults()
+	w, err := workloads.ByName(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	if opts.Spread == 0 {
+		opts.Spread = cfg.Spread
+	}
+	res, err := ilr.Rewrite(w.Img, opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", name, err)
+	}
+	return &App{W: w, R: res}, nil
+}
+
+// Run simulates the app in the given mode. mutate, if non-nil, adjusts the
+// default machine configuration (DRC size, ablation switches, ...).
+func (a *App) Run(mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
+	ccfg := cpu.DefaultConfig(mode)
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	var img *program.Image
+	var trans emu.Translator
+	var randRA map[uint32]uint32
+	switch mode {
+	case cpu.ModeBaseline:
+		img = a.R.Orig
+	case cpu.ModeNaiveILR:
+		img, trans = a.R.Scattered, a.R.Tables
+	case cpu.ModeVCFR:
+		img, trans, randRA = a.R.VCFR, a.R.Tables, a.R.RandRA
+	default:
+		return cpu.Result{}, ccfg, fmt.Errorf("harness: unknown mode %v", mode)
+	}
+	p, err := cpu.New(img, ccfg, trans, randRA)
+	if err != nil {
+		return cpu.Result{}, ccfg, err
+	}
+	p.SetInput(a.W.Input)
+	res, err := p.Run(maxInsts)
+	if err != nil {
+		return res, ccfg, fmt.Errorf("harness: %s under %v: %w", a.W.Name, mode, err)
+	}
+	return res, ccfg, nil
+}
+
+// RunEmulated interprets the scattered binary under the software-ILR cost
+// model (Fig. 2's baseline).
+func (a *App) RunEmulated(maxInsts uint64) (emu.RunResult, error) {
+	m, err := emu.NewMachine(a.R.Scattered, emu.Config{
+		Mode:     emu.ModeEmulatedILR,
+		Trans:    a.R.Tables,
+		Input:    a.W.Input,
+		MaxSteps: maxInsts,
+	})
+	if err != nil {
+		return emu.RunResult{}, err
+	}
+	if maxInsts == 0 {
+		return m.Run()
+	}
+	return m.RunN(maxInsts)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Formatting helpers.
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func u(v uint64) string   { return fmt.Sprintf("%d", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// mean returns the arithmetic mean.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}

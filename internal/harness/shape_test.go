@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+// These shape tests lock in the reproduction's headline directions on a
+// reduced configuration: they are the regression net for the calibration in
+// DESIGN.md §5. They intentionally assert inequalities (who wins), never
+// absolute numbers.
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestShapeNaiveILRDegradesIPC(t *testing.T) {
+	tb, err := Fig4(tiny("h264ref", "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		norm := cellFloat(t, row[3])
+		if norm >= 1.0 {
+			t.Errorf("%s: naive ILR did not degrade (%.3f)", row[0], norm)
+		}
+	}
+}
+
+func TestShapeVCFRBeatsNaiveEverywhere(t *testing.T) {
+	tb, err := Fig12(tiny("h264ref", "lbm", "xalan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		if sp := cellFloat(t, row[3]); sp < 1.0 {
+			t.Errorf("%s: VCFR slower than naive (%.2fx)", row[0], sp)
+		}
+	}
+}
+
+func TestShapeDRCSizeMonotone(t *testing.T) {
+	tb, err := Fig13(tiny("h264ref", "xalan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		at512, at128, at64 := cellFloat(t, row[1]), cellFloat(t, row[2]), cellFloat(t, row[3])
+		// Allow tiny inversions from timing noise, but the trend must hold.
+		if at64 > at512+0.005 {
+			t.Errorf("%s: smaller DRC faster (%.3f @64 vs %.3f @512)", row[0], at64, at512)
+		}
+		if at512 < 0.5 || at128 < 0.5 || at64 < 0.5 {
+			t.Errorf("%s: VCFR overhead implausible: %v", row[0], row)
+		}
+	}
+}
+
+func TestShapeGadgetRemovalHigh(t *testing.T) {
+	tb, err := Fig11(tiny("h264ref", "xalan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		if removed := cellFloat(t, row[3]); removed < 90 {
+			t.Errorf("%s: only %.1f%% of gadgets removed", row[0], removed)
+		}
+	}
+}
+
+func TestShapePowerOverheadSubPercent(t *testing.T) {
+	tb, err := Fig15(tiny("h264ref", "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		if ovh := cellFloat(t, row[3]); ovh > 2.5 {
+			t.Errorf("%s: DRC power overhead %.2f%%, out of regime", row[0], ovh)
+		}
+	}
+}
+
+func TestShapeInPlaceWeakerThanComplete(t *testing.T) {
+	tb, err := BaselineInPlace(tiny("h264ref", "xalan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "average" {
+			continue
+		}
+		inplace, complete := cellFloat(t, row[2]), cellFloat(t, row[3])
+		if inplace >= complete {
+			t.Errorf("%s: in-place (%.1f%%) >= complete ILR (%.1f%%)",
+				row[0], inplace, complete)
+		}
+	}
+}
+
+// TestSoakLargerScale runs one workload end to end at a bigger scale across
+// all three architectures — a longer-horizon stability check.
+func TestSoakLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	app, err := Prepare("h264ref", Config{Scale: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs []string
+	for _, mode := range []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR} {
+		res, _, err := app.Run(mode, 0, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Stats.Instructions < 800_000 {
+			t.Errorf("%v: soak ran only %d instructions", mode, res.Stats.Instructions)
+		}
+		outs = append(outs, string(res.Out))
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Errorf("soak outputs diverged: %q %q %q", outs[0], outs[1], outs[2])
+	}
+}
+
+// TestShapeStableAcrossSeeds: the headline who-wins results are properties
+// of the design, not of one lucky layout.
+func TestShapeStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{7, 1234, 987654} {
+		cfg := tiny("h264ref")
+		cfg.Seed = seed
+		tb, err := Fig12(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sp := cellFloat(t, tb.Rows[0][3]); sp < 1.0 {
+			t.Errorf("seed %d: VCFR lost to naive (%.2fx)", seed, sp)
+		}
+		gt, err := Fig11(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if removed := cellFloat(t, gt.Rows[0][3]); removed < 90 {
+			t.Errorf("seed %d: removal %.1f%%", seed, removed)
+		}
+	}
+}

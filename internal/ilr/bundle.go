@@ -1,0 +1,83 @@
+package ilr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"vcfr/internal/cfg"
+	"vcfr/internal/program"
+)
+
+// bundleWire is the gob representation of a Result. Map contents are
+// exported copies of the unexported table internals.
+type bundleWire struct {
+	Orig      *program.Image
+	VCFR      *program.Image
+	Scattered *program.Image
+	O2R       map[uint32]uint32
+	Allowed   map[uint32]bool
+	RandRA    map[uint32]uint32
+	Opts      Options
+	Stats     Stats
+}
+
+// Marshal serializes the complete randomization result — images, tables,
+// return-address map, options, statistics — into one self-contained bundle.
+// This is what a deployment pipeline ships next to the binary and what the
+// kernel would load as process context.
+func (res *Result) Marshal() ([]byte, error) {
+	w := bundleWire{
+		Orig:      res.Orig,
+		VCFR:      res.VCFR,
+		Scattered: res.Scattered,
+		O2R:       res.Tables.o2r,
+		Allowed:   res.Tables.allowed,
+		RandRA:    res.RandRA,
+		Opts:      res.Opts,
+		Stats:     res.Stats,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("ilr: marshal bundle: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBundle reconstructs a Result from Marshal's output. The CFG is
+// rebuilt from the original image (it is derived state).
+func UnmarshalBundle(data []byte) (*Result, error) {
+	var w bundleWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("ilr: unmarshal bundle: %w", err)
+	}
+	if w.Orig == nil || w.VCFR == nil || w.Scattered == nil || len(w.O2R) == 0 {
+		return nil, fmt.Errorf("ilr: bundle is incomplete")
+	}
+	t := newTables(len(w.O2R))
+	for o, r := range w.O2R {
+		t.add(o, r)
+	}
+	if len(t.r2o) != len(t.o2r) {
+		return nil, fmt.Errorf("ilr: bundle tables are not bijective")
+	}
+	for a, ok := range w.Allowed {
+		if ok {
+			t.allow(a)
+		}
+	}
+	g, err := cfg.Build(w.Orig)
+	if err != nil {
+		return nil, fmt.Errorf("ilr: bundle original image: %w", err)
+	}
+	return &Result{
+		Orig:      w.Orig,
+		VCFR:      w.VCFR,
+		Scattered: w.Scattered,
+		Tables:    t,
+		RandRA:    w.RandRA,
+		Graph:     g,
+		Opts:      w.Opts,
+		Stats:     w.Stats,
+	}, nil
+}

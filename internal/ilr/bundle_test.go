@@ -1,0 +1,87 @@
+package ilr
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/emu"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	img := asm.MustAssemble("b", equivalencePrograms[1].src)
+	res, err := Rewrite(img, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalBundle(data)
+	if err != nil {
+		t.Fatalf("UnmarshalBundle: %v", err)
+	}
+
+	// Tables identical.
+	if got.Tables.Len() != res.Tables.Len() {
+		t.Fatalf("table len %d != %d", got.Tables.Len(), res.Tables.Len())
+	}
+	for _, orig := range res.Tables.OrigAddrs() {
+		a, _ := res.Tables.ToRand(orig)
+		b, ok := got.Tables.ToRand(orig)
+		if !ok || a != b {
+			t.Fatalf("mapping diverged at %#x", orig)
+		}
+		if res.Tables.Prohibited(orig) != got.Tables.Prohibited(orig) {
+			t.Fatalf("prohibition diverged at %#x", orig)
+		}
+	}
+	if len(got.RandRA) != len(res.RandRA) {
+		t.Error("RandRA lost")
+	}
+	if got.Opts.Seed != 77 {
+		t.Errorf("opts lost: %+v", got.Opts)
+	}
+	if got.Stats.Instructions != res.Stats.Instructions {
+		t.Error("stats lost")
+	}
+	if got.Graph == nil || len(got.Graph.Insts) != len(res.Graph.Insts) {
+		t.Error("graph not rebuilt")
+	}
+
+	// The reloaded bundle still executes correctly under VCFR.
+	out, err := emu.Run(got.VCFR, emu.Config{
+		Mode: emu.ModeVCFR, Trans: got.Tables, RandRA: got.RandRA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Out) != "5040" {
+		t.Errorf("reloaded bundle output = %q", out.Out)
+	}
+}
+
+func TestUnmarshalBundleRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalBundle([]byte("nonsense")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalBundle(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestUnmarshalBundleRejectsIncomplete(t *testing.T) {
+	img := asm.MustAssemble("b", ".entry main\nmain: halt")
+	res, err := Rewrite(img, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.VCFR = nil
+	data, err := res.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBundle(data); err == nil {
+		t.Error("incomplete bundle accepted")
+	}
+}

@@ -1,0 +1,642 @@
+package ilr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/emu"
+	"vcfr/internal/program"
+)
+
+// equivalencePrograms is a battery of programs exercising every control-flow
+// feature the rewriter must preserve. Each must produce identical output
+// under native, scattered (naive ILR), emulated ILR, and VCFR execution.
+var equivalencePrograms = []struct {
+	name, src, input, want string
+}{
+	{
+		name: "fib",
+		src: `
+.entry main
+main:
+	movi r1, 0
+	movi r2, 1
+	movi r3, 15
+loop:
+	cmpi r3, 0
+	je done
+	mov r4, r2
+	add r2, r1
+	mov r1, r4
+	subi r3, 1
+	jmp loop
+done:
+	sys 3
+	movi r1, 0
+	sys 0
+`,
+		want: "610",
+	},
+	{
+		name: "recursion",
+		src: `
+.entry main
+main:
+	movi r1, 7
+	call fact
+	mov r1, r0
+	sys 3
+	movi r1, 0
+	sys 0
+.func fact
+fact:
+	cmpi r1, 1
+	jg rec
+	movi r0, 1
+	ret
+rec:
+	push r1
+	subi r1, 1
+	call fact
+	pop r1
+	mul r0, r1
+	ret
+`,
+		want: "5040",
+	},
+	{
+		name: "jumptable",
+		src: `
+.entry main
+main:
+	movi r7, 0          ; case index
+next:
+	cmpi r7, 3
+	je done
+	mov r2, r7
+	shli r2, 2
+	movi r3, table
+	loadr r4, [r3+r2]
+	jmpr r4
+case0:
+	movi r1, 'a'
+	jmp emit
+case1:
+	movi r1, 'b'
+	jmp emit
+case2:
+	movi r1, 'c'
+	jmp emit
+emit:
+	sys 1
+	addi r7, 1
+	jmp next
+done:
+	movi r1, 0
+	sys 0
+.data
+table: .addr case0, case1, case2
+`,
+		want: "abc",
+	},
+	{
+		name: "echo",
+		src: `
+.entry main
+main:
+	sys 2
+	cmpi r0, -1
+	je done
+	mov r1, r0
+	sys 1
+	jmp main
+done:
+	movi r1, 0
+	sys 0
+`,
+		input: "rand!",
+		want:  "rand!",
+	},
+	{
+		name: "indirect-call",
+		src: `
+.entry main
+main:
+	movi r5, double
+	movi r1, 21
+	callr r5
+	mov r1, r0
+	sys 3
+	movi r1, 0
+	sys 0
+.func double
+double:
+	mov r0, r1
+	add r0, r1
+	ret
+`,
+		want: "42",
+	},
+	{
+		name: "pic-read-ra-and-ret",
+		src: `
+; callee reads its own return address off the stack, pushes it back, rets.
+.entry main
+main:
+	call picky
+	movi r1, 'K'
+	sys 1
+	movi r1, 0
+	sys 0
+.func picky
+picky:
+	pop r4          ; explicit RA read (auto-de-randomized under VCFR)
+	push r4         ; plain store: slot is no longer a marked RA slot
+	ret
+`,
+		want: "K",
+	},
+	{
+		name: "pic-return-via-jmpr",
+		src: `
+; callee returns with pop+jmpr instead of ret (Fig. 10 pattern).
+.entry main
+main:
+	call weird
+	movi r1, 'W'
+	sys 1
+	movi r1, 0
+	sys 0
+.func weird
+weird:
+	pop r4
+	jmpr r4
+`,
+		want: "W",
+	},
+	{
+		// The C++-exception-handling pattern of Sec. IV-C: a callee walks
+		// the stack through frame pointers and reads every caller's return
+		// address. Under VCFR the stack holds RANDOMIZED return addresses,
+		// but the bitmap-driven auto-de-randomization makes explicit loads
+		// observe the original values — so the checksum of the walked RAs
+		// matches native execution exactly.
+		name: "stack-unwind",
+		src: `
+.entry main
+main:
+	movi r9, 0
+	push bp
+	mov bp, sp
+	call level1
+	pop bp
+	mov r1, r9
+	sys 3
+	movi r1, 0
+	sys 0
+.func level1
+level1:
+	push bp
+	mov bp, sp
+	call level2
+	pop bp
+	ret
+.func level2
+level2:
+	push bp
+	mov bp, sp
+	call unwinder
+	pop bp
+	ret
+.func unwinder
+unwinder:
+	push bp
+	mov bp, sp
+	; walk three frames: each saved bp chains upward, RA at [bp+4]
+	mov r4, bp
+	movi r3, 3
+walk:
+	cmpi r3, 0
+	je wdone
+	load r5, [r4+4]   ; caller return address (auto-de-randomized)
+	add r9, r5
+	load r4, [r4+0]   ; saved bp of the next frame up
+	subi r3, 1
+	jmp walk
+wdone:
+	pop bp
+	ret
+`,
+		want: "12391", // sum of the three original return addresses
+	},
+	{
+		name: "memops",
+		src: `
+.entry main
+main:
+	movi r2, 0x80000    ; buffer
+	movi r3, 0
+fill:
+	cmpi r3, 10
+	je sum
+	mov r4, r3
+	mul r4, r4
+	shli r3, 2
+	storer [r2+r3], r4
+	shri r3, 2
+	addi r3, 1
+	jmp fill
+sum:
+	movi r5, 0
+	movi r3, 0
+acc:
+	cmpi r3, 10
+	je out
+	shli r3, 2
+	loadr r6, [r2+r3]
+	shri r3, 2
+	add r5, r6
+	addi r3, 1
+	jmp acc
+out:
+	mov r1, r5
+	sys 3
+	movi r1, 0
+	sys 0
+`,
+		want: "285", // sum of squares 0..9
+	},
+}
+
+// runMode executes the right artifact for each mode and returns the result.
+func runMode(t *testing.T, res *Result, mode emu.Mode, input string) emu.RunResult {
+	t.Helper()
+	var img *program.Image
+	switch mode {
+	case emu.ModeNative:
+		img = res.Orig
+	case emu.ModeScattered, emu.ModeEmulatedILR:
+		img = res.Scattered
+	case emu.ModeVCFR:
+		img = res.VCFR
+	}
+	out, err := emu.Run(img, emu.Config{
+		Mode:   mode,
+		Trans:  res.Tables,
+		RandRA: res.RandRA,
+		Input:  []byte(input),
+	})
+	if err != nil {
+		t.Fatalf("%v run: %v", mode, err)
+	}
+	return out
+}
+
+func TestSemanticEquivalenceAcrossModes(t *testing.T) {
+	modes := []emu.Mode{emu.ModeNative, emu.ModeScattered, emu.ModeEmulatedILR, emu.ModeVCFR}
+	for _, tp := range equivalencePrograms {
+		t.Run(tp.name, func(t *testing.T) {
+			img := asm.MustAssemble(tp.name, tp.src)
+			res, err := Rewrite(img, Options{Seed: 42})
+			if err != nil {
+				t.Fatalf("Rewrite: %v", err)
+			}
+			for _, mode := range modes {
+				got := runMode(t, res, mode, tp.input)
+				if string(got.Out) != tp.want {
+					t.Errorf("%v: out = %q, want %q", mode, got.Out, tp.want)
+				}
+				if got.ExitCode != 0 {
+					t.Errorf("%v: exit = %d", mode, got.ExitCode)
+				}
+			}
+		})
+	}
+}
+
+func TestRewriteDeterministicBySeed(t *testing.T) {
+	img := asm.MustAssemble("d", equivalencePrograms[0].src)
+	a, err := Rewrite(img, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rewrite(img, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, orig := range a.Tables.OrigAddrs() {
+		ra, _ := a.Tables.ToRand(orig)
+		rb, _ := b.Tables.ToRand(orig)
+		if ra != rb {
+			t.Fatalf("same seed diverged at %#x: %#x vs %#x", orig, ra, rb)
+		}
+	}
+	c, err := a.Rerandomize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, orig := range a.Tables.OrigAddrs() {
+		ra, _ := a.Tables.ToRand(orig)
+		rc, _ := c.Tables.ToRand(orig)
+		if ra == rc {
+			same++
+		}
+	}
+	if same == a.Tables.Len() {
+		t.Error("re-randomization produced an identical layout")
+	}
+}
+
+func TestRewriteTablesBijective(t *testing.T) {
+	img := asm.MustAssemble("b", equivalencePrograms[1].src)
+	res, err := Rewrite(img, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables
+	if tbl.Len() != len(res.Graph.Insts) {
+		t.Errorf("table has %d entries for %d instructions", tbl.Len(), len(res.Graph.Insts))
+	}
+	seen := make(map[uint32]bool)
+	for _, orig := range tbl.OrigAddrs() {
+		r, ok := tbl.ToRand(orig)
+		if !ok {
+			t.Fatalf("no rand for %#x", orig)
+		}
+		if seen[r] {
+			t.Fatalf("randomized address %#x assigned twice", r)
+		}
+		seen[r] = true
+		back, ok := tbl.ToOrig(r)
+		if !ok || back != orig {
+			t.Fatalf("inverse broken: %#x -> %#x -> %#x", orig, r, back)
+		}
+		if r < DefaultRandBase {
+			t.Fatalf("randomized address %#x below RandBase", r)
+		}
+	}
+}
+
+func TestRewriteNoOverlapInScatteredLayout(t *testing.T) {
+	img := asm.MustAssemble("o", equivalencePrograms[2].src)
+	res, err := Rewrite(img, Options{Seed: 11, Spread: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct{ lo, hi uint32 }
+	var spans []span
+	for _, in := range res.Graph.Insts {
+		r, _ := res.Tables.ToRand(in.Addr)
+		spans = append(spans, span{r, r + uint32(in.Len())})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("encodings overlap: [%#x,%#x) and [%#x,%#x)",
+					spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+}
+
+func TestRewriteStats(t *testing.T) {
+	img := asm.MustAssemble("s", equivalencePrograms[1].src)
+	res, err := Rewrite(img, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Instructions == 0 || st.CodeRelocs == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	// Arch mode: both direct call sites randomized.
+	if st.CallsRandomized != 2 || st.CallsPlain != 0 {
+		t.Errorf("calls randomized/plain = %d/%d, want 2/0", st.CallsRandomized, st.CallsPlain)
+	}
+	if st.EntropyBits < 5 {
+		t.Errorf("entropy = %.1f bits, implausibly low", st.EntropyBits)
+	}
+	if st.TableBytes != res.Tables.Len()*8 {
+		t.Errorf("TableBytes = %d", st.TableBytes)
+	}
+	if st.SoftwareGrowth != 0 {
+		t.Errorf("arch mode reports software growth %d", st.SoftwareGrowth)
+	}
+}
+
+func TestRetRandModes(t *testing.T) {
+	src := equivalencePrograms[5].src // pic-read-ra-and-ret: unsafe callee
+	img := asm.MustAssemble("rr", src)
+
+	for _, mode := range []RetRandMode{RetRandNone, RetRandSoftware, RetRandArch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := Rewrite(img, Options{Seed: 5, RetRand: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case RetRandNone:
+				if len(res.RandRA) != 0 {
+					t.Errorf("RandRA = %d entries, want 0", len(res.RandRA))
+				}
+			case RetRandSoftware:
+				// The only call's callee reads its RA: unsafe, not randomized.
+				if len(res.RandRA) != 0 {
+					t.Errorf("software mode randomized an unsafe site")
+				}
+				if res.Stats.SoftwareGrowth != 0 {
+					t.Errorf("growth = %d for zero randomized sites", res.Stats.SoftwareGrowth)
+				}
+			case RetRandArch:
+				if len(res.RandRA) != 1 {
+					t.Errorf("arch mode RandRA = %d entries, want 1", len(res.RandRA))
+				}
+			}
+			// All three must still run correctly under VCFR.
+			got := runMode(t, res, emu.ModeVCFR, "")
+			if string(got.Out) != "K" {
+				t.Errorf("out = %q, want K", got.Out)
+			}
+		})
+	}
+}
+
+func TestSoftwareGrowthAccounted(t *testing.T) {
+	img := asm.MustAssemble("g", equivalencePrograms[1].src) // two safe call sites
+	res, err := Rewrite(img, Options{Seed: 5, RetRand: RetRandSoftware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CallsRandomized != 2 {
+		t.Fatalf("randomized sites = %d, want 2", res.Stats.CallsRandomized)
+	}
+	if res.Stats.SoftwareGrowth != 2*softwareGrowthPerSite {
+		t.Errorf("growth = %d, want %d", res.Stats.SoftwareGrowth, 2*softwareGrowthPerSite)
+	}
+}
+
+func TestPageConfinedMode(t *testing.T) {
+	img := asm.MustAssemble("p", equivalencePrograms[0].src)
+	res, err := Rewrite(img, Options{Seed: 9, PageConfined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	textBase := img.Text().Addr &^ uint32(4095)
+	for _, in := range res.Graph.Insts {
+		r, _ := res.Tables.ToRand(in.Addr)
+		origPage := (in.Addr &^ uint32(4095)) - textBase
+		randPage := (r - DefaultRandBase) &^ uint32(4095)
+		// Confinement allows at most one page of spill for boundary
+		// straddlers (see assignPageConfined).
+		if randPage != origPage && randPage != origPage+4096 {
+			t.Fatalf("inst %#x left its page neighbourhood: rand %#x", in.Addr, r)
+		}
+	}
+	// Still runs correctly.
+	got := runMode(t, res, emu.ModeVCFR, "")
+	if string(got.Out) != "610" {
+		t.Errorf("page-confined VCFR out = %q", got.Out)
+	}
+	// Page-confined entropy is fixed by the page geometry
+	// (log2(4096/8 * 3) ≈ 10.58 bits) regardless of program size.
+	if res.Stats.EntropyBits < 10.5 || res.Stats.EntropyBits > 10.7 {
+		t.Errorf("page-confined entropy = %.2f bits, want ~10.58", res.Stats.EntropyBits)
+	}
+	// Free placement entropy scales with instruction count; for a large
+	// program it exceeds the page-confined bound.
+	var big string
+	big = ".entry main\nmain:\n"
+	for i := 0; i < 2000; i++ {
+		big += "\tnop\n"
+	}
+	big += "\thalt\n"
+	free, err := Rewrite(asm.MustAssemble("big", big), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Stats.EntropyBits <= res.Stats.EntropyBits {
+		t.Errorf("free entropy %.1f <= page-confined %.1f",
+			free.Stats.EntropyBits, res.Stats.EntropyBits)
+	}
+}
+
+func TestProhibitionCoversRandomizedInstructions(t *testing.T) {
+	img := asm.MustAssemble("pr", equivalencePrograms[0].src)
+	res, err := Rewrite(img, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prohibited := 0
+	for _, in := range res.Graph.Insts {
+		if res.Tables.Prohibited(in.Addr) {
+			prohibited++
+		}
+	}
+	// Everything except un-randomized failover targets must be prohibited;
+	// for this program (no unresolved indirects, arch ret-rand) that is all
+	// instructions.
+	if prohibited != len(res.Graph.Insts) {
+		t.Errorf("prohibited %d of %d instructions", prohibited, len(res.Graph.Insts))
+	}
+	// Default-deny: misaligned addresses (not instruction starts) are also
+	// prohibited — the misaligned-gadget escape hatch is closed.
+	mis := res.Graph.Insts[0].Addr + 1
+	if !res.Tables.Prohibited(mis) {
+		t.Errorf("misaligned address %#x not prohibited", mis)
+	}
+	if res.Tables.AllowedUnrand() != 0 {
+		t.Errorf("allowed failover targets = %d, want 0", res.Tables.AllowedUnrand())
+	}
+}
+
+func TestVCFRImagePatchesJumpTable(t *testing.T) {
+	img := asm.MustAssemble("jt", equivalencePrograms[2].src)
+	res, err := Rewrite(img, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableAddr, _ := img.Lookup("table")
+	for i := uint32(0); i < 3; i++ {
+		origWord, _ := res.Orig.ReadWord(tableAddr + 4*i)
+		vcfrWord, _ := res.VCFR.ReadWord(tableAddr + 4*i)
+		want, _ := res.Tables.ToRand(origWord)
+		if vcfrWord != want {
+			t.Errorf("table[%d]: VCFR word %#x, want randomized %#x of %#x",
+				i, vcfrWord, want, origWord)
+		}
+	}
+	if res.Stats.DataRelocs != 3 {
+		t.Errorf("DataRelocs = %d, want 3", res.Stats.DataRelocs)
+	}
+}
+
+func TestScatteredImageValid(t *testing.T) {
+	img := asm.MustAssemble("sc", equivalencePrograms[3].src)
+	res, err := Rewrite(img, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scattered.Validate(); err != nil {
+		t.Errorf("scattered image invalid: %v", err)
+	}
+	if err := res.VCFR.Validate(); err != nil {
+		t.Errorf("VCFR image invalid: %v", err)
+	}
+	// The scattered entry is the randomized address of the original entry.
+	want, _ := res.Tables.ToRand(img.Entry)
+	if res.Scattered.Entry != want {
+		t.Errorf("scattered entry = %#x, want %#x", res.Scattered.Entry, want)
+	}
+	// Original image untouched by the rewrite.
+	if img.Segments[0].Data[0] != res.Orig.Segments[0].Data[0] ||
+		res.Orig != img {
+		t.Error("Rewrite modified or replaced the input image")
+	}
+}
+
+func TestRewriteRejectsInvalidImage(t *testing.T) {
+	img := asm.MustAssemble("ok", ".entry main\nmain: halt")
+	img.Entry = 0x99999999
+	if _, err := Rewrite(img, Options{}); err == nil {
+		t.Error("Rewrite accepted an invalid image")
+	}
+}
+
+func TestRetRandModeString(t *testing.T) {
+	for m, want := range map[RetRandMode]string{
+		RetRandNone: "none", RetRandSoftware: "software",
+		RetRandArch: "arch", RetRandMode(9): "retrand(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func BenchmarkRewriteWorkloadSized(b *testing.B) {
+	// Rewriting a realistic image: ~3.5k instructions (xalan-sized text).
+	var src strings.Builder
+	src.WriteString(".entry main\nmain:\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&src, "\tcall f%d\n", i)
+	}
+	src.WriteString("\thalt\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&src, ".func f%d\nf%d:\n", i, i)
+		for k := 0; k < 8; k++ {
+			fmt.Fprintf(&src, "\taddi r1, %d\n", k+1)
+		}
+		src.WriteString("\tret\n")
+	}
+	img := asm.MustAssemble("bench", src.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rewrite(img, Options{Seed: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

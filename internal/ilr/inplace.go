@@ -1,0 +1,172 @@
+package ilr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vcfr/internal/cfg"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// In-place code randomization — the Pappas et al. baseline the paper's
+// introduction contrasts with complete ILR ("reordering instructions within
+// the basic block boundaries without changing execution results"). It needs
+// no hardware support, no tables, and no extra space: it permutes
+// independent adjacent instructions inside each basic block. The price is
+// partial coverage — gadgets that survive untouched remain usable, which is
+// exactly the gap complete ILR (and VCFR) closes.
+
+// InPlaceStats summarizes one in-place randomization pass.
+type InPlaceStats struct {
+	Blocks        int // basic blocks examined
+	BlocksTouched int // blocks where at least one swap happened
+	Swaps         int // adjacent-pair swaps performed
+	Instructions  int
+}
+
+// resource bit positions for the dependence check: 16 registers, the flags,
+// and a single conservative memory token.
+const (
+	resFlags = 16
+	resMem   = 17
+)
+
+type resSet uint32
+
+func (s *resSet) add(bit int)        { *s |= 1 << uint(bit) }
+func (s resSet) meets(o resSet) bool { return s&o != 0 }
+
+// readsWrites computes the (reads, writes) resource sets of an instruction.
+func readsWrites(in isa.Inst) (reads, writes resSet) {
+	rd, rs, rt := int(in.Rd), int(in.Rs), int(in.Rt)
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMovRR:
+		reads.add(rs)
+		writes.add(rd)
+	case isa.OpMovRI:
+		writes.add(rd)
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpMod:
+		reads.add(rd)
+		reads.add(rs)
+		writes.add(rd)
+		writes.add(resFlags)
+	case isa.OpNeg, isa.OpNot:
+		reads.add(rd)
+		writes.add(rd)
+		writes.add(resFlags)
+	case isa.OpAddI, isa.OpSubI, isa.OpAndI, isa.OpOrI, isa.OpXorI,
+		isa.OpShlI, isa.OpShrI, isa.OpSarI:
+		reads.add(rd)
+		writes.add(rd)
+		writes.add(resFlags)
+	case isa.OpCmp, isa.OpTest:
+		reads.add(rd)
+		reads.add(rs)
+		writes.add(resFlags)
+	case isa.OpCmpI:
+		reads.add(rd)
+		writes.add(resFlags)
+	case isa.OpLea:
+		reads.add(rs)
+		writes.add(rd)
+	case isa.OpLoad, isa.OpLoadB:
+		reads.add(rs)
+		reads.add(resMem)
+		writes.add(rd)
+	case isa.OpLoadR:
+		reads.add(rs)
+		reads.add(rt)
+		reads.add(resMem)
+		writes.add(rd)
+	case isa.OpStore, isa.OpStoreB:
+		reads.add(rd)
+		reads.add(rs)
+		writes.add(resMem)
+	case isa.OpStoreR:
+		reads.add(rd)
+		reads.add(rs)
+		reads.add(rt)
+		writes.add(resMem)
+	default:
+		// Control transfers, push/pop (sp discipline), sys: treated as
+		// barriers by canSwap, so the sets do not matter.
+	}
+	return reads, writes
+}
+
+// swappable reports whether the instruction may participate in reordering at
+// all. Control flow, stack ops, and syscalls are barriers.
+func swappable(in isa.Inst) bool {
+	if in.Class() != isa.ClassSeq {
+		return false
+	}
+	switch in.Op {
+	case isa.OpPush, isa.OpPop, isa.OpSys:
+		return false
+	}
+	return true
+}
+
+// canSwap reports whether adjacent instructions a;b can execute as b;a.
+func canSwap(a, b isa.Inst) bool {
+	if !swappable(a) || !swappable(b) {
+		return false
+	}
+	ar, aw := readsWrites(a)
+	br, bw := readsWrites(b)
+	return !aw.meets(br) && // RAW
+		!ar.meets(bw) && // WAR
+		!aw.meets(bw) // WAW
+}
+
+// InPlace returns a copy of img with instructions randomly reordered inside
+// basic-block boundaries (dependence-preserving), plus statistics. The
+// output runs natively — no tables, no special hardware.
+func InPlace(img *program.Image, seed int64) (*program.Image, InPlaceStats, error) {
+	g, err := cfg.Build(img)
+	if err != nil {
+		return nil, InPlaceStats{}, fmt.Errorf("ilr: in-place: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := img.Clone()
+	out.Name = img.Name + ".inplace"
+	text := out.Text()
+
+	stats := InPlaceStats{Instructions: len(g.Insts)}
+	for _, start := range g.Order {
+		b := g.Blocks[start]
+		stats.Blocks++
+		insts := append([]isa.Inst(nil), b.Insts...)
+		swapsHere := 0
+		// Several random passes of adjacent-pair swaps approximate a random
+		// linear extension of the block's dependence order.
+		for pass := 0; pass < 4; pass++ {
+			for _, i := range rng.Perm(len(insts) - 1) {
+				if canSwap(insts[i], insts[i+1]) && rng.Intn(2) == 1 {
+					insts[i], insts[i+1] = insts[i+1], insts[i]
+					swapsHere++
+				}
+			}
+		}
+		if swapsHere == 0 {
+			continue
+		}
+		stats.BlocksTouched++
+		stats.Swaps += swapsHere
+		// Re-emit the block's bytes at its original extent; the block's
+		// total size is unchanged (same instructions, new order), and
+		// nothing targets mid-block addresses (leaders are block starts).
+		buf := make([]byte, 0, int(b.End()-b.Start))
+		for _, in := range insts {
+			buf = isa.Encode(buf, in)
+		}
+		if uint32(len(buf)) != b.End()-b.Start {
+			return nil, stats, fmt.Errorf("ilr: in-place block %#x changed size", b.Start)
+		}
+		copy(text.Data[b.Start-text.Addr:], buf)
+	}
+	return out, stats, nil
+}

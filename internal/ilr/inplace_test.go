@@ -1,0 +1,119 @@
+package ilr
+
+import (
+	"testing"
+
+	"vcfr/internal/asm"
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+)
+
+func TestInPlacePreservesSemantics(t *testing.T) {
+	for _, tp := range equivalencePrograms {
+		t.Run(tp.name, func(t *testing.T) {
+			img := asm.MustAssemble(tp.name, tp.src)
+			want, err := emu.Run(img, emu.Config{Mode: emu.ModeNative, Input: []byte(tp.input)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rand, stats, err := InPlace(img, 9)
+			if err != nil {
+				t.Fatalf("InPlace: %v", err)
+			}
+			got, err := emu.Run(rand, emu.Config{Mode: emu.ModeNative, Input: []byte(tp.input)})
+			if err != nil {
+				t.Fatalf("in-place run: %v", err)
+			}
+			if string(got.Out) != string(want.Out) {
+				t.Errorf("in-place output %q != native %q (stats %+v)",
+					got.Out, want.Out, stats)
+			}
+		})
+	}
+}
+
+func TestInPlaceActuallyReorders(t *testing.T) {
+	// A block full of independent movi instructions gives the permuter
+	// maximal freedom.
+	src := ".entry main\nmain:\n"
+	for r := 0; r < 8; r++ {
+		src += "\tmovi r" + string(rune('0'+r)) + ", " + string(rune('1'+r)) + "\n"
+	}
+	src += "\thalt\n"
+	img := asm.MustAssemble("re", src)
+	rand, stats, err := InPlace(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swaps == 0 || stats.BlocksTouched == 0 {
+		t.Fatalf("no reordering happened: %+v", stats)
+	}
+	if string(rand.Text().Data) == string(img.Text().Data) {
+		t.Error("text bytes unchanged despite swaps")
+	}
+	if len(rand.Text().Data) != len(img.Text().Data) {
+		t.Error("in-place changed the text size")
+	}
+}
+
+func TestInPlaceRespectsDependences(t *testing.T) {
+	// cmp must stay the last flag writer before the branch; the dependent
+	// chain r1 -> r2 -> r3 must stay ordered.
+	img := asm.MustAssemble("dep", `
+.entry main
+main:
+	movi r1, 5
+	mov r2, r1
+	add r3, r2
+	addi r3, 1
+	cmpi r3, 6
+	jne bad
+	movi r1, 'Y'
+	sys 1
+	movi r1, 0
+	sys 0
+bad:
+	movi r1, 'N'
+	sys 1
+	movi r1, 1
+	sys 0
+`)
+	for seed := int64(0); seed < 20; seed++ {
+		rand, _, err := InPlace(img, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := emu.Run(rand, emu.Config{Mode: emu.ModeNative})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(out.Out) != "Y" {
+			t.Fatalf("seed %d: dependence violated, output %q", seed, out.Out)
+		}
+	}
+}
+
+func TestCanSwapRules(t *testing.T) {
+	mk := func(op isa.Op, rd, rs isa.Reg) isa.Inst { return isa.Inst{Op: op, Rd: rd, Rs: rs} }
+	tests := []struct {
+		name string
+		a, b isa.Inst
+		want bool
+	}{
+		{"independent", mk(isa.OpAdd, 1, 2), mk(isa.OpAdd, 3, 4), false /* both write flags: WAW */},
+		{"independent movs", mk(isa.OpMovRR, 1, 2), mk(isa.OpMovRR, 3, 4), true},
+		{"raw", mk(isa.OpMovRR, 1, 2), mk(isa.OpMovRR, 3, 1), false},
+		{"war", mk(isa.OpMovRR, 3, 1), mk(isa.OpMovRR, 1, 2), false},
+		{"waw", mk(isa.OpMovRR, 1, 2), mk(isa.OpMovRR, 1, 4), false},
+		{"store-load", mk(isa.OpStore, 1, 2), mk(isa.OpLoad, 3, 4), false},
+		{"load-load", mk(isa.OpLoad, 1, 2), mk(isa.OpLoad, 3, 4), true},
+		{"control barrier", isa.Inst{Op: isa.OpJmp}, mk(isa.OpMovRR, 1, 2), false},
+		{"push barrier", isa.Inst{Op: isa.OpPush, Rd: 1}, mk(isa.OpMovRR, 2, 3), false},
+		{"sys barrier", isa.Inst{Op: isa.OpSys}, mk(isa.OpMovRR, 2, 3), false},
+	}
+	for _, tt := range tests {
+		if got := canSwap(tt.a, tt.b); got != tt.want {
+			t.Errorf("%s: canSwap = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}

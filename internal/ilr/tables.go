@@ -1,0 +1,95 @@
+package ilr
+
+import (
+	"sort"
+)
+
+// Tables are the randomization/de-randomization tables of Sec. IV-B: the
+// bidirectional mapping between original and randomized instruction
+// addresses, plus the randomized-tag (prohibition) bits. At run time the
+// kernel stores them in pages invisible to user-space instructions; the
+// processor's DRC caches entries, falling back to the L2-resident table on
+// a miss.
+//
+// Tables implements emu.Translator.
+//
+// The prohibition model is default-deny: an address that is neither a
+// randomized-space address nor an explicitly allowed un-randomized failover
+// target is prohibited as a control-transfer destination. This is strictly
+// stronger than tagging only instruction starts — a control transfer into
+// the middle of an instruction encoding (the classic misaligned-gadget
+// trick) has no table entry and therefore faults.
+type Tables struct {
+	o2r     map[uint32]uint32
+	r2o     map[uint32]uint32
+	allowed map[uint32]bool // un-randomized addresses reachable as failover targets
+}
+
+func newTables(n int) *Tables {
+	return &Tables{
+		o2r:     make(map[uint32]uint32, n),
+		r2o:     make(map[uint32]uint32, n),
+		allowed: make(map[uint32]bool),
+	}
+}
+
+func (t *Tables) add(orig, rand uint32) {
+	t.o2r[orig] = rand
+	t.r2o[rand] = orig
+}
+
+// allow marks orig as a legal un-randomized control-transfer target (the
+// failover entries of Sec. IV-A).
+func (t *Tables) allow(orig uint32) { t.allowed[orig] = true }
+
+// ToOrig de-randomizes a randomized instruction address.
+func (t *Tables) ToOrig(rand uint32) (uint32, bool) {
+	v, ok := t.r2o[rand]
+	return v, ok
+}
+
+// ToRand randomizes an original instruction address.
+func (t *Tables) ToRand(orig uint32) (uint32, bool) {
+	v, ok := t.o2r[orig]
+	return v, ok
+}
+
+// Prohibited reports whether control may not transfer to the un-randomized
+// address orig. Only explicitly allowed failover targets pass.
+func (t *Tables) Prohibited(orig uint32) bool { return !t.allowed[orig] }
+
+// AllowedUnrand returns the number of allowed failover targets.
+func (t *Tables) AllowedUnrand() int { return len(t.allowed) }
+
+// Len returns the number of address pairs.
+func (t *Tables) Len() int { return len(t.o2r) }
+
+// OrigAddrs returns every original instruction address, ascending. The
+// experiment harness uses it to enumerate the instruction space.
+func (t *Tables) OrigAddrs() []uint32 {
+	out := make([]uint32, 0, len(t.o2r))
+	for a := range t.o2r {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RandRange returns the smallest and one-past-largest randomized addresses.
+func (t *Tables) RandRange() (lo, hi uint32) {
+	first := true
+	for r := range t.r2o {
+		if first {
+			lo, hi = r, r+1
+			first = false
+			continue
+		}
+		if r < lo {
+			lo = r
+		}
+		if r+1 > hi {
+			hi = r + 1
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,345 @@
+// Package isa defines VX, a compact variable-length instruction set used by
+// the VCFR reproduction as a stand-in for x86.
+//
+// VX deliberately mirrors the properties of x86 that matter to instruction
+// location randomization (ILR) and to hardware-supported virtual control flow
+// randomization (VCFR):
+//
+//   - Variable instruction length (1-6 bytes), so instruction boundaries are
+//     byte-granular and unintended instruction sequences exist at misaligned
+//     offsets. This is what makes ROP gadget scanning at every byte offset
+//     meaningful.
+//   - A one-byte RET (like x86 C3), the anchor of classic ROP gadgets.
+//   - Explicit stack discipline via PUSH/POP/CALL/RET over a stack-pointer
+//     register, including the position-independent-code idiom
+//     "call next; pop r" which reads the return address off the stack.
+//   - Direct control transfers that encode an absolute 32-bit code address in
+//     the instruction bytes (the field the ILR rewriter relocates), plus
+//     register-indirect jumps and calls whose targets only exist at run time.
+//
+// The package defines encodings, instruction metadata, and the decoder; the
+// architectural semantics (what each opcode does to machine state) live in
+// package emu so that the functional emulator and the cycle-level pipeline
+// share one implementation.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 16 general-purpose registers r0-r15.
+//
+// By software convention (the assembler and workload generators follow it,
+// the hardware does not care): r0 holds return values, r1-r3 hold arguments,
+// r4-r11 are scratch, r12 is a platform/temporary register, r13 is the frame
+// pointer (alias "bp"), r14 is callee-saved, and r15 is the stack pointer
+// (alias "sp").
+type Reg uint8
+
+// Register aliases used by the calling convention.
+const (
+	RegRet Reg = 0  // return value
+	RegBP  Reg = 13 // frame pointer (alias "bp")
+	RegSP  Reg = 15 // stack pointer (alias "sp")
+
+	// NumRegs is the number of architectural general-purpose registers.
+	NumRegs = 16
+)
+
+// String returns the assembler name of the register ("r4", "bp", "sp").
+func (r Reg) String() string {
+	switch r {
+	case RegBP:
+		return "bp"
+	case RegSP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is a VX opcode. The zero value is not a valid opcode: a zero byte does
+// not decode, so zero-filled padding between functions never decodes into an
+// instruction stream (unlike x86, where 00 00 is "add [eax], al").
+type Op uint8
+
+// VX opcodes. Enum starts at one; 0x00 is reserved as invalid.
+const (
+	OpInvalid Op = iota // never a legal encoding
+
+	// No-operand instructions (1 byte).
+	OpNop  // nop
+	OpHalt // stop the machine
+	OpRet  // pop return address into PC (1 byte, like x86 C3)
+
+	// System call (2 bytes: op, imm8 syscall number).
+	OpSys
+
+	// Data movement.
+	OpMovRR // mov rd, rs          (2 bytes)
+	OpMovRI // mov rd, imm32       (6 bytes)
+
+	// Register-register ALU (2 bytes: op, regpair). rd = rd OP rs.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSar
+	OpMul
+	OpDiv
+	OpMod
+
+	// Single-register ALU (2 bytes: op, reg).
+	OpNeg
+	OpNot
+
+	// Register-immediate ALU (4 bytes: op, reg, imm16 sign-extended).
+	OpAddI
+	OpSubI
+	OpAndI
+	OpOrI
+	OpXorI
+
+	// Shift-immediate (3 bytes: op, reg, imm8).
+	OpShlI
+	OpShrI
+	OpSarI
+
+	// Compare and test: set flags only.
+	OpCmp  // cmp rd, rs   (2 bytes)
+	OpCmpI // cmp rd, imm16 (4 bytes)
+	OpTest // test rd, rs  (2 bytes)
+
+	// Memory access (4 bytes: op, regpair, off16 sign-extended).
+	OpLoad   // load  rd, [rs+off]
+	OpStore  // store [rd+off], rs
+	OpLoadB  // loadb rd, [rs+off]   (zero-extending byte load)
+	OpStoreB // storeb [rd+off], rs  (low byte)
+	OpLea    // lea rd, [rs+off]     (address arithmetic, no memory access)
+
+	// Indexed memory access (3 bytes: op, regpair(rd,rs), reg rt).
+	OpLoadR  // load  rd, [rs+rt]
+	OpStoreR // store [rd+rt], rs
+
+	// Stack (2 bytes: op, reg).
+	OpPush
+	OpPop
+
+	// Direct control transfers (5 bytes: op, abs32 target).
+	// The 32-bit target field is the unit the ILR rewriter relocates.
+	OpJmp
+	OpJe
+	OpJne
+	OpJl
+	OpJge
+	OpJg
+	OpJle
+	OpJb
+	OpJae
+	OpCall
+
+	// Indirect control transfers (2 bytes: op, reg).
+	OpJmpR
+	OpCallR
+
+	numOps // sentinel; must stay last
+)
+
+// NumOps is the number of defined opcodes (excluding OpInvalid).
+const NumOps = int(numOps) - 1
+
+// Class partitions opcodes by their effect on control flow. The fetch unit,
+// the CFG builder, the ILR rewriter, and the gadget scanner all branch on it.
+type Class uint8
+
+// Control-flow classes.
+const (
+	ClassSeq    Class = iota + 1 // falls through to the next instruction
+	ClassJump                    // unconditional direct jump
+	ClassBranch                  // conditional direct branch (taken or fall-through)
+	ClassCall                    // direct call (pushes return address)
+	ClassRet                     // return (pops return address)
+	ClassJumpR                   // register-indirect jump
+	ClassCallR                   // register-indirect call
+	ClassHalt                    // stops execution; no successor
+)
+
+// IsControl reports whether the class transfers control (everything except
+// sequential fall-through).
+func (c Class) IsControl() bool { return c != ClassSeq }
+
+// IsIndirect reports whether the transfer target is only known at run time.
+func (c Class) IsIndirect() bool { return c == ClassJumpR || c == ClassCallR || c == ClassRet }
+
+// opInfo is the static metadata describing one opcode.
+type opInfo struct {
+	name   string
+	length int   // total encoded length in bytes
+	class  Class // control-flow class
+	// hasTarget marks opcodes whose encoding embeds an absolute 32-bit code
+	// address at byte offset 1 (all direct transfers). The rewriter patches
+	// this field during randomization.
+	hasTarget bool
+}
+
+var opTable = [numOps]opInfo{
+	OpNop:    {"nop", 1, ClassSeq, false},
+	OpHalt:   {"halt", 1, ClassHalt, false},
+	OpRet:    {"ret", 1, ClassRet, false},
+	OpSys:    {"sys", 2, ClassSeq, false},
+	OpMovRR:  {"mov", 2, ClassSeq, false},
+	OpMovRI:  {"movi", 6, ClassSeq, false},
+	OpAdd:    {"add", 2, ClassSeq, false},
+	OpSub:    {"sub", 2, ClassSeq, false},
+	OpAnd:    {"and", 2, ClassSeq, false},
+	OpOr:     {"or", 2, ClassSeq, false},
+	OpXor:    {"xor", 2, ClassSeq, false},
+	OpShl:    {"shl", 2, ClassSeq, false},
+	OpShr:    {"shr", 2, ClassSeq, false},
+	OpSar:    {"sar", 2, ClassSeq, false},
+	OpMul:    {"mul", 2, ClassSeq, false},
+	OpDiv:    {"div", 2, ClassSeq, false},
+	OpMod:    {"mod", 2, ClassSeq, false},
+	OpNeg:    {"neg", 2, ClassSeq, false},
+	OpNot:    {"not", 2, ClassSeq, false},
+	OpAddI:   {"addi", 4, ClassSeq, false},
+	OpSubI:   {"subi", 4, ClassSeq, false},
+	OpAndI:   {"andi", 4, ClassSeq, false},
+	OpOrI:    {"ori", 4, ClassSeq, false},
+	OpXorI:   {"xori", 4, ClassSeq, false},
+	OpShlI:   {"shli", 3, ClassSeq, false},
+	OpShrI:   {"shri", 3, ClassSeq, false},
+	OpSarI:   {"sari", 3, ClassSeq, false},
+	OpCmp:    {"cmp", 2, ClassSeq, false},
+	OpCmpI:   {"cmpi", 4, ClassSeq, false},
+	OpTest:   {"test", 2, ClassSeq, false},
+	OpLoad:   {"load", 4, ClassSeq, false},
+	OpStore:  {"store", 4, ClassSeq, false},
+	OpLoadB:  {"loadb", 4, ClassSeq, false},
+	OpStoreB: {"storeb", 4, ClassSeq, false},
+	OpLea:    {"lea", 4, ClassSeq, false},
+	OpLoadR:  {"loadr", 3, ClassSeq, false},
+	OpStoreR: {"storer", 3, ClassSeq, false},
+	OpPush:   {"push", 2, ClassSeq, false},
+	OpPop:    {"pop", 2, ClassSeq, false},
+	OpJmp:    {"jmp", 5, ClassJump, true},
+	OpJe:     {"je", 5, ClassBranch, true},
+	OpJne:    {"jne", 5, ClassBranch, true},
+	OpJl:     {"jl", 5, ClassBranch, true},
+	OpJge:    {"jge", 5, ClassBranch, true},
+	OpJg:     {"jg", 5, ClassBranch, true},
+	OpJle:    {"jle", 5, ClassBranch, true},
+	OpJb:     {"jb", 5, ClassBranch, true},
+	OpJae:    {"jae", 5, ClassBranch, true},
+	OpCall:   {"call", 5, ClassCall, true},
+	OpJmpR:   {"jmpr", 2, ClassJumpR, false},
+	OpCallR:  {"callr", 2, ClassCallR, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the assembler mnemonic for the opcode.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%#02x)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Length returns the encoded length of the opcode in bytes. It panics on an
+// invalid opcode; callers decode first, and decoding rejects invalid bytes.
+func (op Op) Length() int {
+	if !op.Valid() {
+		panic(fmt.Sprintf("isa: Length of invalid opcode %#02x", uint8(op)))
+	}
+	return opTable[op].length
+}
+
+// ClassOf returns the control-flow class of the opcode.
+func (op Op) ClassOf() Class {
+	if !op.Valid() {
+		return ClassSeq
+	}
+	return opTable[op].class
+}
+
+// HasTarget reports whether the opcode encodes an absolute 32-bit code
+// address (all direct jumps, branches, and calls).
+func (op Op) HasTarget() bool {
+	return op.Valid() && opTable[op].hasTarget
+}
+
+// MaxLength is the longest VX encoding in bytes (movi's 6).
+const MaxLength = 6
+
+// TargetFieldOffset is the byte offset of the 32-bit target field inside a
+// direct-transfer encoding. All direct transfers place the target immediately
+// after the opcode byte.
+const TargetFieldOffset = 1
+
+// Syscall numbers accepted by OpSys. The tiny "OS" gives workloads
+// deterministic I/O so that functional equivalence of a randomized binary can
+// be checked by comparing output streams.
+const (
+	SysExit     = 0 // terminate; r1 = exit code
+	SysPutChar  = 1 // write low byte of r1 to the output stream
+	SysGetChar  = 2 // read one byte from the input stream into r0 (-1 on EOF)
+	SysWriteInt = 3 // write r1 as decimal text to the output stream
+)
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op     Op
+	Rd     Reg    // destination / first register operand
+	Rs     Reg    // source / second register operand
+	Rt     Reg    // index register (OpLoadR/OpStoreR only)
+	Imm    int32  // immediate operand (sign-extended where applicable)
+	Target uint32 // absolute code target for direct transfers
+	Addr   uint32 // address the instruction was decoded from
+}
+
+// Len returns the encoded length of the instruction in bytes.
+func (in Inst) Len() int { return in.Op.Length() }
+
+// Class returns the control-flow class of the instruction.
+func (in Inst) Class() Class { return in.Op.ClassOf() }
+
+// NextAddr returns the address of the instruction that follows in the
+// original (sequential) layout.
+func (in Inst) NextAddr() uint32 { return in.Addr + uint32(in.Len()) }
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpSys:
+		return fmt.Sprintf("sys %d", in.Imm)
+	case OpMovRR, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar,
+		OpMul, OpDiv, OpMod, OpCmp, OpTest:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case OpMovRI:
+		return fmt.Sprintf("movi %s, %d", in.Rd, in.Imm)
+	case OpNeg, OpNot, OpPush, OpPop, OpJmpR, OpCallR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case OpAddI, OpSubI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpSarI, OpCmpI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpLoad, OpLoadB, OpLea:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpStore, OpStoreB:
+		return fmt.Sprintf("%s [%s%+d], %s", in.Op, in.Rd, in.Imm, in.Rs)
+	case OpLoadR:
+		return fmt.Sprintf("loadr %s, [%s+%s]", in.Rd, in.Rs, in.Rt)
+	case OpStoreR:
+		return fmt.Sprintf("storer [%s+%s], %s", in.Rd, in.Rt, in.Rs)
+	case OpJmp, OpJe, OpJne, OpJl, OpJge, OpJg, OpJle, OpJb, OpJae, OpCall:
+		return fmt.Sprintf("%s %#x", in.Op, in.Target)
+	default:
+		return fmt.Sprintf("%s ?", in.Op)
+	}
+}

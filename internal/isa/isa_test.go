@@ -1,0 +1,122 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpMetadataConsistency(t *testing.T) {
+	for op := OpInvalid + 1; op < numOps; op++ {
+		info := opTable[op]
+		if info.name == "" {
+			t.Errorf("opcode %#02x has no table entry", uint8(op))
+			continue
+		}
+		if info.length < 1 || info.length > MaxLength {
+			t.Errorf("%s: length %d out of range", info.name, info.length)
+		}
+		if info.class == 0 {
+			t.Errorf("%s: missing class", info.name)
+		}
+		if info.hasTarget && info.length != 5 {
+			t.Errorf("%s: has target but length %d != 5", info.name, info.length)
+		}
+	}
+}
+
+func TestOpInvalidRejected(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid.Valid() = true")
+	}
+	if numOps.Valid() {
+		t.Error("numOps.Valid() = true")
+	}
+	if Op(0xff).Valid() {
+		t.Error("Op(0xff).Valid() = true")
+	}
+	if got := Op(0xff).String(); !strings.Contains(got, "0xff") {
+		t.Errorf("invalid op String() = %q, want hex byte", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	tests := []struct {
+		op       Op
+		class    Class
+		indirect bool
+	}{
+		{OpAdd, ClassSeq, false},
+		{OpJmp, ClassJump, false},
+		{OpJne, ClassBranch, false},
+		{OpCall, ClassCall, false},
+		{OpRet, ClassRet, true},
+		{OpJmpR, ClassJumpR, true},
+		{OpCallR, ClassCallR, true},
+		{OpHalt, ClassHalt, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.ClassOf(); got != tt.class {
+			t.Errorf("%s: class = %v, want %v", tt.op, got, tt.class)
+		}
+		if got := tt.op.ClassOf().IsIndirect(); got != tt.indirect {
+			t.Errorf("%s: IsIndirect = %v, want %v", tt.op, got, tt.indirect)
+		}
+	}
+	if ClassSeq.IsControl() {
+		t.Error("ClassSeq.IsControl() = true")
+	}
+	if !ClassRet.IsControl() {
+		t.Error("ClassRet.IsControl() = false")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		want string
+	}{
+		{0, "r0"},
+		{7, "r7"},
+		{RegBP, "bp"},
+		{RegSP, "sp"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+	if Reg(16).Valid() {
+		t.Error("Reg(16).Valid() = true")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpRet}, "ret"},
+		{Inst{Op: OpMovRI, Rd: 3, Imm: -7}, "movi r3, -7"},
+		{Inst{Op: OpAdd, Rd: 1, Rs: 2}, "add r1, r2"},
+		{Inst{Op: OpLoad, Rd: 4, Rs: RegSP, Imm: 8}, "load r4, [sp+8]"},
+		{Inst{Op: OpStore, Rd: RegBP, Rs: 0, Imm: -4}, "store [bp-4], r0"},
+		{Inst{Op: OpJne, Target: 0x1234}, "jne 0x1234"},
+		{Inst{Op: OpCall, Target: 0x100}, "call 0x100"},
+		{Inst{Op: OpPush, Rd: RegBP}, "push bp"},
+		{Inst{Op: OpSys, Imm: SysPutChar}, "sys 1"},
+		{Inst{Op: OpLoadR, Rd: 2, Rs: 3, Rt: 4}, "loadr r2, [r3+r4]"},
+		{Inst{Op: OpShlI, Rd: 5, Imm: 3}, "shli r5, 3"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNextAddr(t *testing.T) {
+	in := Inst{Op: OpMovRI, Rd: 1, Imm: 42, Addr: 0x100}
+	if got := in.NextAddr(); got != 0x106 {
+		t.Errorf("NextAddr = %#x, want 0x106", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package mem models the on-chip memory hierarchy of the paper's simulated
+// machine (Sec. VI-C): set-associative write-back caches with LRU
+// replacement, a next-line instruction prefetcher, and a DDR-style DRAM with
+// per-bank open-page row buffers — the XIOSim/Zesto + DRAMSim2 substitute.
+//
+// Levels compose through the Level interface: an access that misses in one
+// level recursively pays for the next. The returned latency is the total
+// cycles for the critical path; the pipeline schedules around it.
+package mem
+
+import "fmt"
+
+// Level is one level of the memory hierarchy.
+type Level interface {
+	// Access performs a demand access and returns its latency in cycles.
+	Access(addr uint32, write bool) int
+	// Name identifies the level in statistics output.
+	Name() string
+}
+
+// CacheConfig sizes one cache.
+type CacheConfig struct {
+	Name     string
+	Size     int // total bytes
+	Assoc    int // ways
+	LineSize int // bytes
+	Latency  int // hit latency, cycles
+}
+
+// Validate checks the geometry.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.Size <= 0 || c.Assoc <= 0 || c.LineSize <= 0 || c.Latency <= 0:
+		return fmt.Errorf("mem: %s: non-positive geometry %+v", c.Name, c)
+	case c.Size%(c.Assoc*c.LineSize) != 0:
+		return fmt.Errorf("mem: %s: size %d not divisible by assoc*line %d",
+			c.Name, c.Size, c.Assoc*c.LineSize)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("mem: %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	sets := c.Size / (c.Assoc * c.LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Accesses   uint64 // demand accesses
+	Misses     uint64 // demand misses
+	Writebacks uint64 // dirty evictions written to the next level
+	Evictions  uint64
+
+	PrefetchIssued  uint64 // prefetch fills installed
+	PrefetchUseful  uint64 // prefetched lines referenced before eviction
+	PrefetchUseless uint64 // prefetched lines evicted unreferenced
+}
+
+// MissRate returns demand misses per demand access.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// PrefetchMissRate returns the fraction of prefetched lines that were
+// evicted without ever being referenced — wasted prefetches. Lines still
+// resident are not counted either way.
+func (s CacheStats) PrefetchMissRate() float64 {
+	settled := s.PrefetchUseful + s.PrefetchUseless
+	if settled == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseless) / float64(settled)
+}
+
+type line struct {
+	tag        uint32
+	valid      bool
+	dirty      bool
+	prefetched bool // installed by the prefetcher, unreferenced so far
+	lru        uint64
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	cfg      CacheConfig
+	next     Level
+	sets     [][]line
+	setMask  uint32
+	lineBits uint
+	clock    uint64 // LRU timestamp source
+	stats    CacheStats
+}
+
+// NewCache builds a cache backed by next.
+func NewCache(cfg CacheConfig, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("mem: %s: nil next level", cfg.Name)
+	}
+	nsets := cfg.Size / (cfg.Assoc * cfg.LineSize)
+	c := &Cache{
+		cfg:     cfg,
+		next:    next,
+		sets:    make([][]line, nsets),
+		setMask: uint32(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
+	lineAddr := addr >> c.lineBits
+	return lineAddr & c.setMask, lineAddr >> 0
+}
+
+// lookup finds the way holding addr, or -1.
+func (c *Cache) lookup(set, tag uint32) int {
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way in the set.
+func (c *Cache) victim(set uint32) int {
+	v, oldest := 0, ^uint64(0)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if !l.valid {
+			return w
+		}
+		if l.lru < oldest {
+			oldest, v = l.lru, w
+		}
+	}
+	return v
+}
+
+// evict retires the victim way, accounting write-backs and prefetch waste.
+func (c *Cache) evict(set uint32, w int) {
+	l := &c.sets[set][w]
+	if !l.valid {
+		return
+	}
+	c.stats.Evictions++
+	if l.prefetched {
+		c.stats.PrefetchUseless++
+	}
+	if l.dirty {
+		c.stats.Writebacks++
+		// Write-back cost is off the critical path (write buffer); the next
+		// level still sees the traffic.
+		c.next.Access(c.unindex(set, l.tag), true)
+	}
+	l.valid = false
+}
+
+// unindex reconstructs a line-aligned address from set and tag.
+func (c *Cache) unindex(set, tag uint32) uint32 {
+	return tag << c.lineBits
+}
+
+// Access performs a demand read or write.
+func (c *Cache) Access(addr uint32, write bool) int {
+	c.clock++
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		l := &c.sets[set][w]
+		l.lru = c.clock
+		if l.prefetched {
+			c.stats.PrefetchUseful++
+			l.prefetched = false
+		}
+		if write {
+			l.dirty = true
+		}
+		return c.cfg.Latency
+	}
+	c.stats.Misses++
+	lat := c.cfg.Latency + c.next.Access(addr, false)
+	w := c.victim(set)
+	c.evict(set, w)
+	c.sets[set][w] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return lat
+}
+
+// Contains probes for addr without touching LRU state or statistics.
+func (c *Cache) Contains(addr uint32) bool {
+	set, tag := c.index(addr)
+	return c.lookup(set, tag) >= 0
+}
+
+// Prefetch installs addr's line if absent, fetching it from the next level.
+// Prefetches are off the demand critical path: no latency is returned, but
+// the next level sees the traffic and the fill can displace a line.
+func (c *Cache) Prefetch(addr uint32) {
+	set, tag := c.index(addr)
+	if c.lookup(set, tag) >= 0 {
+		return
+	}
+	c.clock++
+	c.stats.PrefetchIssued++
+	c.next.Access(addr, false)
+	w := c.victim(set)
+	c.evict(set, w)
+	c.sets[set][w] = line{tag: tag, valid: true, prefetched: true, lru: c.clock}
+}
+
+// Flush invalidates every line, writing back dirty ones.
+func (c *Cache) Flush() {
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			c.evict(uint32(set), w)
+		}
+	}
+}

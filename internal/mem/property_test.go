@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCache is a trivially correct fully-associative LRU reference model used
+// to cross-check the set-associative implementation when configured with a
+// single set (where the two must behave identically).
+type refCache struct {
+	cap   int
+	lines []uint32
+}
+
+func (r *refCache) access(line uint32) (hit bool) {
+	for i, l := range r.lines {
+		if l == line {
+			r.lines = append(append(r.lines[:i:i], r.lines[i+1:]...), line)
+			return true
+		}
+	}
+	if len(r.lines) >= r.cap {
+		r.lines = r.lines[1:]
+	}
+	r.lines = append(r.lines, line)
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives a one-set cache and the reference
+// LRU model with the same random trace; hit/miss decisions must agree on
+// every access.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	const ways = 8
+	c, err := NewCache(CacheConfig{
+		Name: "ref", Size: ways * 64, Assoc: ways, LineSize: 64, Latency: 1,
+	}, &flat{latency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refCache{cap: ways}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50_000; i++ {
+		line := uint32(rng.Intn(32)) // working set 4x the capacity
+		addr := line * 64
+		wantHit := ref.access(line)
+		gotHit := c.Access(addr, false) == 1
+		if gotHit != wantHit {
+			t.Fatalf("access %d (line %d): cache hit=%v, reference hit=%v",
+				i, line, gotHit, wantHit)
+		}
+	}
+}
+
+// TestQuickCacheStatsInvariants: for arbitrary access sequences, the
+// counters obey their algebra.
+func TestQuickCacheStatsInvariants(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c, err := NewCache(CacheConfig{
+			Name: "q", Size: 1 << 10, Assoc: 2, LineSize: 64, Latency: 1,
+		}, &flat{latency: 3})
+		if err != nil {
+			return false
+		}
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint32(a), w)
+		}
+		s := c.Stats()
+		return s.Misses <= s.Accesses &&
+			s.Accesses == uint64(len(addrs)) &&
+			s.Writebacks <= s.Evictions &&
+			s.PrefetchUseful+s.PrefetchUseless <= s.PrefetchIssued
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDRAMBankInterleaving: consecutive rows map to different banks, so a
+// row-sized stride keeps every bank's row buffer open (all hits after
+// warm-up), while a stride of banks*rowBytes hammers one bank (all
+// conflicts).
+func TestDRAMBankInterleaving(t *testing.T) {
+	d := NewDRAM(DRAMConfig{})
+	cfg := d.cfg
+	nbanks := uint32(cfg.Ranks * cfg.BanksPerRank)
+	rowBytes := uint32(cfg.RowBytes)
+
+	// Warm every bank.
+	for b := uint32(0); b < nbanks; b++ {
+		d.Access(b*rowBytes, false)
+	}
+	warm := d.Stats()
+	// Second sweep over the same rows: all row hits.
+	for b := uint32(0); b < nbanks; b++ {
+		d.Access(b*rowBytes+64, false)
+	}
+	s := d.Stats()
+	if s.RowHits-warm.RowHits != uint64(nbanks) {
+		t.Errorf("interleaved sweep: %d row hits, want %d", s.RowHits-warm.RowHits, nbanks)
+	}
+
+	// Same-bank different-row hammering: conflicts every time.
+	before := d.Stats().RowConflicts
+	for i := uint32(1); i <= 8; i++ {
+		d.Access(i*nbanks*rowBytes, false)
+	}
+	if got := d.Stats().RowConflicts - before; got != 8 {
+		t.Errorf("bank hammering: %d conflicts, want 8", got)
+	}
+}
+
+// TestSharedHierarchyIsolatesL1s: per-core L1s are private, the L2 is
+// genuinely shared.
+func TestSharedHierarchyIsolatesL1s(t *testing.T) {
+	hs, err := NewSharedHierarchy(DefaultHierarchyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0].L2 != hs[1].L2 || hs[0].DRAM != hs[1].DRAM {
+		t.Fatal("L2/DRAM not shared")
+	}
+	if hs[0].IL1 == hs[1].IL1 || hs[0].DL1 == hs[1].DL1 {
+		t.Fatal("L1s shared")
+	}
+	// Core 0 fetches a line; core 1's IL1 stays cold but its L2 access hits.
+	hs[0].IL1.Access(0x4000, false)
+	if hs[1].IL1.Contains(0x4000) {
+		t.Error("core 1 IL1 contains core 0's line")
+	}
+	dramBefore := hs[0].DRAM.Stats().Accesses
+	hs[1].IL1.Access(0x4000, false)
+	if hs[0].DRAM.Stats().Accesses != dramBefore {
+		t.Error("core 1's fetch went to DRAM despite a shared-L2 hit")
+	}
+	if _, err := NewSharedHierarchy(DefaultHierarchyConfig(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestPrefetchMissRateNoSettledLines(t *testing.T) {
+	if (CacheStats{PrefetchIssued: 5}).PrefetchMissRate() != 0 {
+		t.Error("unsettled prefetches produced a rate")
+	}
+}

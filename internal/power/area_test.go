@@ -1,0 +1,58 @@
+package power
+
+import (
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+func TestAreaDRCIsTiny(t *testing.T) {
+	m := DefaultModel()
+	b := m.AnalyzeArea(cpu.DefaultConfig(cpu.ModeVCFR))
+	if b.DRC <= 0 {
+		t.Fatal("no DRC area")
+	}
+	pct := b.DRCOverheadPct()
+	// The paper's claim: "a very small hardware overhead". A 128-entry DRC
+	// against 64 KB of L1 + 512 KB of L2 must be well under 1%.
+	if pct <= 0 || pct > 1 {
+		t.Errorf("DRC area share = %.3f%%, want (0,1]%%", pct)
+	}
+	if b.Total <= b.L2 {
+		t.Error("total area not accumulating")
+	}
+}
+
+func TestAreaBaselineHasNoDRC(t *testing.T) {
+	b := DefaultModel().AnalyzeArea(cpu.DefaultConfig(cpu.ModeBaseline))
+	if b.DRC != 0 || b.DRCOverheadPct() != 0 {
+		t.Errorf("baseline DRC area = %f", b.DRC)
+	}
+}
+
+func TestAreaDRC2Counted(t *testing.T) {
+	m := DefaultModel()
+	cfg := cpu.DefaultConfig(cpu.ModeVCFR)
+	without := m.AnalyzeArea(cfg)
+	cfg.DRC2Entries = 1024
+	with := m.AnalyzeArea(cfg)
+	if with.DRC <= without.DRC {
+		t.Error("DRC2 area not counted")
+	}
+}
+
+func TestSRAMAreaMonotone(t *testing.T) {
+	m := DefaultModel()
+	if m.SRAMArea(0, 1) != 0 {
+		t.Error("zero bytes has area")
+	}
+	if m.SRAMArea(1<<10, 1) >= m.SRAMArea(1<<15, 1) {
+		t.Error("area not monotone in capacity")
+	}
+	if m.SRAMArea(1<<10, 4) <= m.SRAMArea(1<<10, 1) {
+		t.Error("associativity tax missing")
+	}
+	if m.SRAMArea(1024, 0) != m.SRAMArea(1024, 1) {
+		t.Error("assoc < 1 not clamped")
+	}
+}

@@ -1,0 +1,107 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressSpaceZeroFill(t *testing.T) {
+	as := NewAddressSpace()
+	if got := as.ByteAt(0x12345); got != 0 {
+		t.Errorf("untouched byte = %d, want 0", got)
+	}
+	if got := as.ReadWord(0xffff_fff0); got != 0 {
+		t.Errorf("untouched word = %d, want 0", got)
+	}
+}
+
+func TestAddressSpaceByteWord(t *testing.T) {
+	as := NewAddressSpace()
+	as.WriteWord(0x1000, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := as.ByteAt(0x1000 + uint32(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+	as.SetByte(0x1001, 0xff)
+	if got := as.ReadWord(0x1000); got != 0x0403ff01 {
+		t.Errorf("word = %#x, want 0x0403ff01", got)
+	}
+}
+
+func TestAddressSpacePageStraddle(t *testing.T) {
+	as := NewAddressSpace()
+	// A word that straddles the 4 KiB page boundary at 0x2000.
+	as.WriteWord(0x1ffe, 0xaabbccdd)
+	if got := as.ReadWord(0x1ffe); got != 0xaabbccdd {
+		t.Errorf("straddling word = %#x", got)
+	}
+	if got := as.ByteAt(0x2000); got != 0xbb {
+		t.Errorf("byte past boundary = %#x, want 0xbb", got)
+	}
+	buf := make([]byte, 10000) // spans three pages
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	as.WriteBytes(0x2ff0, buf)
+	got := make([]byte, len(buf))
+	as.ReadBytes(0x2ff0, got)
+	if !bytes.Equal(buf, got) {
+		t.Error("multi-page ReadBytes/WriteBytes mismatch")
+	}
+}
+
+func TestAddressSpaceLoadImage(t *testing.T) {
+	img := testImage()
+	img.Segments[0].Data[0] = 0x42
+	img.Segments[1].Data[5] = 0x99
+	as := NewAddressSpace()
+	as.LoadImage(img)
+	if got := as.ByteAt(0x1000); got != 0x42 {
+		t.Errorf("text byte = %#x", got)
+	}
+	if got := as.ByteAt(0x2005); got != 0x99 {
+		t.Errorf("data byte = %#x", got)
+	}
+}
+
+func TestAddressSpaceSparse(t *testing.T) {
+	as := NewAddressSpace()
+	as.SetByte(0, 1)
+	as.SetByte(0x8000_0000, 2)
+	as.SetByte(0xffff_ffff, 3)
+	if as.PageCount() != 3 {
+		t.Errorf("PageCount = %d, want 3", as.PageCount())
+	}
+}
+
+// TestQuickAddressSpaceWordRoundTrip: any (addr, value) word write reads back
+// identically, including unaligned and straddling addresses.
+func TestQuickAddressSpaceWordRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	f := func(addr, val uint32) bool {
+		as.WriteWord(addr, val)
+		return as.ReadWord(addr) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueAddressSpaceUsable(t *testing.T) {
+	var as AddressSpace
+	as.WriteWord(0x10, 7)
+	if as.ReadWord(0x10) != 7 {
+		t.Error("zero-value AddressSpace broken")
+	}
+}
+
+func BenchmarkAddressSpaceReadWord(b *testing.B) {
+	as := NewAddressSpace()
+	as.WriteWord(0x1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		as.ReadWord(0x1000)
+	}
+}

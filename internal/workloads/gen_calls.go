@@ -1,0 +1,302 @@
+package workloads
+
+// Call-dense workload generators: sjeng, namd, h264ref. These are the
+// profiles where return-address randomization and DRC randomization-direction
+// lookups matter most, and where naive ILR loses badly (Fig. 12 shows
+// namd/h264ref among the biggest VCFR wins).
+
+// emitEval emits an unrolled feature-evaluation block: r0 = mix of r1 over
+// `features` terms. Used to give sjeng's leaf evaluation a realistic
+// instruction footprint.
+func emitEval(s *src, label string, features int, rng *lcg) {
+	s.f("%s:", label)
+	s.f("\tmovi r0, 0")
+	for f := 0; f < features; f++ {
+		s.f("\tmov r5, r1")
+		s.f("\tshri r5, %d", rng.intn(13))
+		s.f("\txori r5, %d", rng.intn(1<<12))
+		s.f("\tadd r0, r5")
+	}
+	s.f("\tandi r0, 0x3fff")
+	s.f("\tret")
+}
+
+// genSjeng: recursive negamax-style tree search with branching factor 3.
+// Two mutually recursive search variants (even/odd ply) and an unrolled
+// 72-feature leaf evaluator give the search a realistic hot-code footprint;
+// the deep call/return chains exercise the RAS and the return-address
+// randomization machinery.
+func genSjeng(scale int) (string, []byte) {
+	const depth = 7
+	rng := newLCG(777)
+	s := &src{}
+	s.f("; sjeng analog: recursive game-tree search, branching 3, depth %d", depth)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "g", scale)
+	s.f("\tmov r1, r8") // root position varies per repetition
+	s.f("\tmovi r2, %d", depth)
+	s.f("\tcall negamaxa")
+	s.f("\tadd r9, r0")
+	emitRepeatFooter(s, "g")
+	emitEpilogue(s)
+
+	// Two specialized search variants calling each other (even/odd ply).
+	for v, names := range [][2]string{{"negamaxa", "negamaxb"}, {"negamaxb", "negamaxa"}} {
+		self, other := names[0], names[1]
+		s.f(".func %s", self)
+		s.f("%s:", self)
+		s.f("\tcmpi r2, 0")
+		s.f("\tjg %s_rec", self)
+		s.f("\tjmp eval%d", v)
+		s.f("%s_rec:", self)
+		s.f("\tpush bp")
+		s.f("\tmov bp, sp")
+		s.f("\tsubi sp, 16") // [bp-4]=pos [bp-8]=depth [bp-12]=move [bp-16]=best
+		s.f("\tstore [bp-4], r1")
+		s.f("\tstore [bp-8], r2")
+		s.f("\tmovi r4, 0")
+		s.f("\tstore [bp-12], r4")
+		s.f("\tstore [bp-16], r4")
+		s.f("%s_ml:", self)
+		s.f("\tload r4, [bp-12]")
+		s.f("\tcmpi r4, 3")
+		s.f("\tje %s_mdone", self)
+		// child = pos ^ ((move+1) * golden >> 7)
+		s.f("\tload r1, [bp-4]")
+		s.f("\tmov r5, r4")
+		s.f("\taddi r5, 1")
+		s.f("\tmovi r6, 2654435761")
+		s.f("\tmul r5, r6")
+		s.f("\tshri r5, 7")
+		s.f("\txor r1, r5")
+		s.f("\tload r2, [bp-8]")
+		s.f("\tsubi r2, 1")
+		s.f("\tcall %s", other)
+		s.f("\tload r5, [bp-16]")
+		s.f("\tcmp r0, r5")
+		s.f("\tjle %s_keep", self)
+		s.f("\tstore [bp-16], r0")
+		s.f("%s_keep:", self)
+		s.f("\tload r4, [bp-12]")
+		s.f("\taddi r4, 1")
+		s.f("\tstore [bp-12], r4")
+		s.f("\tjmp %s_ml", self)
+		s.f("%s_mdone:", self)
+		s.f("\tload r0, [bp-16]")
+		s.f("\tmov sp, bp")
+		s.f("\tpop bp")
+		s.f("\tret")
+	}
+	// Unrolled leaf evaluators (one per search variant).
+	s.f(".func eval0")
+	emitEval(s, "eval0", 72, rng)
+	s.f(".func eval1")
+	emitEval(s, "eval1", 72, rng)
+	return s.String(), nil
+}
+
+// genNamd: pairwise force computation over N particles. The inner loop is
+// unrolled eight-wide, and each unroll slot calls its own specialized
+// ~30-term force kernel — the call-dense numeric profile that makes namd one
+// of the paper's biggest VCFR-over-naive wins.
+func genNamd(scale int) (string, []byte) {
+	const (
+		n        = 96
+		unroll   = 8
+		variants = 8
+		terms    = 30
+	)
+	rng := newLCG(4242)
+	s := &src{}
+	s.f("; namd analog: pairwise force loops over %d particles, %d force kernels", n, variants)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillpx")
+	s.f("\tcall fillpy")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "n", scale)
+	s.f("\tmovi r10, 0") // i
+	s.f("il:")
+	s.f("\tcmpi r10, %d", n-1)
+	s.f("\tje idone")
+	s.f("\tmov r11, r10")
+	s.f("\taddi r11, 1") // j
+	// Unrolled block while j+unroll <= n.
+	s.f("jblk:")
+	s.f("\tmov r4, r11")
+	s.f("\taddi r4, %d", unroll)
+	s.f("\tcmpi r4, %d", n)
+	s.f("\tjg jtail")
+	for k := 0; k < unroll; k++ {
+		emitPairBody(s, k)
+		s.f("\tcall force%d", k%variants)
+		s.f("\tadd r9, r0")
+		s.f("\taddi r11, 1")
+	}
+	s.f("\tjmp jblk")
+	// Scalar tail.
+	s.f("jtail:")
+	s.f("\tcmpi r11, %d", n)
+	s.f("\tje jdone")
+	emitPairBody(s, 0)
+	s.f("\tcall force0")
+	s.f("\tadd r9, r0")
+	s.f("\taddi r11, 1")
+	s.f("\tjmp jtail")
+	s.f("jdone:")
+	s.f("\taddi r10, 1")
+	s.f("\tjmp il")
+	s.f("idone:")
+	emitRepeatFooter(s, "n")
+	emitEpilogue(s)
+
+	// Specialized force kernels: |dx|,|dy| then an unrolled fixed-point
+	// polynomial with per-variant coefficients.
+	for v := 0; v < variants; v++ {
+		s.f(".func force%d", v)
+		s.f("force%d:", v)
+		s.f("\tcmpi r1, 0")
+		s.f("\tjge f%dx", v)
+		s.f("\tneg r1")
+		s.f("f%dx:", v)
+		s.f("\tcmpi r2, 0")
+		s.f("\tjge f%dy", v)
+		s.f("\tneg r2")
+		s.f("f%dy:", v)
+		s.f("\tshri r1, 12")
+		s.f("\tshri r2, 12")
+		s.f("\tmov r0, r1")
+		s.f("\tmul r0, r1")
+		s.f("\tmov r3, r2")
+		s.f("\tmul r3, r2")
+		s.f("\tadd r0, r3")
+		s.f("\taddi r0, 1")
+		for t := 0; t < terms; t++ {
+			s.f("\tmov r3, r0")
+			s.f("\tshri r3, %d", 1+rng.intn(6))
+			s.f("\txori r3, %d", rng.intn(1<<11))
+			s.f("\tadd r0, r3")
+		}
+		s.f("\tandi r0, 0x3fff")
+		s.f("\tret")
+	}
+
+	emitLCGFillWords(s, "fillpx", "px", n, 111)
+	emitLCGFillWords(s, "fillpy", "py", n, 222)
+	s.f(".data")
+	s.f("px: .space %d", n*4)
+	s.f("py: .space %d", n*4)
+	return s.String(), nil
+}
+
+// emitPairBody loads particle i (r10) and j (r11) coordinates and leaves
+// dx in r1 and dy in r2.
+func emitPairBody(s *src, slot int) {
+	s.f("\tmov r4, r10")
+	s.f("\tshli r4, 2")
+	s.f("\tmovi r5, px")
+	s.f("\tloadr r1, [r5+r4]")
+	s.f("\tmovi r5, py")
+	s.f("\tloadr r2, [r5+r4]")
+	s.f("\tmov r4, r11")
+	s.f("\tshli r4, 2")
+	s.f("\tmovi r5, px")
+	s.f("\tloadr r6, [r5+r4]")
+	s.f("\tmovi r5, py")
+	s.f("\tloadr r7, [r5+r4]")
+	s.f("\tsub r1, r6")
+	s.f("\tsub r2, r7")
+}
+
+// genH264: exhaustive SAD block motion search. Two fully unrolled 64-pixel
+// SAD kernels (called for even/odd candidates) with per-row early exits —
+// byte loads, branchy, call-dense.
+func genH264(scale int) (string, []byte) {
+	const (
+		frameW = 40 // reference frame is frameW x frameW bytes
+		block  = 8
+		search = 4 // +/- window
+	)
+	s := &src{}
+	s.f("; h264ref analog: %dx%d SAD motion search over a +/-%d window", block, block, search)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillframe")
+	s.f("\tcall fillcur")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "v", 6*scale)
+	s.f("\tmovi r12, 99999999") // best SAD
+	s.f("\tmovi r10, 0")        // dy in [0, 2*search]
+	s.f("dyl:")
+	s.f("\tcmpi r10, %d", 2*search+1)
+	s.f("\tje dydone")
+	s.f("\tmovi r11, 0") // dx
+	s.f("dxl:")
+	s.f("\tcmpi r11, %d", 2*search+1)
+	s.f("\tje dxdone")
+	// r1 = frame offset of candidate block = (dy*frameW + dx)
+	s.f("\tmov r1, r10")
+	s.f("\tmovi r4, %d", frameW)
+	s.f("\tmul r1, r4")
+	s.f("\tadd r1, r11")
+	// Even/odd candidates use the two specialized kernels.
+	s.f("\tmov r4, r11")
+	s.f("\tandi r4, 1")
+	s.f("\tcmpi r4, 0")
+	s.f("\tje evenk")
+	s.f("\tcall sadodd")
+	s.f("\tjmp kdone")
+	s.f("evenk:")
+	s.f("\tcall sadeven")
+	s.f("kdone:")
+	s.f("\tcmp r0, r12")
+	s.f("\tjge nosave")
+	s.f("\tmov r12, r0")
+	s.f("nosave:")
+	s.f("\taddi r11, 1")
+	s.f("\tjmp dxl")
+	s.f("dxdone:")
+	s.f("\taddi r10, 1")
+	s.f("\tjmp dyl")
+	s.f("dydone:")
+	s.f("\tadd r9, r12")
+	emitRepeatFooter(s, "v")
+	emitEpilogue(s)
+
+	for _, name := range []string{"sadeven", "sadodd"} {
+		s.f(".func %s", name)
+		s.f("%s:", name)
+		s.f("\tmovi r0, 0") // sad
+		s.f("\tmovi r5, frame")
+		s.f("\tadd r5, r1") // candidate base
+		s.f("\tmovi r4, cur")
+		for r := 0; r < block; r++ {
+			for c := 0; c < block; c++ {
+				fOff := r*frameW + c
+				cOff := r*block + c
+				s.f("\tloadb r6, [r5+%d]", fOff)
+				s.f("\tloadb r7, [r4+%d]", cOff)
+				s.f("\tsub r6, r7")
+				s.f("\tcmpi r6, 0")
+				s.f("\tjge %s_p%d_%d", name, r, c)
+				s.f("\tneg r6")
+				s.f("%s_p%d_%d:", name, r, c)
+				s.f("\tadd r0, r6")
+			}
+			// Early exit after each row: partial SAD already worse.
+			s.f("\tcmp r0, r12")
+			s.f("\tjge %s_out", name)
+		}
+		s.f("%s_out:", name)
+		s.f("\tret")
+	}
+
+	emitLCGFillBytes(s, "fillframe", "frame", frameW*frameW, 8)
+	emitLCGFillBytes(s, "fillcur", "cur", block*block, 9)
+	s.f(".data")
+	s.f("frame: .space %d", frameW*frameW)
+	s.f("cur:   .space %d", block*block)
+	return s.String(), nil
+}

@@ -1,0 +1,349 @@
+package workloads
+
+// Large-code and dispatch-heavy workload generators: gcc, xalan, python.
+
+// emitBytes packs a byte array into .word directives (little-endian).
+func emitBytes(s *src, label string, data []byte) {
+	s.f("%s:", label)
+	for i := 0; i < len(data); i += 4 {
+		var w uint32
+		for j := 0; j < 4 && i+j < len(data); j++ {
+			w |= uint32(data[i+j]) << (8 * j)
+		}
+		s.f("\t.word %d", w)
+	}
+}
+
+// genGCC: hundreds of distinct small functions invoked in a long, irregular,
+// statically unrolled call sequence — the huge-instruction-footprint profile
+// of gcc. Total code is ~33 KB, slightly over the 32 KB IL1, so even the
+// baseline sees instruction misses, and the scattered layout thrashes.
+func genGCC(scale int) (string, []byte) {
+	const (
+		funcs      = 300
+		phases     = 12
+		phaseCalls = 100 // call sites per phase
+		phaseReps  = 8   // times each phase body repeats before moving on
+	)
+	rng := newLCG(2024)
+	s := &src{}
+	s.f("; gcc analog: %d functions, %d phases x %d call sites, phased execution",
+		funcs, phases, phaseCalls)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "d", scale)
+	// Phased driver: each phase repeats its own 100-site call block several
+	// times before moving on (real gcc passes have strong phase locality:
+	// branch/call working sets fit the BTB within a phase, while the total
+	// code footprint is far larger than the IL1).
+	for ph := 0; ph < phases; ph++ {
+		s.f("\tmovi r7, %d", phaseReps)
+		s.f("phase%d:", ph)
+		for c := 0; c < phaseCalls; c++ {
+			fn := (ph*funcs/phases + rng.intn(funcs/phases)) % funcs
+			s.f("\tmovi r1, %d", rng.intn(1<<14))
+			s.f("\tcall pass%d", fn)
+			s.f("\tadd r9, r0")
+		}
+		s.f("\tsubi r7, 1")
+		s.f("\tcmpi r7, 0")
+		s.f("\tjg phase%d", ph)
+	}
+	emitRepeatFooter(s, "d")
+	emitEpilogue(s)
+	for i := 0; i < funcs; i++ {
+		s.f(".func pass%d", i)
+		s.f("pass%d:", i)
+		s.f("\tmov r0, r1")
+		// A unique small body: a few arithmetic ops plus a conditional
+		// early-out, so function shapes differ.
+		ops := 3 + rng.intn(6)
+		for k := 0; k < ops; k++ {
+			switch rng.intn(5) {
+			case 0:
+				s.f("\taddi r0, %d", 1+rng.intn(99))
+			case 1:
+				s.f("\txori r0, %d", rng.intn(1<<14))
+			case 2:
+				s.f("\tshri r0, %d", 1+rng.intn(3))
+			case 3:
+				s.f("\tmovi r3, %d", 3+rng.intn(60))
+				s.f("\tmul r0, r3")
+			case 4:
+				s.f("\tori r0, %d", rng.intn(255))
+			}
+		}
+		s.f("\tcmpi r0, %d", rng.intn(1<<13))
+		s.f("\tjl p%dout", i)
+		s.f("\tshri r0, 1")
+		s.f("p%dout:", i)
+		s.f("\tandi r0, 0x3fff")
+		if i%5 == 4 {
+			// Shared-epilogue functions: no ret of their own (Fig. 9's
+			// "functions without ret" population).
+			s.f("\tjmp gccret")
+		} else {
+			s.f("\tret")
+		}
+	}
+	s.f(".func gccret")
+	s.f("gccret:")
+	s.f("\tret")
+	return s.String(), nil
+}
+
+// genXalan: a virtual-dispatch interpreter over a node stream. Every handler
+// makes a further virtual call through a method table, giving xalan by far
+// the highest static indirect-call count — the paper's Table II shape
+// (xalan: 15465 indirect calls, an order of magnitude above the rest).
+func genXalan(scale int) (string, []byte) {
+	const (
+		handlers = 160
+		leaves   = 32
+		nodes    = 2048
+	)
+	rng := newLCG(31337)
+	s := &src{}
+	s.f("; xalan analog: virtual-dispatch tree transform, %d handlers, %d leaf methods", handlers, leaves)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillnodes")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "x", 3*scale)
+	s.f("\tmovi r10, 0") // node index
+	s.f("nl:")
+	s.f("\tmovi r4, %d", nodes)
+	s.f("\tcmp r10, r4")
+	s.f("\tje ndone")
+	s.f("\tmovi r4, nodestream")
+	s.f("\tadd r4, r10")
+	s.f("\tloadb r1, [r4+0]") // node type byte
+	s.f("\tmov r5, r1")
+	s.f("\tandi r5, 255")
+	s.f("\tshli r5, 2")
+	s.f("\tmovi r4, vtable")
+	s.f("\tloadr r6, [r4+r5]")
+	s.f("\tcallr r6") // virtual dispatch on node type
+	s.f("\tadd r9, r0")
+	s.f("\taddi r10, 1")
+	s.f("\tjmp nl")
+	s.f("ndone:")
+	emitRepeatFooter(s, "x")
+	emitEpilogue(s)
+
+	// Handlers: transform the node value and make a second-level virtual
+	// call into the leaf method table.
+	for i := 0; i < handlers; i++ {
+		s.f(".func handle%d", i)
+		s.f("handle%d:", i)
+		s.f("\tmov r0, r1")
+		s.f("\taddi r0, %d", i)
+		s.f("\txori r0, %d", rng.intn(1<<12))
+		// Direct control flow inside the method: a guard branch and a
+		// direct call to a shared utility (real xalan methods are dominated
+		// by direct transfers; Table II has direct >> indirect).
+		s.f("\tcmpi r0, %d", rng.intn(1<<11))
+		s.f("\tjl h%dskip", i)
+		s.f("\tmov r1, r0")
+		s.f("\tcall util%d", rng.intn(8))
+		s.f("h%dskip:", i)
+		s.f("\tcmpi r0, %d", rng.intn(1<<11))
+		s.f("\tjge h%dalt", i)
+		s.f("\taddi r0, %d", 1+rng.intn(63))
+		s.f("h%dalt:", i)
+		s.f("\tmov r2, r0")
+		s.f("\tandi r2, %d", leaves-1)
+		s.f("\tshli r2, 2")
+		s.f("\tmovi r3, ltable")
+		s.f("\tloadr r3, [r3+r2]")
+		s.f("\tpush r0")
+		s.f("\tcallr r3") // second-level virtual call
+		s.f("\tpop r1")
+		s.f("\tadd r0, r1")
+		s.f("\tandi r0, 0x7fff")
+		if i%8 == 7 {
+			s.f("\tjmp xalanret") // shared epilogue: handler has no ret
+		} else {
+			s.f("\tret")
+		}
+	}
+	s.f(".func xalanret")
+	s.f("xalanret:")
+	s.f("\tret")
+	// Shared utilities reached by direct calls from the handlers.
+	for i := 0; i < 8; i++ {
+		s.f(".func util%d", i)
+		s.f("util%d:", i)
+		s.f("\tmov r0, r1")
+		s.f("\tshri r0, %d", 1+i%3)
+		s.f("\txori r0, %d", rng.intn(1<<10))
+		s.f("\tret")
+	}
+	// Leaf methods: pure arithmetic, no further calls.
+	for i := 0; i < leaves; i++ {
+		s.f(".func leaf%d", i)
+		s.f("leaf%d:", i)
+		s.f("\tmov r0, r1")
+		s.f("\tshri r0, %d", 1+rng.intn(4))
+		s.f("\taddi r0, %d", 1+rng.intn(200))
+		s.f("\tret")
+	}
+
+	emitLCGFillBytes(s, "fillnodes", "nodestream", nodes, 4)
+	s.f(".data")
+	s.f("nodestream: .space %d", nodes)
+	// 256-entry vtable covering every type byte.
+	vt := make([]string, 256)
+	for i := range vt {
+		vt[i] = "handle" + of(uint32(rng.intn(handlers)))
+	}
+	s.f("vtable: .addr %s", join(vt))
+	lt := make([]string, leaves)
+	for i := range lt {
+		lt[i] = "leaf" + of(uint32(i))
+	}
+	s.f("ltable: .addr %s", join(lt))
+	return s.String(), nil
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// of formats a uint32 in decimal (no fmt import churn in hot generators).
+func of(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Bytecode opcodes for the python analog's virtual machine.
+const (
+	bcHalt = iota
+	bcPush // imm8
+	bcAdd
+	bcSub
+	bcMul
+	bcDup
+	bcDec
+	bcJnz // imm8 absolute bytecode address
+	bcAcc
+	bcXor
+)
+
+// genPython: a bytecode interpreter interpreting a synthetic program — the
+// interpreter-on-interpreter profile that makes python the worst case of
+// Fig. 2's emulation slowdowns.
+func genPython(scale int) (string, []byte) {
+	// Guest program: acc += c*c for c = 180 down to 1.
+	prog := []byte{
+		bcPush, 180,
+		/* loop @2 */ bcDup, bcDup, bcMul, bcAcc,
+		bcDec,
+		bcJnz, 2,
+		bcHalt,
+	}
+	s := &src{}
+	s.f("; python analog: bytecode VM, %d-byte guest program", len(prog))
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "p", 8*scale)
+	s.f("\tmovi r11, 0")       // ip
+	s.f("\tmovi r10, vmstack") // vm stack pointer (grows up)
+	s.f("dispatch:")
+	s.f("\tmovi r4, prog")
+	s.f("\tadd r4, r11")
+	s.f("\tloadb r5, [r4+0]") // opcode
+	s.f("\tloadb r6, [r4+1]") // inline operand (may be junk)
+	s.f("\taddi r11, 1")
+	s.f("\tshli r5, 2")
+	s.f("\tmovi r4, optable")
+	s.f("\tloadr r5, [r4+r5]")
+	s.f("\tjmpr r5") // threaded dispatch
+
+	s.f("op_halt:")
+	s.f("\tjmp vmexit")
+	s.f("op_push:")
+	s.f("\tstore [r10+0], r6")
+	s.f("\taddi r10, 4")
+	s.f("\taddi r11, 1")
+	s.f("\tjmp dispatch")
+	s.f("op_add:")
+	s.f("\tsubi r10, 4")
+	s.f("\tload r4, [r10+0]")
+	s.f("\tload r5, [r10-4]")
+	s.f("\tadd r5, r4")
+	s.f("\tstore [r10-4], r5")
+	s.f("\tjmp dispatch")
+	s.f("op_sub:")
+	s.f("\tsubi r10, 4")
+	s.f("\tload r4, [r10+0]")
+	s.f("\tload r5, [r10-4]")
+	s.f("\tsub r5, r4")
+	s.f("\tstore [r10-4], r5")
+	s.f("\tjmp dispatch")
+	s.f("op_mul:")
+	s.f("\tsubi r10, 4")
+	s.f("\tload r4, [r10+0]")
+	s.f("\tload r5, [r10-4]")
+	s.f("\tmul r5, r4")
+	s.f("\tstore [r10-4], r5")
+	s.f("\tjmp dispatch")
+	s.f("op_dup:")
+	s.f("\tload r4, [r10-4]")
+	s.f("\tstore [r10+0], r4")
+	s.f("\taddi r10, 4")
+	s.f("\tjmp dispatch")
+	s.f("op_dec:")
+	s.f("\tload r4, [r10-4]")
+	s.f("\tsubi r4, 1")
+	s.f("\tstore [r10-4], r4")
+	s.f("\tjmp dispatch")
+	s.f("op_jnz:")
+	s.f("\tload r4, [r10-4]")
+	s.f("\tcmpi r4, 0")
+	s.f("\tje jnzfall")
+	s.f("\tmov r11, r6")
+	s.f("\tjmp dispatch")
+	s.f("jnzfall:")
+	s.f("\taddi r11, 1")
+	s.f("\tjmp dispatch")
+	s.f("op_acc:")
+	s.f("\tsubi r10, 4")
+	s.f("\tload r4, [r10+0]")
+	s.f("\tadd r9, r4")
+	s.f("\tjmp dispatch")
+	s.f("op_xor:")
+	s.f("\tsubi r10, 4")
+	s.f("\tload r4, [r10+0]")
+	s.f("\tload r5, [r10-4]")
+	s.f("\txor r5, r4")
+	s.f("\tstore [r10-4], r5")
+	s.f("\tjmp dispatch")
+	s.f("vmexit:")
+	emitRepeatFooter(s, "p")
+	emitEpilogue(s)
+
+	s.f(".data")
+	emitBytes(s, "prog", prog)
+	s.f("optable: .addr op_halt, op_push, op_add, op_sub, op_mul, op_dup, op_dec, op_jnz, op_acc, op_xor")
+	s.f("vmstack: .space 4096")
+	return s.String(), nil
+}

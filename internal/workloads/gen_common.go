@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// src accumulates generated assembly.
+type src struct{ b strings.Builder }
+
+func (s *src) f(format string, args ...any) {
+	fmt.Fprintf(&s.b, format, args...)
+	s.b.WriteByte('\n')
+}
+
+func (s *src) String() string { return s.b.String() }
+
+// lcg is a compile-time pseudo-random source for the generators. Workload
+// generation must be deterministic, so it never uses math/rand global state.
+type lcg struct{ s uint32 }
+
+func newLCG(seed uint32) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) next() uint32 {
+	l.s = l.s*1103515245 + 12345
+	return l.s
+}
+
+func (l *lcg) intn(n int) int { return int((l.next() >> 8) % uint32(n)) }
+
+// emitLCGFillWords emits a function that fills `words` 32-bit words at label
+// buf with LCG-generated values. Clobbers r2-r5.
+func emitLCGFillWords(s *src, fnName, buf string, words int, seed uint32) {
+	s.f(".func %s", fnName)
+	s.f("%s:", fnName)
+	s.f("\tmovi r2, %s", buf)
+	s.f("\tmovi r3, %d", words)
+	s.f("\tmovi r4, %d", seed)
+	s.f("%s_loop:", fnName)
+	s.f("\tcmpi r3, 0")
+	s.f("\tje %s_done", fnName)
+	s.f("\tmovi r5, 1103515245")
+	s.f("\tmul r4, r5")
+	s.f("\taddi r4, 12345")
+	s.f("\tmov r5, r4")
+	s.f("\tshri r5, 16")
+	s.f("\tstore [r2+0], r5")
+	s.f("\taddi r2, 4")
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp %s_loop", fnName)
+	s.f("%s_done:", fnName)
+	s.f("\tret")
+}
+
+// emitLCGFillBytes is emitLCGFillWords for byte buffers (low byte of each
+// LCG step). Clobbers r2-r5.
+func emitLCGFillBytes(s *src, fnName, buf string, bytes int, seed uint32) {
+	s.f(".func %s", fnName)
+	s.f("%s:", fnName)
+	s.f("\tmovi r2, %s", buf)
+	s.f("\tmovi r3, %d", bytes)
+	s.f("\tmovi r4, %d", seed)
+	s.f("%s_loop:", fnName)
+	s.f("\tcmpi r3, 0")
+	s.f("\tje %s_done", fnName)
+	s.f("\tmovi r5, 1103515245")
+	s.f("\tmul r4, r5")
+	s.f("\taddi r4, 12345")
+	s.f("\tmov r5, r4")
+	s.f("\tshri r5, 13")
+	s.f("\tstoreb [r2+0], r5")
+	s.f("\taddi r2, 1")
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp %s_loop", fnName)
+	s.f("%s_done:", fnName)
+	s.f("\tret")
+}
+
+// emitEpilogue prints the checksum in r9 and exits through the runtime
+// library, then emits the runtime itself. Every workload links the same
+// small "libc": I/O wrappers, register-restore helpers, and a store utility.
+// Like a real statically linked binary, these few functions are where the
+// classic ROP gadgets (pop rX ; ret / sys N ; ret / store ; ret) live — the
+// paper's Sec. V-B observation that ROPgadget can assemble payloads for
+// every unprotected SPEC binary depends on exactly this runtime code.
+func emitEpilogue(s *src) {
+	s.f("finish:")
+	s.f("\tmov r1, r9")
+	s.f("\tmovi r3, rt_writeint") // indirect dispatch through the runtime,
+	s.f("\tcall rt_apply")        // as a function-pointer-using libc would
+	s.f("\tmovi r1, 0")
+	s.f("\tcall rt_exit")
+	s.f("\thalt") // unreachable; rt_exit terminates
+	emitRuntime(s)
+}
+
+// emitRuntime emits the shared runtime library.
+func emitRuntime(s *src) {
+	s.f(".func rt_putch")
+	s.f("rt_putch:") // write low byte of r1
+	s.f("\tsys 1")
+	s.f("\tret")
+	s.f(".func rt_writeint")
+	s.f("rt_writeint:") // write r1 as decimal
+	s.f("\tsys 3")
+	s.f("\tret")
+	s.f(".func rt_exit")
+	s.f("rt_exit:") // terminate with code r1
+	s.f("\tsys 0")
+	s.f("\tret")
+	s.f(".func rt_getch")
+	s.f("rt_getch:") // read one byte into r0
+	s.f("\tsys 2")
+	s.f("\tret")
+	// Register-restore helpers (the callee-save epilogue idiom).
+	s.f(".func rt_restore1")
+	s.f("rt_restore1:")
+	s.f("\tpop r1")
+	s.f("\tret")
+	s.f(".func rt_restore5")
+	s.f("rt_restore5:")
+	s.f("\tpop r5")
+	s.f("\tret")
+	// Indirect application: call the function whose address is in r3.
+	s.f(".func rt_apply")
+	s.f("rt_apply:")
+	s.f("\tpush r4")
+	s.f("\tmov r4, r3")
+	s.f("\tcallr r4")
+	s.f("\tpop r4")
+	s.f("\tret")
+	// A no-ret epilogue pattern: returns to the caller by jumping through a
+	// shared stub (the paper's Fig. 9 "functions without ret" population).
+	s.f(".func rt_mix")
+	s.f("rt_mix:")
+	s.f("\txori r0, 23")
+	s.f("\tjmp rt_retstub")
+	s.f(".func rt_retstub")
+	s.f("rt_retstub:")
+	s.f("\tret")
+	// Store utility: *r5 = r1.
+	s.f(".func rt_storeword")
+	s.f("rt_storeword:")
+	s.f("\tstore [r5+0], r1")
+	s.f("\tret")
+	// Load utility: r1 = *r5.
+	s.f(".func rt_loadword")
+	s.f("rt_loadword:")
+	s.f("\tload r1, [r5+0]")
+	s.f("\tret")
+}
+
+// emitRepeatHeader opens an outer repetition loop driven by r8 (count n).
+// The matching emitRepeatFooter closes it. The body must preserve r8.
+func emitRepeatHeader(s *src, label string, n int) {
+	s.f("\tmovi r8, %d", n)
+	s.f("%s_rep:", label)
+	s.f("\tcmpi r8, 0")
+	s.f("\tje finish")
+}
+
+func emitRepeatFooter(s *src, label string) {
+	s.f("\tsubi r8, 1")
+	s.f("\tjmp %s_rep", label)
+}

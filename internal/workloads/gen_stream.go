@@ -1,0 +1,444 @@
+package workloads
+
+// Streaming and memory-bound workload generators: memcpy, libquantum, lbm,
+// mcf, soplex, hmmer, bzip2.
+//
+// Every SPEC analog's hot kernel is unrolled into several hundred to a
+// couple thousand static instructions. That matches real SPEC hot regions
+// (tens of KB of code) and is what gives the naive-ILR experiments their
+// bite: a kernel of ~1.3k instructions occupies ~5 KB in the original
+// layout (IL1-resident) but ~650 cache lines once scattered at spread 4 —
+// beyond the 512-line IL1.
+
+// genMemcpy: repeated buffer copies with a 64-word unrolled inner loop.
+func genMemcpy(scale int) (string, []byte) {
+	const (
+		words  = 8192 // 32 KiB per buffer: the copy streams through the DL1
+		unroll = 64
+	)
+	s := &src{}
+	s.f("; memcpy analog: repeated word-wise buffer copies (unrolled x%d)", unroll)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fill")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "m", 8*scale)
+	s.f("\tmovi r2, srcbuf")
+	s.f("\tmovi r3, dstbuf")
+	s.f("\tmovi r4, %d", words/unroll)
+	s.f("cpy:")
+	s.f("\tcmpi r4, 0")
+	s.f("\tje cdone")
+	for k := 0; k < unroll; k++ {
+		s.f("\tload r5, [r2+%d]", 4*k)
+		s.f("\tstore [r3+%d], r5", 4*k)
+	}
+	s.f("\taddi r2, %d", 4*unroll)
+	s.f("\taddi r3, %d", 4*unroll)
+	s.f("\tsubi r4, 1")
+	s.f("\tjmp cpy")
+	s.f("cdone:")
+	s.f("\tadd r9, r5")
+	emitRepeatFooter(s, "m")
+	emitEpilogue(s)
+	emitLCGFillWords(s, "fill", "srcbuf", words, 7)
+	s.f(".data")
+	s.f("srcbuf: .space %d", words*4)
+	s.f("dstbuf: .space %d", words*4)
+	return s.String(), nil
+}
+
+// genLibquantum: streaming gate sweeps with a 192-element unrolled body
+// (~1.3k hot instructions).
+func genLibquantum(scale int) (string, []byte) {
+	const (
+		unroll = 192
+		iters  = 84 // 63 KiB register array: sweeps stream through the DL1
+		words  = unroll * iters
+	)
+	s := &src{}
+	s.f("; libquantum analog: streaming gate sweeps, %d-element unrolled body", unroll)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fill")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "q", 2*scale)
+	s.f("\tmovi r2, qreg")
+	s.f("\tmovi r3, %d", iters)
+	s.f("\tmovi r6, 0x5a5a")
+	s.f("gate:")
+	s.f("\tcmpi r3, 0")
+	s.f("\tje gdone")
+	for k := 0; k < unroll; k++ {
+		off := 4 * k
+		s.f("\tload r5, [r2+%d]", off)
+		s.f("\txor r5, r6")
+		s.f("\tmov r7, r5")
+		s.f("\tshli r7, 1")
+		s.f("\txor r5, r7")
+		s.f("\tstore [r2+%d], r5", off)
+		s.f("\tadd r9, r5")
+	}
+	s.f("\taddi r2, %d", 4*unroll)
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp gate")
+	s.f("gdone:")
+	emitRepeatFooter(s, "q")
+	emitEpilogue(s)
+	emitLCGFillWords(s, "fill", "qreg", words, 99)
+	s.f(".data")
+	s.f("qreg: .space %d", words*4)
+	return s.String(), nil
+}
+
+// genLBM: a stencil relaxation with a large unrolled loop body plus helper
+// calls scattered across it from many distinct return sites — the
+// small-data, big-straight-line-code profile that makes lbm one of the worst
+// small-DRC cases in the paper (Fig. 14).
+func genLBM(scale int) (string, []byte) {
+	const (
+		cols   = 128
+		rows   = 96
+		unroll = 94 // cells updated per unrolled body iteration
+	)
+	s := &src{}
+	s.f("; lbm analog: unrolled stencil relaxation over a %dx%d grid", rows, cols)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fill")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "l", scale)
+	s.f("\tmovi r2, grid")                     // cell cursor
+	s.f("\tmovi r3, %d", (rows-2)*cols/unroll) // unrolled body iterations
+	s.f("sweep:")
+	s.f("\tcmpi r3, 0")
+	s.f("\tje sdone")
+	rng := newLCG(5)
+	for u := 0; u < unroll; u++ {
+		// Five-point stencil on the word at [r2 + u*4], row stride cols*4.
+		off := u * 4
+		s.f("\tload r4, [r2+%d]", off)
+		s.f("\tload r5, [r2+%d]", off+4)
+		s.f("\tadd r4, r5")
+		s.f("\tload r5, [r2+%d]", off+cols*4)
+		s.f("\tadd r4, r5")
+		s.f("\tload r5, [r2+%d]", off+2*cols*4)
+		s.f("\tadd r4, r5")
+		s.f("\tshri r4, 2")
+		s.f("\tstore [r2+%d], r4", off+cols*4)
+		s.f("\tadd r9, r4")
+		// Sprinkled helper calls from many distinct return sites.
+		if rng.intn(3) == 0 {
+			s.f("\tmov r1, r4")
+			s.f("\tcall clamp%d", rng.intn(6))
+			s.f("\tadd r9, r0")
+		}
+	}
+	s.f("\taddi r2, %d", unroll*4)
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp sweep")
+	s.f("sdone:")
+	emitRepeatFooter(s, "l")
+	emitEpilogue(s)
+	for i := 0; i < 6; i++ {
+		s.f(".func clamp%d", i)
+		s.f("clamp%d:", i)
+		s.f("\tmov r0, r1")
+		s.f("\tandi r0, %d", 1023+i)
+		s.f("\taddi r0, %d", i)
+		s.f("\tret")
+	}
+	emitLCGFillWords(s, "fill", "grid", rows*cols, 17)
+	s.f(".data")
+	s.f("grid: .space %d", rows*cols*4)
+	return s.String(), nil
+}
+
+// genMCF: pointer chasing around a permuted linked ring, with the chase
+// chain unrolled 320 deep (~1.3k hot instructions of pure dependent loads).
+func genMCF(scale int) (string, []byte) {
+	const (
+		nodes  = 16384 // 64 KiB of next-pointers: exceeds DL1
+		unroll = 320
+	)
+	s := &src{}
+	s.f("; mcf analog: pointer chasing over a permuted linked ring of %d nodes", nodes)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall build")
+	s.f("\tmovi r9, 0")
+	s.f("\tmovi r2, 0") // current node index
+	s.f("\tmovi r5, ring")
+	emitRepeatHeader(s, "c", 16*scale)
+	s.f("\tmovi r3, 4") // unrolled blocks per rep
+	s.f("chase:")
+	s.f("\tcmpi r3, 0")
+	s.f("\tje cdone")
+	for k := 0; k < unroll; k++ {
+		s.f("\tmov r4, r2")
+		s.f("\tshli r4, 2")
+		s.f("\tloadr r2, [r5+r4]") // r2 = next[r2]
+		s.f("\tadd r9, r2")
+	}
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp chase")
+	s.f("cdone:")
+	emitRepeatFooter(s, "c")
+	emitEpilogue(s)
+	// build: ring[i] = (i + stride) mod nodes with a large odd stride — a
+	// single cycle through all nodes with DL1-hostile jumps.
+	s.f(".func build")
+	s.f("build:")
+	s.f("\tmovi r2, 0")
+	s.f("bloop:")
+	s.f("\tmovi r4, %d", nodes)
+	s.f("\tcmp r2, r4")
+	s.f("\tje bdone")
+	s.f("\tmov r4, r2")
+	s.f("\taddi r4, 3739") // odd stride, coprime with nodes
+	s.f("\tmovi r5, %d", nodes-1)
+	s.f("\tand r4, r5") // nodes is a power of two
+	s.f("\tmov r5, r2")
+	s.f("\tshli r5, 2")
+	s.f("\tmovi r6, ring")
+	s.f("\tstorer [r6+r5], r4")
+	s.f("\taddi r2, 1")
+	s.f("\tjmp bloop")
+	s.f("bdone:")
+	s.f("\tret")
+	s.f(".data")
+	s.f("ring: .space %d", nodes*4)
+	return s.String(), nil
+}
+
+// genSoplex: sparse matrix-vector products through index arrays, with eight
+// fully unrolled row-kernel variants selected by row number (~1.1k hot
+// instructions of gather code).
+func genSoplex(scale int) (string, []byte) {
+	const (
+		rows     = 256
+		nnz      = 16 // nonzeros per row
+		variants = 8
+	)
+	s := &src{}
+	s.f("; soplex analog: sparse matrix-vector products via index indirection")
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillvals")
+	s.f("\tcall fillidx")
+	s.f("\tcall fillx")
+	s.f("\tmovi r9, 0")
+	s.f("\tmovi r11, xvec")
+	emitRepeatHeader(s, "s", 4*scale)
+	s.f("\tmovi r2, 0") // row
+	s.f("rowl:")
+	s.f("\tmovi r4, %d", rows)
+	s.f("\tcmp r2, r4")
+	s.f("\tje rdone")
+	// Row base pointers.
+	s.f("\tmov r10, r2")
+	s.f("\tshli r10, %d", 6) // * nnz * 4
+	s.f("\tmovi r12, colidx")
+	s.f("\tadd r10, r12")
+	s.f("\tmov r12, r2")
+	s.f("\tshli r12, 6")
+	s.f("\tmovi r4, vals")
+	s.f("\tadd r12, r4")
+	s.f("\tmovi r5, 0") // accumulator
+	// Dispatch to the row-kernel variant for row & 7.
+	s.f("\tmov r4, r2")
+	s.f("\tandi r4, %d", variants-1)
+	for v := 0; v < variants; v++ {
+		s.f("\tcmpi r4, %d", v)
+		s.f("\tje rowv%d", v)
+	}
+	s.f("\tjmp rowvdone")
+	for v := 0; v < variants; v++ {
+		s.f("rowv%d:", v)
+		for k := 0; k < nnz; k++ {
+			off := 4 * k
+			s.f("\tload r3, [r10+%d]", off)
+			s.f("\tandi r3, 4095")
+			s.f("\tshli r3, 2")
+			s.f("\tloadr r0, [r11+r3]") // x[col]
+			s.f("\tload r1, [r12+%d]", off)
+			s.f("\tshri r1, %d", 8+v%4)
+			s.f("\tmul r0, r1")
+			s.f("\tadd r5, r0")
+		}
+		s.f("\tjmp rowvdone")
+	}
+	s.f("rowvdone:")
+	// Pivot-style comparison: track the max row sum.
+	s.f("\tcmp r5, r9")
+	s.f("\tjle nomax")
+	s.f("\tmov r9, r5")
+	s.f("nomax:")
+	s.f("\taddi r2, 1")
+	s.f("\tjmp rowl")
+	s.f("rdone:")
+	emitRepeatFooter(s, "s")
+	emitEpilogue(s)
+	emitLCGFillWords(s, "fillvals", "vals", rows*nnz, 23)
+	emitLCGFillWords(s, "fillidx", "colidx", rows*nnz, 41)
+	emitLCGFillWords(s, "fillx", "xvec", 4096, 61)
+	s.f(".data")
+	s.f("vals:   .space %d", rows*nnz*4)
+	s.f("colidx: .space %d", rows*nnz*4)
+	s.f("xvec:   .space %d", 4096*4)
+	return s.String(), nil
+}
+
+// genHmmer: Viterbi-style dynamic programming with the per-step state loop
+// fully unrolled (47 states x ~15 instructions).
+func genHmmer(scale int) (string, []byte) {
+	const (
+		states = 48
+		steps  = 128
+	)
+	s := &src{}
+	s.f("; hmmer analog: Viterbi DP, %d-state unrolled inner loop x %d steps", states, steps)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillem")
+	s.f("\tmovi r9, 0")
+	s.f("\tmovi r6, score")
+	s.f("\tmovi r4, emit")
+	emitRepeatHeader(s, "h", 3*scale)
+	s.f("\tmovi r2, 0") // t
+	s.f("tl:")
+	s.f("\tcmpi r2, %d", steps)
+	s.f("\tje tdone")
+	s.f("\tmov r7, r2")
+	s.f("\tmovi r3, %d", states)
+	s.f("\tmul r7, r3") // r7 = t*states
+	for st := 1; st < states; st++ {
+		off := 4 * st
+		s.f("\tload r0, [r6+%d]", off)
+		s.f("\tload r1, [r6+%d]", off-4)
+		s.f("\tcmp r0, r1")
+		s.f("\tjge hk%d", st)
+		s.f("\tmov r0, r1")
+		s.f("hk%d:", st)
+		s.f("\tmov r5, r7")
+		s.f("\taddi r5, %d", st)
+		s.f("\tandi r5, 8191")
+		s.f("\tshli r5, 2")
+		s.f("\tloadr r1, [r4+r5]")
+		s.f("\tshri r1, 8") // emit words are 16-bit; keep an 8-bit increment
+		s.f("\tadd r0, r1")
+		s.f("\tandi r0, 0x7fff")
+		s.f("\tstore [r6+%d], r0", off)
+		s.f("\tadd r9, r0")
+	}
+	s.f("\taddi r2, 1")
+	s.f("\tjmp tl")
+	s.f("tdone:")
+	emitRepeatFooter(s, "h")
+	emitEpilogue(s)
+	emitLCGFillWords(s, "fillem", "emit", 8192, 77)
+	s.f(".data")
+	s.f("emit:  .space %d", 8192*4)
+	s.f("score: .space %d", states*4)
+	return s.String(), nil
+}
+
+// genBzip2: RLE + move-to-front over a byte buffer, followed by an unrolled
+// bit-mixing output pass — byte loads, data-dependent branches, and a second
+// hot phase.
+func genBzip2(scale int) (string, []byte) {
+	const (
+		bytes  = 2048
+		unroll = 96
+	)
+	s := &src{}
+	s.f("; bzip2 analog: RLE + move-to-front, then an unrolled bit-mix pass")
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tcall fillin")
+	s.f("\tcall initmtf")
+	s.f("\tmovi r9, 0")
+	emitRepeatHeader(s, "b", 2*scale)
+	// Phase 1: RLE + MTF with data-dependent runs.
+	s.f("\tmovi r2, inbuf") // cursor
+	s.f("\tmovi r3, %d", bytes)
+	s.f("rle:")
+	s.f("\tcmpi r3, 0")
+	s.f("\tje mixphase")
+	s.f("\tloadb r4, [r2+0]") // current byte
+	s.f("\tandi r4, 63")      // 6-bit alphabet (the MTF table covers 0..63)
+	s.f("\tmovi r5, 1")       // run length
+	s.f("run:")
+	s.f("\tcmpi r3, 1")
+	s.f("\tje runout")
+	s.f("\tloadb r6, [r2+1]")
+	s.f("\tandi r6, 63")
+	s.f("\tcmp r6, r4")
+	s.f("\tjne runout")
+	s.f("\taddi r5, 1")
+	s.f("\taddi r2, 1")
+	s.f("\tsubi r3, 1")
+	s.f("\tcmpi r5, 255")
+	s.f("\tjne run")
+	s.f("runout:")
+	// Move-to-front of r4: find its rank with a linear scan.
+	s.f("\tmovi r6, 0") // rank
+	s.f("mtfl:")
+	s.f("\tmovi r7, mtf")
+	s.f("\tloadr r0, [r7+r6]")
+	s.f("\tandi r0, 255")
+	s.f("\tcmp r0, r4")
+	s.f("\tje mtfhit")
+	s.f("\taddi r6, 4")
+	s.f("\tjmp mtfl")
+	s.f("mtfhit:")
+	s.f("\tadd r9, r6")
+	s.f("\tadd r9, r5")
+	s.f("\taddi r2, 1")
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp rle")
+	// Phase 2: unrolled bit-mix/checksum pass over the whole buffer.
+	s.f("mixphase:")
+	s.f("\tmovi r2, inbuf")
+	s.f("\tmovi r3, %d", bytes/4/unroll)
+	s.f("mix:")
+	s.f("\tcmpi r3, 0")
+	s.f("\tje mdone")
+	for k := 0; k < unroll; k++ {
+		off := 4 * k
+		s.f("\tload r5, [r2+%d]", off)
+		s.f("\tmov r6, r5")
+		s.f("\tshri r6, 7")
+		s.f("\txor r5, r6")
+		s.f("\tadd r9, r5")
+	}
+	s.f("\taddi r2, %d", 4*unroll)
+	s.f("\tsubi r3, 1")
+	s.f("\tjmp mix")
+	s.f("mdone:")
+	emitRepeatFooter(s, "b")
+	emitEpilogue(s)
+	emitLCGFillBytes(s, "fillin", "inbuf", bytes, 3)
+	// initmtf: mtf[i] = i & 63 (input bytes are masked to 6 bits, so the
+	// scan always terminates).
+	s.f(".func initmtf")
+	s.f("initmtf:")
+	s.f("\tmovi r2, 0")
+	s.f("il:")
+	s.f("\tcmpi r2, 256")
+	s.f("\tje idone")
+	s.f("\tmov r4, r2")
+	s.f("\tandi r4, 63")
+	s.f("\tmov r5, r2")
+	s.f("\tshli r5, 2")
+	s.f("\tmovi r6, mtf")
+	s.f("\tstorer [r6+r5], r4")
+	s.f("\taddi r2, 1")
+	s.f("\tjmp il")
+	s.f("idone:")
+	s.f("\tret")
+	s.f(".data")
+	s.f("inbuf: .space %d", bytes)
+	s.f("mtf:   .space %d", 256*4)
+	return s.String(), nil
+}

@@ -1,0 +1,139 @@
+package workloads
+
+import "fmt"
+
+// Random generates a structured random program for differential testing:
+// a handful of leaf functions with random ALU/memory bodies, and a main
+// routine that runs a bounded counted loop of random direct calls, forward
+// conditional branches, indirect calls through code-address constants, and
+// scratch-memory traffic, finishing with a register checksum.
+//
+// Programs are total by construction (the only backward edge is the counted
+// loop), deterministic for a given seed, and exercise every control-flow
+// feature the rewriter must preserve. The test suites run them through
+// every execution substrate and compare outputs.
+func Random(seed uint32) Workload {
+	rng := newLCG(seed*2654435761 + 12345)
+	nfuncs := 3 + rng.intn(6)
+	s := &src{}
+	s.f("; random differential-test program, seed %d", seed)
+	s.f(".entry main")
+	s.f("main:")
+	s.f("\tmovi r9, 0")
+	s.f("\tmovi r12, %d", 20+rng.intn(60)) // loop counter
+	s.f("mainloop:")
+
+	blocks := 4 + rng.intn(8)
+	for b := 0; b < blocks; b++ {
+		// A few random ALU ops on r0-r7.
+		for i, n := 0, 1+rng.intn(4); i < n; i++ {
+			emitRandomALU(s, rng)
+		}
+		switch rng.intn(5) {
+		case 0: // direct call
+			s.f("\tmovi r1, %d", rng.intn(1<<12))
+			s.f("\tcall rf%d", rng.intn(nfuncs))
+			s.f("\tadd r9, r0")
+		case 1: // indirect call through a code constant
+			// The pointer lives only in r11, which never feeds arithmetic,
+			// memory, or the checksum: ILR legitimately changes code-address
+			// *values* (they move to the randomized space), so a program
+			// that leaks them into its output is not ILR-compatible — the
+			// paper's "code address computations are rare" assumption.
+			s.f("\tmovi r1, %d", rng.intn(1<<12))
+			s.f("\tmovi r11, rf%d", rng.intn(nfuncs))
+			s.f("\tcallr r11")
+			s.f("\tadd r9, r0")
+		case 2: // forward conditional skip
+			s.f("\tcmpi r%d, %d", rng.intn(8), rng.intn(1<<10))
+			s.f("\t%s skip_%d_%d", randomBranch(rng), seed, b)
+			emitRandomALU(s, rng)
+			emitRandomALU(s, rng)
+			s.f("skip_%d_%d:", seed, b)
+		case 3: // scratch memory traffic
+			s.f("\tmovi r5, scratch")
+			s.f("\tmov r6, r%d", rng.intn(8))
+			s.f("\tandi r6, 1020")
+			s.f("\tstorer [r5+r6], r%d", rng.intn(8))
+			s.f("\tloadr r7, [r5+r6]")
+			s.f("\tadd r9, r7")
+		case 4: // push/pop pair
+			r := rng.intn(8)
+			s.f("\tpush r%d", r)
+			emitRandomALU(s, rng)
+			s.f("\tpop r%d", r)
+		}
+	}
+	s.f("\tsubi r12, 1")
+	s.f("\tcmpi r12, 0")
+	s.f("\tjg mainloop")
+	// Checksum every register into r9 (masking keeps the decimal short).
+	for r := 0; r < 8; r++ {
+		s.f("\tadd r9, r%d", r)
+	}
+	s.f("\tandi r9, 0x7fffffff")
+	emitEpilogue(s)
+
+	for f := 0; f < nfuncs; f++ {
+		s.f(".func rf%d", f)
+		s.f("rf%d:", f)
+		s.f("\tmov r0, r1")
+		for i, n := 0, 2+rng.intn(6); i < n; i++ {
+			switch rng.intn(4) {
+			case 0:
+				s.f("\taddi r0, %d", rng.intn(1<<12))
+			case 1:
+				s.f("\txori r0, %d", rng.intn(1<<12))
+			case 2:
+				s.f("\tshri r0, %d", 1+rng.intn(8))
+			case 3:
+				s.f("\tmovi r3, %d", 3+rng.intn(100))
+				s.f("\tmul r0, r3")
+			}
+		}
+		if rng.intn(4) == 0 && f > 0 {
+			// Nested direct call to an earlier function (no recursion).
+			s.f("\tpush r1")
+			s.f("\tmov r1, r0")
+			s.f("\tcall rf%d", rng.intn(f))
+			s.f("\tpop r1")
+		}
+		s.f("\tandi r0, 0xffff")
+		s.f("\tret")
+	}
+	s.f(".data")
+	s.f("scratch: .space 2048")
+
+	name := fmt.Sprintf("random-%d", seed)
+	return Workload{
+		Name: name,
+		Desc: "structured random differential-test program",
+		Img:  MustAssembleSource(name, s.String()),
+	}
+}
+
+// emitRandomALU emits one random flag-safe ALU instruction over r0-r7.
+func emitRandomALU(s *src, rng *lcg) {
+	a, b := rng.intn(8), rng.intn(8)
+	switch rng.intn(7) {
+	case 0:
+		s.f("\tadd r%d, r%d", a, b)
+	case 1:
+		s.f("\tsub r%d, r%d", a, b)
+	case 2:
+		s.f("\txor r%d, r%d", a, b)
+	case 3:
+		s.f("\tand r%d, r%d", a, b)
+	case 4:
+		s.f("\tor r%d, r%d", a, b)
+	case 5:
+		s.f("\tshri r%d, %d", a, 1+rng.intn(8))
+	case 6:
+		s.f("\tnot r%d", a)
+	}
+}
+
+// randomBranch picks a conditional mnemonic.
+func randomBranch(rng *lcg) string {
+	return []string{"je", "jne", "jl", "jge", "jg", "jle", "jb", "jae"}[rng.intn(8)]
+}

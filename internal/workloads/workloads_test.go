@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"testing"
+
+	"vcfr/internal/cfg"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+)
+
+func TestAllWorkloadsAssembleAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name, 1)
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			if err := w.Img.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if w.Desc == "" {
+				t.Error("missing description")
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("quake", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWorkloadsRunAndHalt(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			w := MustByName(name, 1)
+			res, err := emu.Run(w.Img, emu.Config{
+				Mode:     emu.ModeNative,
+				Input:    w.Input,
+				MaxSteps: 5_000_000,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.ExitCode != 0 {
+				t.Errorf("exit = %d", res.ExitCode)
+			}
+			if len(res.Out) == 0 {
+				t.Error("no checksum output")
+			}
+			// Scale-1 dynamic size: big enough to be a meaningful benchmark
+			// kernel, small enough for the test suite.
+			if res.Stats.Instructions < 40_000 {
+				t.Errorf("only %d instructions at scale 1", res.Stats.Instructions)
+			}
+			if res.Stats.Instructions > 3_000_000 {
+				t.Errorf("%d instructions at scale 1: too slow for tests", res.Stats.Instructions)
+			}
+		})
+	}
+}
+
+func TestWorkloadsScaleGrowsDynamicCount(t *testing.T) {
+	a := MustByName("memcpy", 1)
+	b := MustByName("memcpy", 3)
+	ra, err := emu.Run(a.Img, emu.Config{Mode: emu.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := emu.Run(b.Img, emu.Config{Mode: emu.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Stats.Instructions < 2*ra.Stats.Instructions {
+		t.Errorf("scale 3 ran %d vs scale 1's %d", rb.Stats.Instructions, ra.Stats.Instructions)
+	}
+	// Static code size is scale-invariant.
+	if len(a.Img.Text().Data) != len(b.Img.Text().Data) {
+		t.Error("scaling changed static code size")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := MustByName("gcc", 1)
+	b := MustByName("gcc", 1)
+	if string(a.Img.Text().Data) != string(b.Img.Text().Data) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+// TestWorkloadsEquivalentUnderRandomization is the core soundness check:
+// every workload must produce identical output natively, scattered, and
+// under VCFR.
+func TestWorkloadsEquivalentUnderRandomization(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			w := MustByName(name, 1)
+			res, err := ilr.Rewrite(w.Img, ilr.Options{Seed: 7, Spread: 4})
+			if err != nil {
+				t.Fatalf("Rewrite: %v", err)
+			}
+			native, err := emu.Run(res.Orig, emu.Config{
+				Mode: emu.ModeNative, Input: w.Input, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			vcfr, err := emu.Run(res.VCFR, emu.Config{
+				Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA,
+				Input: w.Input, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatalf("vcfr: %v", err)
+			}
+			if string(native.Out) != string(vcfr.Out) {
+				t.Errorf("VCFR output %q != native %q", vcfr.Out, native.Out)
+			}
+			scat, err := emu.Run(res.Scattered, emu.Config{
+				Mode: emu.ModeScattered, Trans: res.Tables,
+				Input: w.Input, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatalf("scattered: %v", err)
+			}
+			if string(native.Out) != string(scat.Out) {
+				t.Errorf("scattered output %q != native %q", scat.Out, native.Out)
+			}
+		})
+	}
+}
+
+// TestWorkloadsTableIIShape checks the static control-flow profile of the
+// analogs against the paper's Table II shape: direct transfers dominate
+// indirect ones everywhere, and xalan has by far the most indirect calls.
+func TestWorkloadsTableIIShape(t *testing.T) {
+	stats := make(map[string]cfg.Stats)
+	for _, name := range SpecNames {
+		w := MustByName(name, 1)
+		g, err := cfg.Build(w.Img)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stats[name] = g.Stats()
+	}
+	for name, s := range stats {
+		if s.DirectTransfers <= s.IndirectTransfers {
+			t.Errorf("%s: direct (%d) <= indirect (%d), Table II shape broken",
+				name, s.DirectTransfers, s.IndirectTransfers)
+		}
+	}
+	xalan := stats["xalan"].IndirectCalls
+	for name, s := range stats {
+		if name == "xalan" {
+			continue
+		}
+		if s.IndirectCalls*5 > xalan {
+			t.Errorf("%s indirect calls %d too close to xalan's %d",
+				name, s.IndirectCalls, xalan)
+		}
+	}
+	// gcc and xalan are the code-footprint giants.
+	for _, small := range []string{"lbm", "libquantum", "mcf"} {
+		if stats[small].Instructions >= stats["gcc"].Instructions {
+			t.Errorf("%s static size %d >= gcc's %d",
+				small, stats[small].Instructions, stats["gcc"].Instructions)
+		}
+	}
+}
+
+// TestWorkloadsFig9Shape: every analog has a sensible function population
+// for the Fig. 9 analysis.
+func TestWorkloadsFig9Shape(t *testing.T) {
+	for _, name := range SpecNames {
+		w := MustByName(name, 1)
+		g, err := cfg.Build(w.Img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Stats()
+		if s.Functions < 2 {
+			t.Errorf("%s: only %d functions", name, s.Functions)
+		}
+		if s.FuncsWithRet == 0 {
+			t.Errorf("%s: no functions with ret", name)
+		}
+	}
+}
+
+func TestFig2SetAndSpecSets(t *testing.T) {
+	if got := len(Spec(1)); got != 11 {
+		t.Errorf("Spec len = %d, want 11", got)
+	}
+	if got := len(Fig2Set(1)); got != 6 {
+		t.Errorf("Fig2Set len = %d, want 6", got)
+	}
+}
