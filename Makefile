@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments results examples vet fmt cover
+.PHONY: all build test test-short bench experiments results examples vet fmt cover race check
 
 all: build test
 
@@ -14,6 +14,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The concurrency-heavy packages under the race detector: the parallel
+# experiment runner and the pipeline it drives.
+race:
+	$(GO) test -race ./internal/harness ./internal/cpu
+
+# The full pre-commit gate.
+check: build vet test race
 
 vet:
 	$(GO) vet ./...

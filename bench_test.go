@@ -10,6 +10,7 @@
 package vcfr_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -25,21 +26,46 @@ func benchCfg() harness.Config {
 }
 
 // runExperiment executes the experiment once per benchmark iteration and
-// reports the average row's numeric cells as metrics.
+// reports the average row's numeric cells as metrics. Cells run on the
+// runner's worker pool sized to GOMAXPROCS; output is identical at any
+// worker count (see BenchmarkSweepWorkers for the scaling curve).
 func runExperiment(b *testing.B, id string, metric string) {
 	b.Helper()
 	exp, err := harness.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	r := harness.NewRunner(0)
 	for i := 0; i < b.N; i++ {
-		tb, err := exp.Run(benchCfg())
+		tb, err := r.Run(context.Background(), exp, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if v, ok := averageMetric(tb); ok {
 			b.ReportMetric(v, metric)
 		}
+	}
+}
+
+// BenchmarkSweepWorkers measures the full experiment sweep at several worker
+// counts — the wall-clock scaling curve of the parallel runner. On a
+// multi-core host the 4-worker run is expected to be >= 2x faster than
+// 1 worker; on a single-core host the counts tie (the pool is
+// GOMAXPROCS-bound) while output stays byte-identical.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			r := harness.NewRunner(workers)
+			cfg := benchCfg()
+			cfg.MaxInsts = 100_000
+			for i := 0; i < b.N; i++ {
+				for _, res := range r.RunAll(context.Background(), harness.Experiments, cfg) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

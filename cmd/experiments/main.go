@@ -4,18 +4,29 @@
 //
 //	experiments -list
 //	experiments -experiment fig12
-//	experiments -experiment all -scale 2
-//	experiments -experiment fig13 -workloads h264ref,lbm -maxinsts 2000000
+//	experiments -experiment all -scale 2 -workers 8
+//	experiments -experiment fig13 -workloads h264ref,lbm -instructions 2000000
+//	experiments -experiment all -cache .vcfr-cache.json
 //
 // Each experiment prints an aligned text table with the same rows/series the
 // paper reports, plus the paper's headline number for comparison.
+//
+// Experiments are sharded into (experiment, workload) cells and run on a
+// bounded worker pool (-workers, default GOMAXPROCS). Every cell derives its
+// own PRNG seed from (base seed, experiment id, cell name), so output is
+// byte-identical regardless of worker count or goroutine scheduling. With
+// -cache, finished cells are memoized on disk and repeated invocations skip
+// them.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +48,9 @@ func run() error {
 		maxInsts   = flag.Uint64("instructions", 0, "per-run instruction cap (0 = run to completion)")
 		seed       = flag.Int64("seed", 42, "randomization seed")
 		spread     = flag.Int("spread", 0, "ILR scatter factor (0 = harness default)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel cell workers")
+		cachePath  = flag.String("cache", "", "results cache file; computed cells are reused across runs")
+		cellTime   = flag.Duration("cell-timeout", 0, "per-cell time budget (0 = none); overruns become error rows")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		format     = flag.String("format", "text", "output format: text | json")
 	)
@@ -70,25 +84,40 @@ func run() error {
 		exps = []harness.Experiment{e}
 	}
 
+	r := harness.NewRunner(*workers)
+	r.CellTimeout = *cellTime
+	if *cachePath != "" {
+		r.Cache = harness.OpenCache(*cachePath)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results := r.RunAll(ctx, exps, cfg)
+
 	type jsonResult struct {
 		*harness.Table
 		Paper   string  `json:"paper"`
 		Seconds float64 `json:"seconds"`
 	}
-	var results []jsonResult
-	for _, e := range exps {
-		start := time.Now()
-		tb, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	var out []jsonResult
+	var failed int
+	for i, res := range results {
+		e := exps[i]
+		if res.Err != nil {
+			// One broken experiment must not abort the sweep: report it and
+			// keep printing the others.
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, res.Err)
+			failed++
+			continue
 		}
-		elapsed := time.Since(start).Seconds()
 		switch *format {
 		case "text":
-			fmt.Print(tb.Render())
-			fmt.Printf("paper: %s   (%.1fs)\n\n", e.Paper, elapsed)
+			fmt.Print(res.Table.Render())
+			fmt.Printf("paper: %s   (%.1fs)\n\n", e.Paper, res.Elapsed.Seconds())
 		case "json":
-			results = append(results, jsonResult{Table: tb, Paper: e.Paper, Seconds: elapsed})
+			out = append(out, jsonResult{Table: res.Table, Paper: e.Paper, Seconds: res.Elapsed.Seconds()})
 		default:
 			return fmt.Errorf("unknown -format %q", *format)
 		}
@@ -96,7 +125,22 @@ func run() error {
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
 	}
-	return nil
+
+	fmt.Fprintf(os.Stderr, "sweep: %d experiments in %.1fs (workers=%d)\n",
+		len(exps), time.Since(start).Seconds(), *workers)
+	if r.Cache != nil {
+		hits, misses := r.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%s)\n", hits, misses, *cachePath)
+		if err := r.Cache.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: saving cache: %v\n", err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d experiments failed", failed, len(exps))
+	}
+	return ctx.Err()
 }

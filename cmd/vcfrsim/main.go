@@ -12,11 +12,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"vcfr/internal/core"
 	"vcfr/internal/cpu"
@@ -107,12 +110,45 @@ func run() error {
 		c.IssueWidth = *width
 		c.ContextSwitchEvery = *ctxEvery
 	}
-	for _, m := range modes {
-		res, err := simulate(sys, m, mutate, *maxInsts, *trace)
-		if err != nil {
+	// -mode all simulates the three architectures concurrently; each mode's
+	// report is buffered and printed in mode order, so the output is
+	// identical to a sequential run. Tracing interleaves prints with
+	// execution, so it forces the sequential path.
+	if *trace > 0 || len(modes) == 1 {
+		for _, m := range modes {
+			res, err := simulate(sys, m, mutate, *maxInsts, *trace)
+			if err != nil {
+				return err
+			}
+			report(os.Stdout, m, res, *drc)
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		bufs = make([]bytes.Buffer, len(modes))
+		errs = make([]error, len(modes))
+	)
+	for i, m := range modes {
+		wg.Add(1)
+		go func(i int, m cpu.Mode) {
+			defer wg.Done()
+			res, err := sys.Simulate(m, mutate, *maxInsts)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", m, err)
+				return
+			}
+			report(&bufs[i], m, res, *drc)
+		}(i, m)
+	}
+	wg.Wait()
+	for i := range modes {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := bufs[i].WriteTo(os.Stdout); err != nil {
 			return err
 		}
-		report(m, res, *drc)
 	}
 	return nil
 }
@@ -152,39 +188,39 @@ func parseModes(s string) ([]cpu.Mode, error) {
 	}
 }
 
-func report(mode cpu.Mode, res cpu.Result, drcEntries int) {
+func report(w io.Writer, mode cpu.Mode, res cpu.Result, drcEntries int) {
 	s := res.Stats
-	fmt.Printf("=== %s ===\n", mode)
-	fmt.Printf("instructions  %d\n", s.Instructions)
-	fmt.Printf("cycles        %d\n", s.Cycles)
-	fmt.Printf("IPC           %.3f\n", s.IPC())
-	fmt.Printf("stalls        fetch=%d mem=%d exec=%d control=%d drc=%d\n",
+	fmt.Fprintf(w, "=== %s ===\n", mode)
+	fmt.Fprintf(w, "instructions  %d\n", s.Instructions)
+	fmt.Fprintf(w, "cycles        %d\n", s.Cycles)
+	fmt.Fprintf(w, "IPC           %.3f\n", s.IPC())
+	fmt.Fprintf(w, "stalls        fetch=%d mem=%d exec=%d control=%d drc=%d\n",
 		s.FetchStall, s.MemStall, s.ExecStall, s.ControlStall, s.DRCStall)
-	fmt.Printf("il1           accesses=%d miss=%.2f%% prefetch-useless=%.1f%%\n",
+	fmt.Fprintf(w, "il1           accesses=%d miss=%.2f%% prefetch-useless=%.1f%%\n",
 		res.IL1.Accesses, 100*res.IL1.MissRate(), 100*res.IL1.PrefetchMissRate())
-	fmt.Printf("dl1           accesses=%d miss=%.2f%%\n",
+	fmt.Fprintf(w, "dl1           accesses=%d miss=%.2f%%\n",
 		res.DL1.Accesses, 100*res.DL1.MissRate())
-	fmt.Printf("l2            accesses=%d miss=%.2f%%\n",
+	fmt.Fprintf(w, "l2            accesses=%d miss=%.2f%%\n",
 		res.L2.Accesses, 100*res.L2.MissRate())
-	fmt.Printf("dram          accesses=%d row-hit=%.1f%%\n",
+	fmt.Fprintf(w, "dram          accesses=%d row-hit=%.1f%%\n",
 		res.DRAM.Accesses, 100*res.DRAM.RowHitRate())
-	fmt.Printf("bpred         cond-acc=%.2f%% btb-miss=%d ras-mispred=%d\n",
+	fmt.Fprintf(w, "bpred         cond-acc=%.2f%% btb-miss=%d ras-mispred=%d\n",
 		100*res.BPred.CondAccuracy(), res.BPred.BTBMisses, res.BPred.RASMispred)
-	fmt.Printf("itlb          accesses=%d misses=%d\n", s.ITLBAccesses, s.ITLBMisses)
+	fmt.Fprintf(w, "itlb          accesses=%d misses=%d\n", s.ITLBAccesses, s.ITLBMisses)
 	if mode == cpu.ModeVCFR {
-		fmt.Printf("drc           lookups=%d miss=%.2f%% (rand=%d derand=%d walks=%d)\n",
+		fmt.Fprintf(w, "drc           lookups=%d miss=%.2f%% (rand=%d derand=%d walks=%d)\n",
 			res.DRC.Lookups, 100*res.DRC.MissRate(),
 			res.DRC.RandLookups, res.DRC.DerandLookups, res.DRC.TableWalks)
 		cfg := cpu.DefaultConfig(mode)
 		cfg.DRCEntries = drcEntries
 		b := power.DefaultModel().Analyze(res, cfg)
-		fmt.Printf("power         drc=%.1fpJ cpu=%.1fpJ overhead=%.3f%%\n",
+		fmt.Fprintf(w, "power         drc=%.1fpJ cpu=%.1fpJ overhead=%.3f%%\n",
 			b.DRC, b.Total-b.DRAM, b.DRCOverheadPct())
 		a := power.DefaultModel().AnalyzeArea(cfg)
-		fmt.Printf("area          drc share of on-chip SRAM = %.3f%%\n", a.DRCOverheadPct())
+		fmt.Fprintf(w, "area          drc share of on-chip SRAM = %.3f%%\n", a.DRCOverheadPct())
 	}
 	if len(res.Out) > 0 && len(res.Out) < 64 {
-		fmt.Printf("output        %q\n", res.Out)
+		fmt.Fprintf(w, "output        %q\n", res.Out)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

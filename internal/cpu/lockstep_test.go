@@ -1,18 +1,88 @@
-package cpu
+// Lockstep differential tests live in an external test package so they can
+// derive layout seeds with harness.CellSeed — the same derivation the
+// experiment runner uses — without an import cycle.
+package cpu_test
 
 import (
+	"fmt"
 	"testing"
 
+	"vcfr/internal/cpu"
 	"vcfr/internal/emu"
+	"vcfr/internal/harness"
 	"vcfr/internal/ilr"
 	"vcfr/internal/workloads"
 )
 
-// TestPipelineLockstepWithEmulator steps the cycle-level pipeline and the
-// reference interpreter one instruction at a time and compares the complete
-// architectural state (registers, flags, halt status) after every step — a
-// far stronger invariant than output equality. Run for the baseline and for
-// VCFR (against the VCFR-mode interpreter).
+// lockstepPair builds the pipeline and the reference interpreter for one
+// (image, mode) point of the differential sweep.
+func lockstepPair(t *testing.T, res *ilr.Result, mode cpu.Mode, input []byte) (*cpu.Pipeline, *emu.Machine) {
+	t.Helper()
+	var (
+		p   *cpu.Pipeline
+		m   *emu.Machine
+		err error
+	)
+	switch mode {
+	case cpu.ModeBaseline:
+		p, err = cpu.New(res.Orig, cpu.DefaultConfig(cpu.ModeBaseline), nil, nil)
+		if err == nil {
+			m, err = emu.NewMachine(res.Orig, emu.Config{Mode: emu.ModeNative, Input: input})
+		}
+	case cpu.ModeVCFR:
+		p, err = cpu.New(res.VCFR, cpu.DefaultConfig(cpu.ModeVCFR), res.Tables, res.RandRA)
+		if err == nil {
+			m, err = emu.NewMachine(res.VCFR, emu.Config{
+				Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA, Input: input})
+		}
+	default:
+		t.Fatalf("no lockstep reference for mode %v", mode)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput(input)
+	return p, m
+}
+
+// lockstep steps the cycle-level pipeline and the reference interpreter one
+// instruction at a time and compares the complete architectural state
+// (registers, flags, PC, halt status) after every step — a far stronger
+// invariant than output equality.
+func lockstep(t *testing.T, p *cpu.Pipeline, m *emu.Machine, steps int) {
+	t.Helper()
+	for step := 0; step < steps; step++ {
+		pRunning, pErr := p.Step()
+		mRunning, mErr := m.Step()
+		if (pErr != nil) != (mErr != nil) {
+			t.Fatalf("step %d: error divergence: pipeline=%v machine=%v", step, pErr, mErr)
+		}
+		if pErr != nil {
+			return
+		}
+		ps, ms := p.State(), m.State()
+		if ps.R != ms.R {
+			t.Fatalf("step %d (pc %#x): registers diverged\n pipe %v\n mach %v",
+				step, p.PC(), ps.R, ms.R)
+		}
+		if ps.Z != ms.Z || ps.N != ms.N || ps.C != ms.C || ps.V != ms.V {
+			t.Fatalf("step %d: flags diverged", step)
+		}
+		if p.PC() != m.PC() {
+			t.Fatalf("step %d: PC diverged %#x vs %#x", step, p.PC(), m.PC())
+		}
+		if pRunning != mRunning {
+			t.Fatalf("step %d: halt divergence", step)
+		}
+		if !pRunning {
+			return
+		}
+	}
+}
+
+// TestPipelineLockstepWithEmulator runs the lockstep comparison over
+// randomly generated programs — instruction-mix coverage the hand-written
+// workloads don't reach.
 func TestPipelineLockstepWithEmulator(t *testing.T) {
 	const steps = 30_000
 	for seed := uint32(100); seed < 106; seed++ {
@@ -21,61 +91,49 @@ func TestPipelineLockstepWithEmulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		for _, mode := range []cpu.Mode{cpu.ModeBaseline, cpu.ModeVCFR} {
+			t.Run(fmt.Sprintf("rand-%d/%v", seed, mode), func(t *testing.T) {
+				p, m := lockstepPair(t, res, mode, w.Input)
+				lockstep(t, p, m, steps)
+			})
+		}
+	}
+}
 
-		type pair struct {
-			name string
-			p    *Pipeline
-			m    *emu.Machine
-		}
-		basePipe, err := New(res.Orig, DefaultConfig(ModeBaseline), nil, nil)
+// TestDifferentialSweepAllWorkloads is the differential sweep: every SPEC
+// analog workload, under several randomized ILR layouts (seed and spread
+// both derived per cell, like the experiment runner derives them), compared
+// against the reference interpreter in lockstep for both the baseline and
+// the VCFR pipeline. A rewriter layout that breaks any instruction sequence
+// anywhere in the corpus diverges here within a few thousand steps.
+func TestDifferentialSweepAllWorkloads(t *testing.T) {
+	steps := 15_000
+	layouts := 3
+	if testing.Short() {
+		steps, layouts = 4_000, 1
+	}
+	spreads := []int{2, 16, 64}
+	for _, name := range workloads.SpecNames {
+		w, err := workloads.ByName(name, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		baseMach, err := emu.NewMachine(res.Orig, emu.Config{Mode: emu.ModeNative})
-		if err != nil {
-			t.Fatal(err)
-		}
-		vcfrPipe, err := New(res.VCFR, DefaultConfig(ModeVCFR), res.Tables, res.RandRA)
-		if err != nil {
-			t.Fatal(err)
-		}
-		vcfrMach, err := emu.NewMachine(res.VCFR, emu.Config{
-			Mode: emu.ModeVCFR, Trans: res.Tables, RandRA: res.RandRA})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, pr := range []pair{
-			{"baseline", basePipe, baseMach},
-			{"vcfr", vcfrPipe, vcfrMach},
-		} {
-			for step := 0; step < steps; step++ {
-				pRunning, pErr := pr.p.Step()
-				mRunning, mErr := pr.m.Step()
-				if (pErr != nil) != (mErr != nil) {
-					t.Fatalf("seed %d %s step %d: error divergence: pipeline=%v machine=%v",
-						seed, pr.name, step, pErr, mErr)
-				}
-				if pErr != nil {
-					break
-				}
-				ps, ms := pr.p.State(), pr.m.State()
-				if ps.R != ms.R {
-					t.Fatalf("seed %d %s step %d (pc %#x): registers diverged\n pipe %v\n mach %v",
-						seed, pr.name, step, pr.p.PC(), ps.R, ms.R)
-				}
-				if ps.Z != ms.Z || ps.N != ms.N || ps.C != ms.C || ps.V != ms.V {
-					t.Fatalf("seed %d %s step %d: flags diverged", seed, pr.name, step)
-				}
-				if pr.p.PC() != pr.m.PC() {
-					t.Fatalf("seed %d %s step %d: PC diverged %#x vs %#x",
-						seed, pr.name, step, pr.p.PC(), pr.m.PC())
-				}
-				if pRunning != mRunning {
-					t.Fatalf("seed %d %s step %d: halt divergence", seed, pr.name, step)
-				}
-				if !pRunning {
-					break
-				}
+		for li := 0; li < layouts; li++ {
+			// Derive the layout seed the same way the harness derives cell
+			// seeds, so the sweep exercises layouts the experiments will
+			// actually run under.
+			seed := harness.CellSeed(42, "lockstep", fmt.Sprintf("%s/layout-%d", name, li))
+			opts := ilr.Options{Seed: seed, Spread: spreads[li%len(spreads)]}
+			res, err := ilr.Rewrite(w.Img, opts)
+			if err != nil {
+				t.Fatalf("%s layout %d: %v", name, li, err)
+			}
+			for _, mode := range []cpu.Mode{cpu.ModeBaseline, cpu.ModeVCFR} {
+				t.Run(fmt.Sprintf("%s/layout-%d/%v", name, li, mode), func(t *testing.T) {
+					t.Parallel()
+					p, m := lockstepPair(t, res, mode, w.Input)
+					lockstep(t, p, m, steps)
+				})
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"context"
+	"strings"
+
 	"vcfr/internal/cpu"
 	"vcfr/internal/gadget"
 	"vcfr/internal/ilr"
@@ -14,7 +17,7 @@ var ablationSet = []string{"h264ref", "xalan", "sjeng", "lbm"}
 // AblationDRCAssoc sweeps the DRC associativity at fixed capacity (64
 // entries), testing the paper's claim that a direct-mapped DRC suffices
 // because the miss penalty (an L2-backed walk) is marginal.
-func AblationDRCAssoc(cfg Config) (*Table, error) {
+func AblationDRCAssoc(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	assocs := []int{1, 2, 4}
 	t := &Table{
@@ -22,66 +25,70 @@ func AblationDRCAssoc(cfg Config) (*Table, error) {
 		Title:   "DRC associativity at 64 entries (miss rate / normalized IPC)",
 		Columns: []string{"app", "dm-miss", "2way-miss", "4way-miss", "dm-ipc", "2way-ipc", "4way-ipc"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		miss := make([]string, 0, len(assocs))
-		ipc := make([]string, 0, len(assocs))
-		for _, a := range assocs {
-			a := a
-			res, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
-				c.DRCEntries, c.DRCAssoc = 64, a
-			})
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			miss = append(miss, pct(res.DRC.MissRate()))
-			ipc = append(ipc, f3(res.Stats.IPC()/base.Stats.IPC()))
-		}
-		t.Rows = append(t.Rows, append(append([]string{name}, miss...), ipc...))
-	}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			miss := make([]string, 0, len(assocs))
+			ipc := make([]string, 0, len(assocs))
+			for _, a := range assocs {
+				a := a
+				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
+					c.DRCEntries, c.DRCAssoc = 64, a
+				})
+				if err != nil {
+					return Cell{}, err
+				}
+				miss = append(miss, pct(res.DRC.MissRate()))
+				ipc = append(ipc, f3(res.Stats.IPC()/base.Stats.IPC()))
+			}
+			return Cell{Rows: [][]string{append(append([]string{name}, miss...), ipc...)}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "associativity cuts conflict misses, but IPC barely moves: the L2-backed walk is cheap (Sec. IV-B)"
 	return t, nil
 }
 
 // AblationSplitDRC compares the paper's unified tagged DRC against two
 // half-size direction-split buffers at equal total capacity.
-func AblationSplitDRC(cfg Config) (*Table, error) {
+func AblationSplitDRC(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "ablation-drc-split",
 		Title:   "Unified vs split DRC at 128 total entries",
 		Columns: []string{"app", "unified-miss", "split-miss", "unified-ipc", "split-ipc"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		uni, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		split, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-			func(c *cpu.Config) { c.DRCSplit = true })
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			pct(uni.DRC.MissRate()), pct(split.DRC.MissRate()),
-			f3(uni.Stats.IPC() / base.Stats.IPC()),
-			f3(split.Stats.IPC() / base.Stats.IPC())})
-	}
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			uni, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			split, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				func(c *cpu.Config) { c.DRCSplit = true })
+			if err != nil {
+				return Cell{}, err
+			}
+			return Cell{Rows: [][]string{{name,
+				pct(uni.DRC.MissRate()), pct(split.DRC.MissRate()),
+				f3(uni.Stats.IPC() / base.Stats.IPC()),
+				f3(split.Stats.IPC() / base.Stats.IPC())}}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "paper Sec. IV-B: one unified buffer uses silicon more efficiently than fixed per-direction halves"
 	return t, nil
 }
@@ -89,7 +96,7 @@ func AblationSplitDRC(cfg Config) (*Table, error) {
 // AblationRetRand compares the three return-address randomization options:
 // none, software rewriting (safe sites only, code growth), and the paper's
 // architectural mechanism (every direct call, no growth).
-func AblationRetRand(cfg Config) (*Table, error) {
+func AblationRetRand(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	modes := []ilr.RetRandMode{ilr.RetRandNone, ilr.RetRandSoftware, ilr.RetRandArch}
 	t := &Table{
@@ -98,37 +105,41 @@ func AblationRetRand(cfg Config) (*Table, error) {
 		Columns: []string{"app", "mode", "calls-randomized", "calls-plain",
 			"code-growth-B", "allowed-failovers", "normalized-ipc"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		var baseIPC float64
-		for _, m := range modes {
-			app, err := PrepareOpts(name, cfg, ilr.Options{RetRand: m})
-			if err != nil {
-				return nil, err
-			}
-			if baseIPC == 0 {
-				b, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			var c Cell
+			var baseIPC float64
+			for _, m := range modes {
+				app, err := prepareOpts(ctx, name, cfg, ilr.Options{RetRand: m})
 				if err != nil {
-					return nil, err
+					return Cell{}, err
 				}
-				baseIPC = b.Stats.IPC()
+				if baseIPC == 0 {
+					b, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+					if err != nil {
+						return Cell{}, err
+					}
+					baseIPC = b.Stats.IPC()
+				}
+				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+				if err != nil {
+					return Cell{}, err
+				}
+				c.Rows = append(c.Rows, []string{name, m.String(),
+					d(app.R.Stats.CallsRandomized), d(app.R.Stats.CallsPlain),
+					d(app.R.Stats.SoftwareGrowth), d(app.R.Tables.AllowedUnrand()),
+					f3(res.Stats.IPC() / baseIPC)})
 			}
-			res, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{name, m.String(),
-				d(app.R.Stats.CallsRandomized), d(app.R.Stats.CallsPlain),
-				d(app.R.Stats.SoftwareGrowth), d(app.R.Tables.AllowedUnrand()),
-				f3(res.Stats.IPC() / baseIPC)})
-		}
-	}
+			return c, nil
+		})
+	appendCells(t, cells)
 	t.Note = "arch mode randomizes every direct-call RA with zero code growth (Sec. IV-C)"
 	return t, nil
 }
 
 // AblationPredictSpace compares predicting in the original space (UPC, the
 // paper's design) against predicting on randomized addresses (RPC).
-func AblationPredictSpace(cfg Config) (*Table, error) {
+func AblationPredictSpace(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "ablation-predict-space",
@@ -136,29 +147,31 @@ func AblationPredictSpace(cfg Config) (*Table, error) {
 		Columns: []string{"app", "upc-drc-lookups", "rpc-drc-lookups",
 			"upc-ipc", "rpc-ipc"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		upc, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		rpc, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-			func(c *cpu.Config) { c.PredictOnRPC = true })
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			u(upc.DRC.Lookups), u(rpc.DRC.Lookups),
-			f3(upc.Stats.IPC() / base.Stats.IPC()),
-			f3(rpc.Stats.IPC() / base.Stats.IPC())})
-	}
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			upc, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			rpc, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				func(c *cpu.Config) { c.PredictOnRPC = true })
+			if err != nil {
+				return Cell{}, err
+			}
+			return Cell{Rows: [][]string{{name,
+				u(upc.DRC.Lookups), u(rpc.DRC.Lookups),
+				f3(upc.Stats.IPC() / base.Stats.IPC()),
+				f3(rpc.Stats.IPC() / base.Stats.IPC())}}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "predicting on RPC forces a DRC de-randomization per predicted-taken transfer (Sec. IV-D)"
 	return t, nil
 }
@@ -166,7 +179,7 @@ func AblationPredictSpace(cfg Config) (*Table, error) {
 // AblationPageConfined compares free instruction placement against
 // page-confined randomization (Sec. IV-D), which trades entropy for reduced
 // iTLB pressure in the scattered layout.
-func AblationPageConfined(cfg Config) (*Table, error) {
+func AblationPageConfined(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "ablation-page-confined",
@@ -174,28 +187,30 @@ func AblationPageConfined(cfg Config) (*Table, error) {
 		Columns: []string{"app", "free-entropy-bits", "conf-entropy-bits",
 			"free-itlb-miss", "conf-itlb-miss", "free-ipc", "conf-ipc"},
 	}
-	for _, name := range cfg.names([]string{"gcc", "xalan", "h264ref", "sjeng"}) {
-		free, err := PrepareOpts(name, cfg, ilr.Options{})
-		if err != nil {
-			return nil, err
-		}
-		conf, err := PrepareOpts(name, cfg, ilr.Options{PageConfined: true})
-		if err != nil {
-			return nil, err
-		}
-		fRes, _, err := free.Run(cpu.ModeNaiveILR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		cRes, _, err := conf.Run(cpu.ModeNaiveILR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			f1(free.R.Stats.EntropyBits), f1(conf.R.Stats.EntropyBits),
-			itlbMiss(fRes), itlbMiss(cRes),
-			f3(fRes.Stats.IPC()), f3(cRes.Stats.IPC())})
-	}
+	cells := s.mapCells(cfg, cfg.names([]string{"gcc", "xalan", "h264ref", "sjeng"}),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			free, err := prepareOpts(ctx, name, cfg, ilr.Options{})
+			if err != nil {
+				return Cell{}, err
+			}
+			conf, err := prepareOpts(ctx, name, cfg, ilr.Options{PageConfined: true})
+			if err != nil {
+				return Cell{}, err
+			}
+			fRes, _, err := runMode(ctx, free, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			cRes, _, err := runMode(ctx, conf, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			return Cell{Rows: [][]string{{name,
+				f1(free.R.Stats.EntropyBits), f1(conf.R.Stats.EntropyBits),
+				itlbMiss(fRes), itlbMiss(cRes),
+				f3(fRes.Stats.IPC()), f3(cRes.Stats.IPC())}}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "page confinement keeps iTLB reach but caps per-instruction entropy at ~10.6 bits"
 	return t, nil
 }
@@ -203,7 +218,7 @@ func AblationPageConfined(cfg Config) (*Table, error) {
 // AblationDRC2 compares the paper's chosen design — DRC misses walk the
 // table through the shared L2 — against the rejected alternative of a
 // dedicated level-2 DRC lookup buffer (Sec. IV-B).
-func AblationDRC2(cfg Config) (*Table, error) {
+func AblationDRC2(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "ablation-drc2",
@@ -211,37 +226,39 @@ func AblationDRC2(cfg Config) (*Table, error) {
 		Columns: []string{"app", "shared-ipc", "drc2-ipc", "drc2-hitrate",
 			"shared-l2-walks", "drc2-l2-walks"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		shared, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-			func(c *cpu.Config) { c.DRCEntries = 64 })
-		if err != nil {
-			return nil, err
-		}
-		dedicated, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
-			c.DRCEntries = 64
-			c.DRC2Entries = 1024
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			shared, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				func(c *cpu.Config) { c.DRCEntries = 64 })
+			if err != nil {
+				return Cell{}, err
+			}
+			dedicated, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
+				c.DRCEntries = 64
+				c.DRC2Entries = 1024
+			})
+			if err != nil {
+				return Cell{}, err
+			}
+			hitrate := 0.0
+			if dedicated.DRC.L2Lookups > 0 {
+				hitrate = float64(dedicated.DRC.L2Hits) / float64(dedicated.DRC.L2Lookups)
+			}
+			return Cell{Rows: [][]string{{name,
+				f3(shared.Stats.IPC() / base.Stats.IPC()),
+				f3(dedicated.Stats.IPC() / base.Stats.IPC()),
+				pct(hitrate),
+				u(shared.DRC.TableWalks), u(dedicated.DRC.TableWalks)}}}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		hitrate := 0.0
-		if dedicated.DRC.L2Lookups > 0 {
-			hitrate = float64(dedicated.DRC.L2Hits) / float64(dedicated.DRC.L2Lookups)
-		}
-		t.Rows = append(t.Rows, []string{name,
-			f3(shared.Stats.IPC() / base.Stats.IPC()),
-			f3(dedicated.Stats.IPC() / base.Stats.IPC()),
-			pct(hitrate),
-			u(shared.DRC.TableWalks), u(dedicated.DRC.TableWalks)})
-	}
+	appendCells(t, cells)
 	t.Note = "a dedicated second level absorbs ~85-97% of walks and recovers most of the " +
 		"small-DRC loss — but Fig. 13 shows simply growing the first-level DRC does the same, " +
 		"so the paper spends the silicon there and shares the L2 instead (Sec. IV-B)"
@@ -251,7 +268,7 @@ func AblationDRC2(cfg Config) (*Table, error) {
 // AblationContextSwitch measures how context switches (which flush the
 // process-private DRC and iTLB state) interact with DRC size: the tables are
 // part of the process context, so every switch-in restarts the DRC cold.
-func AblationContextSwitch(cfg Config) (*Table, error) {
+func AblationContextSwitch(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	intervals := []uint64{0, 50_000, 10_000}
 	t := &Table{
@@ -260,30 +277,32 @@ func AblationContextSwitch(cfg Config) (*Table, error) {
 		Columns: []string{"app", "no-switch-ipc", "every-50k-ipc", "every-10k-ipc",
 			"flushes@10k", "drc-miss@10k"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{name}
-		var last cpu.Result
-		for _, iv := range intervals {
-			iv := iv
-			res, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-				func(c *cpu.Config) { c.ContextSwitchEvery = iv })
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			row = append(row, f3(res.Stats.IPC()/base.Stats.IPC()))
-			last = res
-		}
-		row = append(row, u(last.DRC.Flushes), pct(last.DRC.MissRate()))
-		t.Rows = append(t.Rows, row)
-	}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			row := []string{name}
+			var last cpu.Result
+			for _, iv := range intervals {
+				iv := iv
+				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+					func(c *cpu.Config) { c.ContextSwitchEvery = iv })
+				if err != nil {
+					return Cell{}, err
+				}
+				row = append(row, f3(res.Stats.IPC()/base.Stats.IPC()))
+				last = res
+			}
+			row = append(row, u(last.DRC.Flushes), pct(last.DRC.MissRate()))
+			return Cell{Rows: [][]string{row}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "flushing on switch raises DRC cold misses; the overhead stays bounded because " +
 		"the tables re-fill from the L2 (the same property that makes the small DRC viable)"
 	return t, nil
@@ -293,7 +312,7 @@ func AblationContextSwitch(cfg Config) (*Table, error) {
 // introduction discusses: Pappas-style in-place randomization (reorder
 // inside basic blocks; no hardware, no tables, partial coverage) against
 // complete ILR (every instruction moves; ~98% of gadgets gone).
-func BaselineInPlace(cfg Config) (*Table, error) {
+func BaselineInPlace(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "baseline-inplace",
@@ -301,33 +320,34 @@ func BaselineInPlace(cfg Config) (*Table, error) {
 		Columns: []string{"app", "gadgets", "inplace-removed", "complete-removed",
 			"inplace-payloads", "complete-payloads", "swaps"},
 	}
-	var inRates, compRates []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
 
-		inImg, st, err := ilr.InPlace(app.R.Orig, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		inSurv := gadget.SurvivorsInImage(pool, inImg)
-		compSurv := gadget.Survivors(pool, app.R.Tables)
-		inRate := gadget.RemovalRate(pool, inSurv)
-		compRate := gadget.RemovalRate(pool, compSurv)
-		inRates = append(inRates, inRate)
-		compRates = append(compRates, compRate)
-
-		t.Rows = append(t.Rows, []string{name, d(len(pool)),
-			pct(inRate), pct(compRate),
-			anyAssembles(gadget.TryAllTemplates(inSurv)),
-			anyAssembles(gadget.TryAllTemplates(compSurv)),
-			d(st.Swaps)})
-	}
+			inImg, st, err := ilr.InPlace(app.R.Orig, cfg.Seed)
+			if err != nil {
+				return Cell{}, err
+			}
+			inSurv := gadget.SurvivorsInImage(pool, inImg)
+			compSurv := gadget.Survivors(pool, app.R.Tables)
+			inRate := gadget.RemovalRate(pool, inSurv)
+			compRate := gadget.RemovalRate(pool, compSurv)
+			return Cell{
+				Rows: [][]string{{name, d(len(pool)),
+					pct(inRate), pct(compRate),
+					anyAssembles(gadget.TryAllTemplates(inSurv)),
+					anyAssembles(gadget.TryAllTemplates(compSurv)),
+					d(st.Swaps)}},
+				Vals: []float64{inRate, compRate},
+			}, nil
+		})
+	appendCells(t, cells)
 	t.Rows = append(t.Rows, []string{"average", "",
-		pct(mean(inRates)), pct(mean(compRates)), "", "", ""})
+		pct(mean(vals(cells, 0))), pct(mean(vals(cells, 1))), "", "", ""})
 	t.Note = "the paper's motivation (Sec. I): partial randomization leaves a usable gadget pool " +
 		"(our in-place baseline implements intra-block reordering, one of Pappas et al.'s four " +
 		"transformations), while complete ILR removes ~98% and defeats payload assembly"
@@ -346,7 +366,7 @@ func anyAssembles(results map[string]bool) string {
 // ExtensionSuperscalar runs the paper's future-work direction: does VCFR's
 // overhead stay small on a wider core? It compares the baseline-vs-VCFR gap
 // at issue width 1 (the paper's machine) and width 2 (dual-issue in-order).
-func ExtensionSuperscalar(cfg Config) (*Table, error) {
+func ExtensionSuperscalar(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "extension-superscalar",
@@ -354,30 +374,32 @@ func ExtensionSuperscalar(cfg Config) (*Table, error) {
 		Columns: []string{"app", "base-ipc-w1", "base-ipc-w2",
 			"vcfr-norm-w1", "vcfr-norm-w2"},
 	}
-	for _, name := range cfg.names(ablationSet) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{name}
-		var norms []string
-		for _, w := range []int{1, 2} {
-			w := w
-			base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts,
-				func(c *cpu.Config) { c.IssueWidth = w })
+	cells := s.mapCells(cfg, cfg.names(ablationSet),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			vcfr, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-				func(c *cpu.Config) { c.IssueWidth = w })
-			if err != nil {
-				return nil, err
+			row := []string{name}
+			var norms []string
+			for _, w := range []int{1, 2} {
+				w := w
+				base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts,
+					func(c *cpu.Config) { c.IssueWidth = w })
+				if err != nil {
+					return Cell{}, err
+				}
+				vcfr, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+					func(c *cpu.Config) { c.IssueWidth = w })
+				if err != nil {
+					return Cell{}, err
+				}
+				row = append(row, f3(base.Stats.IPC()))
+				norms = append(norms, f3(vcfr.Stats.IPC()/base.Stats.IPC()))
 			}
-			row = append(row, f3(base.Stats.IPC()))
-			norms = append(norms, f3(vcfr.Stats.IPC()/base.Stats.IPC()))
-		}
-		t.Rows = append(t.Rows, append(row, norms...))
-	}
+			return Cell{Rows: [][]string{append(row, norms...)}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "the DRC's stall cycles are fixed-cost, so a faster core amplifies their relative " +
 		"weight slightly; the overhead stays in the low single digits, supporting the paper's " +
 		"conjecture that the idea extends to wider processors"
@@ -388,60 +410,69 @@ func ExtensionSuperscalar(cfg Config) (*Table, error) {
 // processes, each with its own randomization tables, share an L2. Because
 // the randomized state is read-only per process, co-running costs only the
 // ordinary shared-cache contention — the VCFR machinery adds no cross-core
-// interference.
-func ExtensionMulticore(cfg Config) (*Table, error) {
+// interference. Cells are workload pairs ("a/b"), so the two pair studies
+// shard like any other cell.
+func ExtensionMulticore(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	pairs := [][2]string{{"h264ref", "xalan"}, {"lbm", "sjeng"}}
 	t := &Table{
 		ID:    "extension-multicore",
 		Title: "Two VCFR processes sharing an L2 (solo vs co-run cycles)",
 		Columns: []string{"core0/core1", "solo0-cycles", "corun0-cycles",
 			"solo1-cycles", "corun1-cycles", "slowdown0", "slowdown1"},
 	}
-	for _, pair := range pairs {
-		apps := make([]*App, 2)
-		for i, name := range pair {
-			a, err := Prepare(name, cfg)
-			if err != nil {
-				return nil, err
+	cells := s.mapCells(cfg, []string{"h264ref/xalan", "lbm/sjeng"},
+		func(ctx context.Context, cfg Config, pairName string) (Cell, error) {
+			pair := strings.SplitN(pairName, "/", 2)
+			apps := make([]*App, 2)
+			for i, name := range pair {
+				a, err := prepare(ctx, name, cfg)
+				if err != nil {
+					return Cell{}, err
+				}
+				apps[i] = a
 			}
-			apps[i] = a
-		}
-		proc := func(a *App) cpu.ClusterProc {
-			return cpu.ClusterProc{
-				Img: a.R.VCFR, Trans: a.R.Tables, RandRA: a.R.RandRA, Input: a.W.Input,
+			proc := func(a *App) cpu.ClusterProc {
+				return cpu.ClusterProc{
+					Img: a.R.VCFR, Trans: a.R.Tables, RandRA: a.R.RandRA, Input: a.W.Input,
+				}
 			}
-		}
-		solo := make([]uint64, 2)
-		for i := range apps {
+			solo := make([]uint64, 2)
+			for i := range apps {
+				if err := ctx.Err(); err != nil {
+					return Cell{}, err
+				}
+				cl, err := cpu.NewCluster(cpu.DefaultConfig(cpu.ModeVCFR),
+					[]cpu.ClusterProc{proc(apps[i])})
+				if err != nil {
+					return Cell{}, err
+				}
+				res, err := cl.Run(cfg.MaxInsts)
+				if err != nil {
+					return Cell{}, err
+				}
+				solo[i] = res[0].Stats.Cycles
+			}
+			if err := ctx.Err(); err != nil {
+				return Cell{}, err
+			}
 			cl, err := cpu.NewCluster(cpu.DefaultConfig(cpu.ModeVCFR),
-				[]cpu.ClusterProc{proc(apps[i])})
+				[]cpu.ClusterProc{proc(apps[0]), proc(apps[1])})
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			res, err := cl.Run(cfg.MaxInsts)
+			co, err := cl.Run(cfg.MaxInsts)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			solo[i] = res[0].Stats.Cycles
-		}
-		cl, err := cpu.NewCluster(cpu.DefaultConfig(cpu.ModeVCFR),
-			[]cpu.ClusterProc{proc(apps[0]), proc(apps[1])})
-		if err != nil {
-			return nil, err
-		}
-		co, err := cl.Run(cfg.MaxInsts)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			pair[0] + "/" + pair[1],
-			u(solo[0]), u(co[0].Stats.Cycles),
-			u(solo[1]), u(co[1].Stats.Cycles),
-			f2(float64(co[0].Stats.Cycles) / float64(solo[0])),
-			f2(float64(co[1].Stats.Cycles) / float64(solo[1])),
+			return Cell{Rows: [][]string{{
+				pairName,
+				u(solo[0]), u(co[0].Stats.Cycles),
+				u(solo[1]), u(co[1].Stats.Cycles),
+				f2(float64(co[0].Stats.Cycles) / float64(solo[0])),
+				f2(float64(co[1].Stats.Cycles) / float64(solo[1])),
+			}}}, nil
 		})
-	}
+	appendCells(t, cells)
 	t.Note = "co-run slowdowns are ordinary shared-L2 effects; the per-process tables and DRCs " +
 		"never interfere because randomized instruction state is read-only (Sec. IV-D)"
 	return t, nil

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+)
+
+// cacheSchema versions the cell encoding. Bump it whenever any table's
+// columns, number formatting, or cell semantics change: the version is
+// folded into every cache key, so stale on-disk entries self-invalidate
+// instead of resurrecting old-format rows.
+const cacheSchema = 1
+
+// Cache memoizes finished experiment cells keyed by (experiment, cell
+// name, derived seed, config). An in-memory cache deduplicates work inside
+// one process; opening it with a path persists it as JSON so repeated
+// invocations of cmd/experiments skip already-computed cells entirely.
+// Failed cells are never stored — a transient failure must not stick.
+type Cache struct {
+	mu      sync.Mutex
+	path    string
+	entries map[string]Cell
+	dirty   bool
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]Cell)}
+}
+
+// OpenCache loads (or creates) a disk-backed cache at path. A missing or
+// unreadable file starts empty rather than failing: the cache is an
+// optimization, never a correctness dependency.
+func OpenCache(path string) *Cache {
+	c := NewCache()
+	c.path = path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var onDisk map[string]Cell
+	if json.Unmarshal(data, &onDisk) == nil {
+		c.entries = onDisk
+	}
+	return c
+}
+
+// Save writes the cache back to its path, if it has one and anything
+// changed since load.
+func (c *Cache) Save() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" || !c.dirty {
+		return nil
+	}
+	data, err := json.Marshal(c.entries)
+	if err != nil {
+		return fmt.Errorf("harness: encode cache: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+// Stats reports cache hits and misses since load.
+func (c *Cache) Stats() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of stored cells.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get and put tolerate a nil receiver so Runner code can stay branch-free.
+
+func (c *Cache) get(key string) (Cell, bool) {
+	if c == nil {
+		return Cell{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return cell, ok
+}
+
+func (c *Cache) put(key string, cell Cell) {
+	if c == nil || cell.failed() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cell
+	c.dirty = true
+}
+
+// cellKey fingerprints one cell: the schema version, the experiment, the
+// cell name (which encodes the workload or workload pair), the derived
+// seed, and every Config field that changes simulation results.
+func cellKey(expID, name string, cfg Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d|%d|%d",
+		cacheSchema, expID, name, cfg.Seed, cfg.Scale, cfg.MaxInsts, cfg.Spread)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

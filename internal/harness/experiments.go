@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,11 +12,14 @@ import (
 	"vcfr/internal/workloads"
 )
 
-// An Experiment regenerates one table or figure of the paper.
+// An Experiment regenerates one table or figure of the paper. Run receives
+// the Sweep whose worker pool shards the experiment's per-workload cells;
+// a failed cell surfaces as an "error: ..." row rather than aborting the
+// table (see Sweep.mapCells).
 type Experiment struct {
 	ID    string
 	Desc  string
-	Run   func(Config) (*Table, error)
+	Run   func(*Sweep, Config) (*Table, error)
 	Paper string // the paper's headline number for EXPERIMENTS.md
 }
 
@@ -83,40 +87,42 @@ func ByID(id string) (Experiment, error) {
 
 // Fig2 measures the whole-program slowdown of interpreting the ILR binary in
 // a software VM versus native (baseline pipeline) execution.
-func Fig2(cfg Config) (*Table, error) {
+func Fig2(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "fig2",
 		Title:   "Software-emulated ILR slowdown over native execution",
 		Columns: []string{"app", "native-cycles", "emulated-cycles", "slowdown"},
 	}
-	var ratios []float64
-	for _, name := range cfg.names(workloads.Fig2Names) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		em, err := app.RunEmulated(cfg.MaxInsts)
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(em.Stats.HostCycles) / float64(base.Stats.Cycles)
-		ratios = append(ratios, ratio)
-		t.Rows = append(t.Rows, []string{
-			name, u(base.Stats.Cycles), u(em.Stats.HostCycles), f1(ratio)})
-	}
-	t.Rows = append(t.Rows, []string{"average", "", "", f1(mean(ratios))})
+	cells := s.mapCells(cfg, cfg.names(workloads.Fig2Names),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			em, err := runEmulated(ctx, app, cfg.MaxInsts)
+			if err != nil {
+				return Cell{}, err
+			}
+			ratio := float64(em.Stats.HostCycles) / float64(base.Stats.Cycles)
+			return Cell{
+				Rows: [][]string{{name, u(base.Stats.Cycles), u(em.Stats.HostCycles), f1(ratio)}},
+				Vals: []float64{ratio},
+			}, nil
+		})
+	appendCells(t, cells)
+	t.Rows = append(t.Rows, []string{"average", "", "", f1(mean(vals(cells, 0)))})
 	t.Note = "paper: hundreds of times slower (Fig. 2)"
 	return t, nil
 }
 
 // Fig3 compares naive hardware ILR against the baseline on the three cache
 // metrics of the paper's Fig. 3.
-func Fig3(cfg Config) (*Table, error) {
+func Fig3(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:    "fig3",
@@ -124,33 +130,34 @@ func Fig3(cfg Config) (*Table, error) {
 		Columns: []string{"app", "il1-miss-base", "il1-miss-naive", "miss-ratio",
 			"pf-useless-base", "pf-useless-naive", "l2-pressure"},
 	}
-	var ratios, pf, l2 []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		naive, _, err := app.Run(cpu.ModeNaiveILR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		ratio := missRatio(naive.IL1.MissRate(), base.IL1.MissRate())
-		pfDelta := naive.IL1.PrefetchMissRate() - base.IL1.PrefetchMissRate()
-		l2Delta := float64(naive.L2.Accesses)/float64(base.L2.Accesses) - 1
-		ratios = append(ratios, ratio)
-		pf = append(pf, pfDelta)
-		l2 = append(l2, l2Delta)
-		t.Rows = append(t.Rows, []string{name,
-			pct(base.IL1.MissRate()), pct(naive.IL1.MissRate()), f1(ratio),
-			pct(base.IL1.PrefetchMissRate()), pct(naive.IL1.PrefetchMissRate()),
-			"+" + pct(l2Delta)})
-	}
-	t.Rows = append(t.Rows, []string{"average", "", "", f1(mean(ratios)),
-		"", "+" + pct(mean(pf)), "+" + pct(mean(l2))})
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			ratio := missRatio(naive.IL1.MissRate(), base.IL1.MissRate())
+			pfDelta := naive.IL1.PrefetchMissRate() - base.IL1.PrefetchMissRate()
+			l2Delta := float64(naive.L2.Accesses)/float64(base.L2.Accesses) - 1
+			return Cell{
+				Rows: [][]string{{name,
+					pct(base.IL1.MissRate()), pct(naive.IL1.MissRate()), f1(ratio),
+					pct(base.IL1.PrefetchMissRate()), pct(naive.IL1.PrefetchMissRate()),
+					"+" + pct(l2Delta)}},
+				Vals: []float64{ratio, pfDelta, l2Delta},
+			}, nil
+		})
+	appendCells(t, cells)
+	t.Rows = append(t.Rows, []string{"average", "", "", f1(mean(vals(cells, 0))),
+		"", "+" + pct(mean(vals(cells, 1))), "+" + pct(mean(vals(cells, 2)))})
 	t.Note = "paper: miss-rate ratio avg 9.4x (outliers to 558x), prefetch-miss +28%, L2 +36%. " +
 		"Direction and per-app ordering match; the ratios are inflated because short runs " +
 		"leave baseline IL1 miss rates compulsory-dominated (the paper's 500M-instruction " +
@@ -167,57 +174,46 @@ func missRatio(naive, base float64) float64 {
 }
 
 // Fig4 reports the naive hardware ILR IPC normalized to baseline.
-func Fig4(cfg Config) (*Table, error) {
+func Fig4(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "fig4",
 		Title:   "Naive hardware ILR normalized IPC",
 		Columns: []string{"app", "ipc-base", "ipc-naive", "normalized"},
 	}
-	var norm []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		naive, _, err := app.Run(cpu.ModeNaiveILR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		n := naive.Stats.IPC() / base.Stats.IPC()
-		norm = append(norm, n)
-		t.Rows = append(t.Rows, []string{name,
-			f3(base.Stats.IPC()), f3(naive.Stats.IPC()), f3(n)})
-	}
-	t.Rows = append(t.Rows, []string{"average", "", "", f3(mean(norm))})
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			n := naive.Stats.IPC() / base.Stats.IPC()
+			return Cell{
+				Rows: [][]string{{name, f3(base.Stats.IPC()), f3(naive.Stats.IPC()), f3(n)}},
+				Vals: []float64{n},
+			}, nil
+		})
+	appendCells(t, cells)
+	t.Rows = append(t.Rows, []string{"average", "", "", f3(mean(vals(cells, 0)))})
 	t.Note = "paper: average normalized IPC 0.61-0.66"
 	return t, nil
 }
 
 // Table1 reproduces the paper's qualitative comparison, backed by measured
 // evidence from one representative application.
-func Table1(cfg Config) (*Table, error) {
+func Table1(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	name := "h264ref"
 	if ns := cfg.names(nil); len(ns) > 0 {
 		name = ns[0]
-	}
-	app, err := Prepare(name, cfg)
-	if err != nil {
-		return nil, err
-	}
-	type row struct {
-		mode cpu.Mode
-		cf   string
-	}
-	rows := []row{
-		{cpu.ModeBaseline, "no"},
-		{cpu.ModeNaiveILR, "randomized"},
-		{cpu.ModeVCFR, "randomized"},
 	}
 	t := &Table{
 		ID:    "table1",
@@ -225,52 +221,76 @@ func Table1(cfg Config) (*Table, error) {
 		Columns: []string{"architecture", "control-flow", "il1-accesses/inst",
 			"pf-useless", "locality", "normalized-ipc"},
 	}
-	var baseIPC float64
-	for _, r := range rows {
-		res, _, err := app.Run(r.mode, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		if r.mode == cpu.ModeBaseline {
-			baseIPC = res.Stats.IPC()
-		}
-		perInst := float64(res.IL1.Accesses) / float64(res.Stats.Instructions)
-		locality := "preserved"
-		if perInst > 0.5 {
-			locality = "destroyed"
-		}
-		t.Rows = append(t.Rows, []string{
-			r.mode.String(), r.cf, f3(perInst),
-			pct(res.IL1.PrefetchMissRate()), locality,
-			f3(res.Stats.IPC() / baseIPC)})
-	}
+	cells := s.mapCells(cfg, []string{name},
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			type row struct {
+				mode cpu.Mode
+				cf   string
+			}
+			rows := []row{
+				{cpu.ModeBaseline, "no"},
+				{cpu.ModeNaiveILR, "randomized"},
+				{cpu.ModeVCFR, "randomized"},
+			}
+			var c Cell
+			var baseIPC float64
+			for _, r := range rows {
+				res, _, err := runMode(ctx, app, r.mode, cfg.MaxInsts, nil)
+				if err != nil {
+					return Cell{}, err
+				}
+				if r.mode == cpu.ModeBaseline {
+					baseIPC = res.Stats.IPC()
+				}
+				perInst := float64(res.IL1.Accesses) / float64(res.Stats.Instructions)
+				locality := "preserved"
+				if perInst > 0.5 {
+					locality = "destroyed"
+				}
+				c.Rows = append(c.Rows, []string{
+					r.mode.String(), r.cf, f3(perInst),
+					pct(res.IL1.PrefetchMissRate()), locality,
+					f3(res.Stats.IPC() / baseIPC)})
+			}
+			return c, nil
+		})
+	appendCells(t, cells)
 	t.Note = "paper Table I: VCFR = diversity of ILR with the locality/prefetch of no-randomization"
 	return t, nil
 }
 
 // Table2 reports the static control-flow counts (no simulation).
-func Table2(cfg Config) (*Table, error) {
-	cfg = cfg.withDefaults()
+func Table2(s *Sweep, cfgIn Config) (*Table, error) {
+	cfgIn = cfgIn.withDefaults()
 	t := &Table{
 		ID:    "table2",
 		Title: "Static control-flow analysis",
 		Columns: []string{"app", "direct-transfers", "indirect-transfers",
 			"calls", "indirect-calls", "rets", "resolved-indirect"},
 	}
-	for _, name := range cfg.names(workloads.SpecNames) {
-		w, err := workloads.ByName(name, cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		g, err := cfg2(w)
-		if err != nil {
-			return nil, err
-		}
-		s := g.Stats()
-		t.Rows = append(t.Rows, []string{name, d(s.DirectTransfers),
-			d(s.IndirectTransfers), d(s.Calls), d(s.IndirectCalls),
-			d(s.Rets), d(s.ResolvedIndirect)})
-	}
+	cells := s.mapCells(cfgIn, cfgIn.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			if err := ctx.Err(); err != nil {
+				return Cell{}, err
+			}
+			w, err := workloads.ByName(name, cfg.Scale)
+			if err != nil {
+				return Cell{}, err
+			}
+			g, err := cfg2(w)
+			if err != nil {
+				return Cell{}, err
+			}
+			st := g.Stats()
+			return Cell{Rows: [][]string{{name, d(st.DirectTransfers),
+				d(st.IndirectTransfers), d(st.Calls), d(st.IndirectCalls),
+				d(st.Rets), d(st.ResolvedIndirect)}}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "paper Table II shape: direct >> indirect; xalan dominates indirect calls"
 	return t, nil
 }
@@ -280,83 +300,95 @@ func cfg2(w workloads.Workload) (*cfg.Graph, error) {
 }
 
 // Fig9 reports functions with and without ret instructions.
-func Fig9(cfgIn Config) (*Table, error) {
+func Fig9(s *Sweep, cfgIn Config) (*Table, error) {
 	cfgIn = cfgIn.withDefaults()
 	t := &Table{
 		ID:      "fig9",
 		Title:   "Functions with and without ret instructions",
 		Columns: []string{"app", "functions", "with-ret", "without-ret"},
 	}
-	for _, name := range cfgIn.names(workloads.SpecNames) {
-		w, err := workloads.ByName(name, cfgIn.Scale)
-		if err != nil {
-			return nil, err
-		}
-		g, err := cfg.Build(w.Img)
-		if err != nil {
-			return nil, err
-		}
-		s := g.Stats()
-		t.Rows = append(t.Rows, []string{name, d(s.Functions),
-			d(s.FuncsWithRet), d(s.FuncsWithoutRet)})
-	}
+	cells := s.mapCells(cfgIn, cfgIn.names(workloads.SpecNames),
+		func(ctx context.Context, ccfg Config, name string) (Cell, error) {
+			if err := ctx.Err(); err != nil {
+				return Cell{}, err
+			}
+			w, err := workloads.ByName(name, ccfg.Scale)
+			if err != nil {
+				return Cell{}, err
+			}
+			g, err := cfg.Build(w.Img)
+			if err != nil {
+				return Cell{}, err
+			}
+			st := g.Stats()
+			return Cell{Rows: [][]string{{name, d(st.Functions),
+				d(st.FuncsWithRet), d(st.FuncsWithoutRet)}}}, nil
+		})
+	appendCells(t, cells)
 	t.Note = "paper Fig. 9: callees may return without ret (mov/jmp patterns)"
 	return t, nil
 }
 
 // Fig11 measures the gadget pool before and after randomization.
-func Fig11(cfg Config) (*Table, error) {
+func Fig11(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "fig11",
 		Title:   "Gadgets removed by control-flow randomization",
 		Columns: []string{"app", "gadgets", "surviving", "removed"},
 	}
-	var rates []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
-		surv := gadget.Survivors(pool, app.R.Tables)
-		rate := gadget.RemovalRate(pool, surv)
-		rates = append(rates, rate)
-		t.Rows = append(t.Rows, []string{name, d(len(pool)), d(len(surv)), pct(rate)})
-	}
-	t.Rows = append(t.Rows, []string{"average", "", "", pct(mean(rates))})
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
+			surv := gadget.Survivors(pool, app.R.Tables)
+			rate := gadget.RemovalRate(pool, surv)
+			return Cell{
+				Rows: [][]string{{name, d(len(pool)), d(len(surv)), pct(rate)}},
+				Vals: []float64{rate},
+			}, nil
+		})
+	appendCells(t, cells)
+	t.Rows = append(t.Rows, []string{"average", "", "", pct(mean(vals(cells, 0)))})
 	t.Note = "paper Fig. 11: on average 98% of gadgets removed"
 	return t, nil
 }
 
 // Payloads runs the Sec. V-B experiment: can ROPgadget-style payload
 // templates be assembled before and after randomization?
-func Payloads(cfg Config) (*Table, error) {
+func Payloads(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "payloads",
 		Title:   "ROP payload assembly before/after randomization",
 		Columns: []string{"app", "template", "before", "after"},
 	}
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
-		surv := gadget.Survivors(pool, app.R.Tables)
-		before := gadget.TryAllTemplates(pool)
-		after := gadget.TryAllTemplates(surv)
-		var templates []string
-		for tmpl := range before {
-			templates = append(templates, tmpl)
-		}
-		sort.Strings(templates)
-		for _, tmpl := range templates {
-			t.Rows = append(t.Rows, []string{name, tmpl,
-				yesno(before[tmpl]), yesno(after[tmpl])})
-		}
-	}
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			pool := gadget.Scan(app.R.Orig, gadget.DefaultMaxInsts)
+			surv := gadget.Survivors(pool, app.R.Tables)
+			before := gadget.TryAllTemplates(pool)
+			after := gadget.TryAllTemplates(surv)
+			var templates []string
+			for tmpl := range before {
+				templates = append(templates, tmpl)
+			}
+			sort.Strings(templates)
+			var c Cell
+			for _, tmpl := range templates {
+				c.Rows = append(c.Rows, []string{name, tmpl,
+					yesno(before[tmpl]), yesno(after[tmpl])})
+			}
+			return c, nil
+		})
+	appendCells(t, cells)
 	t.Note = "paper Sec. V-B: before randomization payloads assemble for every app; after, none"
 	return t, nil
 }
@@ -369,39 +401,41 @@ func yesno(b bool) string {
 }
 
 // Fig12 measures VCFR's speedup over naive hardware ILR with a 128-entry DRC.
-func Fig12(cfg Config) (*Table, error) {
+func Fig12(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "fig12",
 		Title:   "VCFR speedup over naive hardware ILR (DRC 128)",
 		Columns: []string{"app", "naive-cycles", "vcfr-cycles", "speedup"},
 	}
-	var speedups []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		naive, _, err := app.Run(cpu.ModeNaiveILR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		vcfr, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		sp := float64(naive.Stats.Cycles) / float64(vcfr.Stats.Cycles)
-		speedups = append(speedups, sp)
-		t.Rows = append(t.Rows, []string{name,
-			u(naive.Stats.Cycles), u(vcfr.Stats.Cycles), f2(sp)})
-	}
-	t.Rows = append(t.Rows, []string{"average", "", "", f2(mean(speedups))})
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			vcfr, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			sp := float64(naive.Stats.Cycles) / float64(vcfr.Stats.Cycles)
+			return Cell{
+				Rows: [][]string{{name, u(naive.Stats.Cycles), u(vcfr.Stats.Cycles), f2(sp)}},
+				Vals: []float64{sp},
+			}, nil
+		})
+	appendCells(t, cells)
+	t.Rows = append(t.Rows, []string{"average", "", "", f2(mean(vals(cells, 0)))})
 	t.Note = "paper Fig. 12: average 1.63x; namd/h264ref/mcf/xalan above 2x"
 	return t, nil
 }
 
 // Fig13 sweeps the DRC size and reports IPC normalized to the baseline.
-func Fig13(cfg Config) (*Table, error) {
+func Fig13(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	sizes := []int{512, 128, 64}
 	t := &Table{
@@ -409,35 +443,34 @@ func Fig13(cfg Config) (*Table, error) {
 		Title:   "Normalized IPC under different DRC sizes",
 		Columns: []string{"app", "drc-512", "drc-128", "drc-64"},
 	}
-	sums := make([]float64, len(sizes))
-	var count int
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := app.Run(cpu.ModeBaseline, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{name}
-		for i, size := range sizes {
-			size := size
-			res, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-				func(c *cpu.Config) { c.DRCEntries = size })
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			n := res.Stats.IPC() / base.Stats.IPC()
-			sums[i] += n
-			row = append(row, f3(n))
-		}
-		count++
-		t.Rows = append(t.Rows, row)
-	}
+			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			c := Cell{Rows: [][]string{{name}}}
+			for _, size := range sizes {
+				size := size
+				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+					func(c *cpu.Config) { c.DRCEntries = size })
+				if err != nil {
+					return Cell{}, err
+				}
+				n := res.Stats.IPC() / base.Stats.IPC()
+				c.Rows[0] = append(c.Rows[0], f3(n))
+				c.Vals = append(c.Vals, n)
+			}
+			return c, nil
+		})
+	appendCells(t, cells)
 	avg := []string{"average"}
-	for _, s := range sums {
-		avg = append(avg, f3(s/float64(count)))
+	for i := range sizes {
+		avg = append(avg, f3(mean(vals(cells, i))))
 	}
 	t.Rows = append(t.Rows, avg)
 	t.Note = "paper Fig. 13: avg 98.9% @512 entries; overhead <= 2.1% even @64"
@@ -445,7 +478,7 @@ func Fig13(cfg Config) (*Table, error) {
 }
 
 // Fig14 reports DRC miss rates at 512 and 64 entries.
-func Fig14(cfg Config) (*Table, error) {
+func Fig14(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	sizes := []int{512, 64}
 	t := &Table{
@@ -453,52 +486,51 @@ func Fig14(cfg Config) (*Table, error) {
 		Title:   "DRC miss rates",
 		Columns: []string{"app", "miss-512", "miss-64", "lookups/1k-inst"},
 	}
-	sums := make([]float64, len(sizes))
-	var count int
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{name}
-		var lookupsPerK float64
-		rates := make([]float64, len(sizes))
-		for i, size := range sizes {
-			size := size
-			res, _, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts,
-				func(c *cpu.Config) { c.DRCEntries = size })
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
 			if err != nil {
-				return nil, err
+				return Cell{}, err
 			}
-			rates[i] = res.DRC.MissRate()
-			row = append(row, pct(res.DRC.MissRate()))
-			lookupsPerK = 1000 * float64(res.DRC.Lookups) / float64(res.Stats.Instructions)
-		}
-		// Apps whose control flow is so predictable that the DRC sees only
-		// cold lookups have meaningless miss *rates* (a handful of
-		// compulsory misses over a handful of lookups); report them but keep
-		// them out of the average, which the paper computes over apps with
-		// steady-state DRC traffic.
-		if lookupsPerK >= 0.5 {
-			for i := range sizes {
-				sums[i] += rates[i]
+			row := []string{name}
+			var lookupsPerK float64
+			rates := make([]float64, len(sizes))
+			for i, size := range sizes {
+				size := size
+				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+					func(c *cpu.Config) { c.DRCEntries = size })
+				if err != nil {
+					return Cell{}, err
+				}
+				rates[i] = res.DRC.MissRate()
+				row = append(row, pct(res.DRC.MissRate()))
+				lookupsPerK = 1000 * float64(res.DRC.Lookups) / float64(res.Stats.Instructions)
 			}
-			count++
-			row = append(row, f1(lookupsPerK))
-		} else {
-			row = append(row, f1(lookupsPerK)+" (cold only)")
-		}
-		t.Rows = append(t.Rows, row)
-	}
+			// Apps whose control flow is so predictable that the DRC sees only
+			// cold lookups have meaningless miss *rates* (a handful of
+			// compulsory misses over a handful of lookups); report them but
+			// keep them out of the average (publish no Vals), which the paper
+			// computes over apps with steady-state DRC traffic.
+			c := Cell{}
+			if lookupsPerK >= 0.5 {
+				c.Vals = rates
+				row = append(row, f1(lookupsPerK))
+			} else {
+				row = append(row, f1(lookupsPerK)+" (cold only)")
+			}
+			c.Rows = [][]string{row}
+			return c, nil
+		})
+	appendCells(t, cells)
 	t.Rows = append(t.Rows, []string{"average",
-		pct(sums[0] / float64(count)), pct(sums[1] / float64(count)), ""})
+		pct(mean(vals(cells, 0))), pct(mean(vals(cells, 1))), ""})
 	t.Note = "paper Fig. 14: avg 4.5% @512, 20.6% @64; lbm and xalancbmk worst. " +
 		"Cold-only apps (fewer than 0.5 lookups per 1k instructions) are excluded from the average."
 	return t, nil
 }
 
 // Fig15 reports the DRC's dynamic power overhead with a 128-entry DRC.
-func Fig15(cfg Config) (*Table, error) {
+func Fig15(s *Sweep, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	model := power.DefaultModel()
 	t := &Table{
@@ -506,23 +538,26 @@ func Fig15(cfg Config) (*Table, error) {
 		Title:   "DRC dynamic power overhead (128-entry DRC)",
 		Columns: []string{"app", "drc-pJ", "cpu-pJ", "overhead"},
 	}
-	var pcts []float64
-	for _, name := range cfg.names(workloads.SpecNames) {
-		app, err := Prepare(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, ccfg, err := app.Run(cpu.ModeVCFR, cfg.MaxInsts, nil)
-		if err != nil {
-			return nil, err
-		}
-		b := model.Analyze(res, ccfg)
-		pcts = append(pcts, b.DRCOverheadPct())
-		t.Rows = append(t.Rows, []string{name,
-			f1(b.DRC), f1(b.Total - b.DRAM), fmt.Sprintf("%.3f%%", b.DRCOverheadPct())})
-	}
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			res, ccfg, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			if err != nil {
+				return Cell{}, err
+			}
+			b := model.Analyze(res, ccfg)
+			return Cell{
+				Rows: [][]string{{name, f1(b.DRC), f1(b.Total - b.DRAM),
+					fmt.Sprintf("%.3f%%", b.DRCOverheadPct())}},
+				Vals: []float64{b.DRCOverheadPct()},
+			}, nil
+		})
+	appendCells(t, cells)
 	t.Rows = append(t.Rows, []string{"average", "", "",
-		fmt.Sprintf("%.3f%%", mean(pcts))})
+		fmt.Sprintf("%.3f%%", mean(vals(cells, 0)))})
 	t.Note = "paper Fig. 15: average 0.18% of CPU dynamic power"
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,6 +15,12 @@ func tiny(names ...string) Config {
 		names = []string{"h264ref", "lbm"}
 	}
 	return Config{Workloads: names, MaxInsts: 60_000, Scale: 1, Seed: 42, Spread: 8}
+}
+
+// sweep builds the execution context for calling one experiment function
+// directly in tests, with a small parallel worker pool.
+func sweep(id string) *Sweep {
+	return NewRunner(2).Sweep(context.Background(), id)
 }
 
 func TestPrepareAndRunModes(t *testing.T) {
@@ -96,10 +103,11 @@ func TestEveryExperimentRunsOnTinyConfig(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
 	}
+	r := NewRunner(4)
 	for _, e := range Experiments {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb, err := e.Run(tiny())
+			tb, err := r.Run(context.Background(), e, tiny())
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -117,7 +125,7 @@ func TestEveryExperimentRunsOnTinyConfig(t *testing.T) {
 }
 
 func TestFig12ShapeVCFRWins(t *testing.T) {
-	tb, err := Fig12(tiny("h264ref"))
+	tb, err := Fig12(sweep("fig12"), tiny("h264ref"))
 	if err != nil {
 		t.Fatal(err)
 	}

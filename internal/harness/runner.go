@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+)
+
+// Runner executes experiments by sharding their (experiment, workload,
+// config) cells across a bounded worker pool. Every cell derives its own
+// PRNG seed from (base seed, experiment ID, cell name), so results are
+// bit-identical regardless of worker count or goroutine scheduling, and
+// cells land in their table in the stable order of the workload list, not
+// in completion order.
+type Runner struct {
+	// Workers bounds the number of concurrently executing cells across
+	// every experiment this runner is driving. <= 0 means GOMAXPROCS.
+	Workers int
+	// CellTimeout caps one cell's wall-clock time; 0 means no limit. The
+	// timeout is enforced cooperatively at simulation-run granularity, so
+	// a timed-out cell stops at the next run boundary and surfaces as an
+	// error row.
+	CellTimeout time.Duration
+	// Cache, if non-nil, memoizes finished cells keyed by (experiment,
+	// cell, derived seed, config); see Cache for the disk-backed variant.
+	Cache *Cache
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// NewRunner returns a runner with the given worker budget (<= 0 means
+// GOMAXPROCS) and no cache or timeout.
+func NewRunner(workers int) *Runner {
+	return &Runner{Workers: workers}
+}
+
+// slots lazily builds the shared worker-slot channel, so a zero-value
+// Runner and flag-configured Workers values both work.
+func (r *Runner) slots() chan struct{} {
+	r.semOnce.Do(func() {
+		n := r.Workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.Workers = n
+		r.sem = make(chan struct{}, n)
+	})
+	return r.sem
+}
+
+// Sweep returns the execution context for invoking one experiment function
+// directly. Production callers go through Run/RunAll; tests and benchmarks
+// use Sweep to call a specific experiment function by name.
+func (r *Runner) Sweep(ctx context.Context, expID string) *Sweep {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Sweep{ctx: ctx, r: r, exp: expID}
+}
+
+// Run executes one experiment through the runner's worker pool.
+func (r *Runner) Run(ctx context.Context, e Experiment, cfg Config) (*Table, error) {
+	return e.Run(r.Sweep(ctx, e.ID), cfg)
+}
+
+// SweepResult is one experiment's outcome in a RunAll sweep.
+type SweepResult struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+	Elapsed    time.Duration
+}
+
+// RunAll runs the given experiments concurrently over the shared worker
+// pool and returns their results in input order. One experiment failing
+// does not abort the others; its SweepResult carries the error.
+func (r *Runner) RunAll(ctx context.Context, exps []Experiment, cfg Config) []SweepResult {
+	out := make([]SweepResult, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			start := time.Now()
+			tb, err := r.Run(ctx, e, cfg)
+			out[i] = SweepResult{Experiment: e, Table: tb, Err: err, Elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// Sweep carries one experiment invocation's context: the runner whose pool
+// the cells share, the cancellation context, and the experiment ID that
+// namespaces derived seeds and cache keys.
+type Sweep struct {
+	ctx context.Context
+	r   *Runner
+	exp string
+}
+
+// Cell is one unit of sharded work: the table rows a (experiment,
+// workload, config) cell contributes, plus the numeric values it feeds
+// into the experiment's aggregate row. Vals' meaning is per-experiment
+// (e.g. Fig4 stores the normalized IPC, Fig13 one value per DRC size).
+type Cell struct {
+	Name string     `json:"name"`
+	Rows [][]string `json:"rows"`
+	Vals []float64  `json:"vals,omitempty"`
+	Err  string     `json:"-"` // non-empty for failed cells; never cached
+}
+
+func (c Cell) failed() bool { return c.Err != "" }
+
+// cellFn computes one cell. cfg arrives with the cell's derived seed and
+// the workload list cleared; name is the cell's label (usually the
+// workload name). fn must honor ctx at simulation-run granularity — the
+// prepare/runMode helpers below do that.
+type cellFn func(ctx context.Context, cfg Config, name string) (Cell, error)
+
+// CellSeed derives the deterministic per-cell PRNG seed: an FNV-1a hash of
+// the base seed, the experiment ID, and the cell name. Cells therefore
+// never share randomness, and a cell's stream does not depend on which
+// worker ran it or in what order. Never returns 0 (Config treats 0 as
+// "use the default seed").
+func CellSeed(base int64, expID, cell string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(expID))
+	h.Write([]byte{0})
+	h.Write([]byte(cell))
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// mapCells shards fn over names: each name becomes one cell with its own
+// derived seed, run on the runner's worker pool. Results come back in the
+// order of names. A cell that fails (error, panic, timeout) yields an
+// error row instead of aborting the sweep.
+func (s *Sweep) mapCells(cfg Config, names []string, fn cellFn) []Cell {
+	cfg = cfg.withDefaults()
+	cells := make([]Cell, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		ccfg := cfg
+		ccfg.Workloads = nil
+		ccfg.Seed = CellSeed(cfg.Seed, s.exp, name)
+		key := cellKey(s.exp, name, ccfg)
+		if c, ok := s.r.Cache.get(key); ok {
+			cells[i] = c
+			continue
+		}
+		wg.Add(1)
+		go func(i int, name string, ccfg Config) {
+			defer wg.Done()
+			select {
+			case s.r.slots() <- struct{}{}:
+				defer func() { <-s.r.sem }()
+			case <-s.ctx.Done():
+				cells[i] = errCell(name, s.ctx.Err())
+				return
+			}
+			cells[i] = s.runCell(ccfg, name, key, fn)
+		}(i, name, ccfg)
+	}
+	wg.Wait()
+	return cells
+}
+
+// runCell executes one cell with panic capture and the per-cell timeout.
+func (s *Sweep) runCell(cfg Config, name, key string, fn cellFn) (c Cell) {
+	defer func() {
+		if r := recover(); r != nil {
+			c = errCell(name, fmt.Errorf("panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	ctx := s.ctx
+	if s.r.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.r.CellTimeout)
+		defer cancel()
+	}
+	cell, err := fn(ctx, cfg, name)
+	if err != nil {
+		return errCell(name, err)
+	}
+	cell.Name = name
+	s.r.Cache.put(key, cell)
+	return cell
+}
+
+// errCell converts a cell failure into a reported table row. Only the
+// first line of the error lands in the table (panic values carry stacks);
+// the full text stays in Err.
+func errCell(name string, err error) Cell {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return Cell{
+		Name: name,
+		Rows: [][]string{{name, "error: " + msg}},
+		Err:  err.Error(),
+	}
+}
+
+// appendCells appends every cell's rows to the table, in cell order.
+func appendCells(t *Table, cells []Cell) {
+	for _, c := range cells {
+		t.Rows = append(t.Rows, c.Rows...)
+	}
+}
+
+// vals collects the i-th aggregate value of every successful cell that has
+// one (cells may opt out of aggregation by publishing fewer values, as
+// Fig14's cold-only apps do).
+func vals(cells []Cell, i int) []float64 {
+	var out []float64
+	for _, c := range cells {
+		if c.failed() || i >= len(c.Vals) {
+			continue
+		}
+		out = append(out, c.Vals[i])
+	}
+	return out
+}
+
+// Cancellation-aware wrappers: cells call these instead of the raw
+// Prepare/Run so a per-cell timeout or a sweep-wide cancel takes effect at
+// the next simulation-run boundary.
+
+// prepare is Prepare with a cancellation check.
+func prepare(ctx context.Context, name string, cfg Config) (*App, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Prepare(name, cfg)
+}
+
+// prepareOpts is PrepareOpts with a cancellation check.
+func prepareOpts(ctx context.Context, name string, cfg Config, opts ilr.Options) (*App, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return PrepareOpts(name, cfg, opts)
+}
+
+// runMode is App.Run with a cancellation check.
+func runMode(ctx context.Context, app *App, mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
+	if err := ctx.Err(); err != nil {
+		return cpu.Result{}, cpu.Config{}, err
+	}
+	return app.Run(mode, maxInsts, mutate)
+}
+
+// runEmulated is App.RunEmulated with a cancellation check.
+func runEmulated(ctx context.Context, app *App, maxInsts uint64) (emu.RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return emu.RunResult{}, err
+	}
+	return app.RunEmulated(maxInsts)
+}

@@ -24,7 +24,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 }
 
 func TestShapeNaiveILRDegradesIPC(t *testing.T) {
-	tb, err := Fig4(tiny("h264ref", "lbm"))
+	tb, err := Fig4(sweep("fig4"), tiny("h264ref", "lbm"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestShapeNaiveILRDegradesIPC(t *testing.T) {
 }
 
 func TestShapeVCFRBeatsNaiveEverywhere(t *testing.T) {
-	tb, err := Fig12(tiny("h264ref", "lbm", "xalan"))
+	tb, err := Fig12(sweep("fig12"), tiny("h264ref", "lbm", "xalan"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestShapeVCFRBeatsNaiveEverywhere(t *testing.T) {
 }
 
 func TestShapeDRCSizeMonotone(t *testing.T) {
-	tb, err := Fig13(tiny("h264ref", "xalan"))
+	tb, err := Fig13(sweep("fig13"), tiny("h264ref", "xalan"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestShapeDRCSizeMonotone(t *testing.T) {
 }
 
 func TestShapeGadgetRemovalHigh(t *testing.T) {
-	tb, err := Fig11(tiny("h264ref", "xalan"))
+	tb, err := Fig11(sweep("fig11"), tiny("h264ref", "xalan"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestShapeGadgetRemovalHigh(t *testing.T) {
 }
 
 func TestShapePowerOverheadSubPercent(t *testing.T) {
-	tb, err := Fig15(tiny("h264ref", "lbm"))
+	tb, err := Fig15(sweep("fig15"), tiny("h264ref", "lbm"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestShapePowerOverheadSubPercent(t *testing.T) {
 }
 
 func TestShapeInPlaceWeakerThanComplete(t *testing.T) {
-	tb, err := BaselineInPlace(tiny("h264ref", "xalan"))
+	tb, err := BaselineInPlace(sweep("baseline-inplace"), tiny("h264ref", "xalan"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,14 +153,14 @@ func TestShapeStableAcrossSeeds(t *testing.T) {
 	for _, seed := range []int64{7, 1234, 987654} {
 		cfg := tiny("h264ref")
 		cfg.Seed = seed
-		tb, err := Fig12(cfg)
+		tb, err := Fig12(sweep("fig12"), cfg)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if sp := cellFloat(t, tb.Rows[0][3]); sp < 1.0 {
 			t.Errorf("seed %d: VCFR lost to naive (%.2fx)", seed, sp)
 		}
-		gt, err := Fig11(cfg)
+		gt, err := Fig11(sweep("fig11"), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,17 @@ import "fmt"
 // feature the rewriter must preserve. The test suites run them through
 // every execution substrate and compare outputs.
 func Random(seed uint32) Workload {
+	name, source := RandomSource(seed)
+	return Workload{
+		Name: name,
+		Desc: "structured random differential-test program",
+		Img:  MustAssembleSource(name, source),
+	}
+}
+
+// RandomSource generates the source text of Random without assembling it,
+// for corpora that want the raw program (e.g. the assembler fuzzer).
+func RandomSource(seed uint32) (name, source string) {
 	rng := newLCG(seed*2654435761 + 12345)
 	nfuncs := 3 + rng.intn(6)
 	s := &src{}
@@ -104,12 +115,7 @@ func Random(seed uint32) Workload {
 	s.f(".data")
 	s.f("scratch: .space 2048")
 
-	name := fmt.Sprintf("random-%d", seed)
-	return Workload{
-		Name: name,
-		Desc: "structured random differential-test program",
-		Img:  MustAssembleSource(name, s.String()),
-	}
+	return fmt.Sprintf("random-%d", seed), s.String()
 }
 
 // emitRandomALU emits one random flag-safe ALU instruction over r0-r7.

@@ -105,6 +105,21 @@ func ByName(name string, scale int) (Workload, error) {
 	return Workload{Name: name, Desc: g.desc, Img: img, Input: input}, nil
 }
 
+// Source returns the generated assembly source for the named workload at
+// the given scale — the exact text ByName assembles. It exists to seed
+// corpora (the assembler round-trip fuzzer) with realistic whole programs.
+func Source(name string, scale int) (string, error) {
+	g, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	src, _ := g.build(scale)
+	return src, nil
+}
+
 // MustAssembleSource assembles generated source that is known-good by
 // construction; it panics on error (generator bugs are programming errors).
 func MustAssembleSource(name, source string) *program.Image {
