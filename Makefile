@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments results examples vet fmt cover race check
+.PHONY: all build test test-short bench experiments results examples vet fmt fmtcheck cover race check trace
 
 all: build test
 
@@ -16,18 +16,23 @@ test-short:
 	$(GO) test -short ./...
 
 # The concurrency-heavy packages under the race detector: the parallel
-# experiment runner and the pipeline it drives.
+# experiment runner, the pipeline it drives, and the shared trace cache.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace
 
 # The full pre-commit gate.
-check: build vet test race
+check: build vet fmtcheck test race
 
 vet:
 	$(GO) vet ./...
 
 fmt:
 	gofmt -l -w .
+
+# Fail if any file is not gofmt-clean (the CI variant of fmt).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -43,6 +48,14 @@ experiments:
 # Regenerate the archived experiment output.
 results:
 	$(GO) run ./cmd/experiments -experiment all | tee docs/RESULTS.txt
+
+# Record-once/replay-many demo: capture a trace, inspect it, replay it
+# against two DRC sizes (see docs/EXPERIMENTS.md).
+trace:
+	$(GO) run ./cmd/vxtrace record -workload h264ref -mode vcfr -instructions 120000 -o /tmp/h264ref.vxt
+	$(GO) run ./cmd/vxtrace info /tmp/h264ref.vxt
+	$(GO) run ./cmd/vxtrace replay /tmp/h264ref.vxt
+	$(GO) run ./cmd/vxtrace replay -drc 64 /tmp/h264ref.vxt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,6 +6,9 @@
 //	vcfrsim -workload h264ref -mode vcfr -drc 128
 //	vcfrsim -mode naive -instructions 2000000 app.s
 //	vcfrsim -workload xalan -mode all
+//	vcfrsim -workload h264ref -mode vcfr -record h264.vxt
+//	vcfrsim -workload h264ref -replay h264.vxt -drc 64
+//	vcfrsim -workload lbm -mode all -stats-json
 //
 // It prints IPC, the stall breakdown, cache statistics, and (under VCFR)
 // DRC statistics and the dynamic-power breakdown.
@@ -13,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +29,7 @@ import (
 	"vcfr/internal/cpu"
 	"vcfr/internal/ilr"
 	"vcfr/internal/power"
+	"vcfr/internal/trace"
 	"vcfr/internal/workloads"
 )
 
@@ -46,9 +51,12 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "randomization seed")
 		spread   = flag.Int("spread", 8, "scatter factor")
 		drc      = flag.Int("drc", 128, "DRC entries")
-		trace    = flag.Uint64("trace", 0, "print the first N executed instructions (UPC/RPC/storage)")
+		traceN   = flag.Uint64("trace", 0, "print the first N executed instructions (UPC/RPC/storage)")
 		width    = flag.Int("width", 1, "issue width (1 = the paper's core, 2 = dual-issue)")
 		ctxEvery = flag.Uint64("ctxswitch", 0, "flush process-private state every N instructions")
+		record   = flag.String("record", "", "capture the run into a trace file (single mode only)")
+		replayF  = flag.String("replay", "", "replay a trace file through the configured machine (mode taken from the trace)")
+		jsonOut  = flag.Bool("stats-json", false, "emit the full Result as JSON instead of the text report")
 	)
 	flag.Parse()
 
@@ -110,17 +118,76 @@ func run() error {
 		c.IssueWidth = *width
 		c.ContextSwitchEvery = *ctxEvery
 	}
+	emit := func(w io.Writer, m cpu.Mode, res cpu.Result) error {
+		if *jsonOut {
+			return writeJSONResult(w, m, res)
+		}
+		report(w, m, res, *drc)
+		return nil
+	}
+
+	// -replay drives the configured machine from a recorded trace instead of
+	// executing; the architecture mode comes from the trace itself. The
+	// machine must be built from the same (workload, seed, spread) the trace
+	// was captured with — a mismatch is caught as a replay divergence.
+	if *replayF != "" {
+		tr, err := trace.LoadFile(*replayF)
+		if err != nil {
+			return err
+		}
+		m := tr.Meta.Mode
+		p, err := sys.Pipeline(m, mutate)
+		if err != nil {
+			return err
+		}
+		instCap := tr.Meta.MaxInsts
+		if *maxInsts > 0 {
+			instCap = *maxInsts
+		}
+		res, err := trace.Replay(tr, p, instCap)
+		if err != nil {
+			return err
+		}
+		return emit(os.Stdout, m, res)
+	}
+
+	// -record captures the run into a trace file alongside the normal report.
+	if *record != "" {
+		if len(modes) != 1 {
+			return fmt.Errorf("-record needs a single -mode")
+		}
+		m := modes[0]
+		p, err := sys.Pipeline(m, mutate)
+		if err != nil {
+			return err
+		}
+		tr, res, err := trace.Capture(p, *maxInsts, trace.Meta{
+			Workload: *workload, Mode: m, LayoutSeed: *seed, Spread: *spread,
+			Scale: *scale, MaxInsts: *maxInsts,
+		})
+		if err != nil {
+			return err
+		}
+		if err := tr.SaveFile(*record); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vcfrsim: recorded %d instructions to %s\n", tr.Len(), *record)
+		return emit(os.Stdout, m, res)
+	}
+
 	// -mode all simulates the three architectures concurrently; each mode's
 	// report is buffered and printed in mode order, so the output is
 	// identical to a sequential run. Tracing interleaves prints with
 	// execution, so it forces the sequential path.
-	if *trace > 0 || len(modes) == 1 {
+	if *traceN > 0 || len(modes) == 1 {
 		for _, m := range modes {
-			res, err := simulate(sys, m, mutate, *maxInsts, *trace)
+			res, err := simulate(sys, m, mutate, *maxInsts, *traceN)
 			if err != nil {
 				return err
 			}
-			report(os.Stdout, m, res, *drc)
+			if err := emit(os.Stdout, m, res); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -138,7 +205,7 @@ func run() error {
 				errs[i] = fmt.Errorf("%s: %w", m, err)
 				return
 			}
-			report(&bufs[i], m, res, *drc)
+			errs[i] = emit(&bufs[i], m, res)
 		}(i, m)
 	}
 	wg.Wait()
@@ -171,6 +238,16 @@ func simulate(sys *core.System, m cpu.Mode, mutate func(*cpu.Config), maxInsts, 
 		}
 	})
 	return p.Run(maxInsts)
+}
+
+// writeJSONResult emits one mode's full Result as an indented JSON object.
+func writeJSONResult(w io.Writer, mode cpu.Mode, res cpu.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Mode   string     `json:"mode"`
+		Result cpu.Result `json:"result"`
+	}{mode.String(), res})
 }
 
 func parseModes(s string) ([]cpu.Mode, error) {

@@ -107,6 +107,18 @@ type Pipeline struct {
 
 	issue  issueState
 	tracer func(TraceEvent)
+
+	// recorder captures each executed instruction's functional outcome
+	// (trace capture); replay, when non-nil, substitutes a recorded stream
+	// for FetchDecode+Exec (trace replay). replayRecs/replayPos are the
+	// zero-copy fast path for sources exposing a materialized slice;
+	// replayScratch backs the pointer handed out on the interface path.
+	// See replay.go.
+	recorder      func(ExecRecord)
+	replay        ReplaySource
+	replayRecs    []ExecRecord
+	replayPos     int
+	replayScratch ExecRecord
 }
 
 // New builds a pipeline for img under cfg. trans and randRA supply the
@@ -433,24 +445,69 @@ func (p *Pipeline) Step() (bool, error) {
 		p.stats.Instructions > 0 && p.stats.Instructions%every == 0 {
 		p.contextSwitch()
 	}
-	sAddr := p.storageAddr(p.pc)
-	in, err := emu.FetchDecode(p.mem, sAddr)
-	if err != nil {
-		return false, err
+	var (
+		in         isa.Inst
+		out        emu.Outcome
+		err        error
+		recDerands int
+		recHalt    bool
+	)
+	replaying := p.replay != nil
+	if replaying {
+		rec, done := p.nextReplay()
+		if done {
+			return false, nil
+		}
+		in = rec.Inst
+		if in.Addr != p.pc {
+			return false, fmt.Errorf(
+				"cpu: replay divergence at instruction %d: trace UPC %#x, pipeline UPC %#x",
+				p.stats.Instructions, in.Addr, p.pc)
+		}
+		out = emu.Outcome{Taken: rec.Taken, Target: rec.Target, MemKind: rec.MemKind, MemAddr: rec.MemAddr}
+		recDerands, recHalt = rec.Derands, rec.Halt
 	}
-	in.Addr = p.pc
-	p.emitTrace(in, sAddr)
+	sAddr := p.storageAddr(p.pc)
+	if !replaying {
+		in, err = emu.FetchDecode(p.mem, sAddr)
+		if err != nil {
+			return false, err
+		}
+		in.Addr = p.pc
+	}
+	if p.tracer != nil {
+		p.emitTrace(in, sAddr)
+	}
 
 	// Front end.
 	fetchBubble := p.fetchSupply(sAddr, in.Len())
 	p.stats.FetchStall += fetchBubble
 	cost := 1 + fetchBubble
 
-	// Execute functionally.
-	p.pendingDerands = 0
-	out, err := emu.Exec(p.state, in)
-	if err != nil {
-		return false, err
+	// Execute functionally — or take the recorded functional outcome.
+	if replaying {
+		p.pendingDerands = recDerands
+		if recHalt {
+			p.state.Halted = true
+			p.adoptReplayFinal()
+		}
+	} else {
+		p.pendingDerands = 0
+		out, err = emu.Exec(p.state, in)
+		if err != nil {
+			return false, err
+		}
+		if p.recorder != nil {
+			p.recorder(ExecRecord{
+				Inst:    in,
+				Taken:   out.Taken,
+				Target:  out.Target,
+				MemKind: out.MemKind,
+				MemAddr: out.MemAddr,
+				Derands: p.pendingDerands,
+				Halt:    p.state.Halted,
+			})
+		}
 	}
 	p.stats.Instructions++
 	if p.cfg.Mode == ModeVCFR && !p.inRand {
@@ -490,8 +547,9 @@ func (p *Pipeline) Step() (bool, error) {
 	}
 
 	// Multi-issue: a simple, hazard-free ALU instruction that incurred no
-	// stalls joins the current issue group for free.
-	if p.issue.coIssues(p.cfg.IssueWidth, in, out, cost != 1) {
+	// stalls joins the current issue group for free. At width 1 coIssues is
+	// always false and its state is never consulted, so skip it entirely.
+	if p.cfg.IssueWidth > 1 && p.issue.coIssues(p.cfg.IssueWidth, in, out, cost != 1) {
 		cost = 0
 	}
 	p.stats.Cycles += cost

@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+)
+
+// ExecRecord is one instruction's functional outcome — everything the timing
+// model consumes from the functional execute stage. A sequence of ExecRecords
+// therefore determines the cycle accounting completely: replaying the records
+// through the pipeline reproduces Stats/Result bit-for-bit without running
+// FetchDecode or Exec again.
+//
+// The record carries the fully decoded instruction (not just its UPC) so
+// replay stays correct even for self-modifying images: the instruction that
+// actually executed is what lands in the record.
+type ExecRecord struct {
+	Inst    isa.Inst
+	Taken   bool        // control transferred away from the fall-through
+	Target  uint32      // architectural (possibly randomized-space) target
+	MemKind emu.MemKind // at most one data access per instruction
+	MemAddr uint32
+	Derands int  // auto-de-randomizing stack-bitmap loads (VCFR hook)
+	Halt    bool // this instruction halted the machine
+}
+
+// ReplaySource feeds ExecRecords to a pipeline in execution order. Next
+// returns ok=false when the trace is exhausted; Final supplies the program
+// output and exit code observed at capture time, which the pipeline adopts
+// when the replayed stream ends.
+type ReplaySource interface {
+	Next() (ExecRecord, bool)
+	Final() (out []byte, exitCode uint32)
+}
+
+// SetRecorder installs a capture callback invoked once per successfully
+// executed instruction, after the functional execute stage and before timing
+// is charged. Recording does not perturb timing. nil disables capture.
+func (p *Pipeline) SetRecorder(fn func(ExecRecord)) { p.recorder = fn }
+
+// SetReplay switches the pipeline's front end from execute-driven fetch to
+// trace-driven replay: Step consumes records from src instead of calling
+// FetchDecode/Exec, while every timing structure (caches, predictors, DRC,
+// iTLB, issue logic) operates exactly as in an execute-driven run. nil
+// restores execute-driven fetch.
+//
+// Sources that additionally implement Records() []ExecRecord (a materialized
+// record slice) get a zero-copy fast path: Step reads records in place
+// instead of calling Next per instruction.
+//
+// A replayed run reproduces the capture run's Result bit-for-bit only when it
+// consumes the trace to its end (same instruction cap as capture): the
+// emulated program's Out/ExitCode are adopted from the source when the stream
+// finishes, not rebuilt incrementally.
+func (p *Pipeline) SetReplay(src ReplaySource) {
+	p.replay = src
+	p.replayRecs, p.replayPos = nil, 0
+	if src == nil {
+		return
+	}
+	if rp, ok := src.(interface{ Records() []ExecRecord }); ok {
+		p.replayRecs = rp.Records()
+	}
+}
+
+// nextReplay fetches the next record, preferring the in-place slice fast
+// path. done=true means the source is exhausted and the machine should stop
+// as the capture run did. The returned pointer is only valid until the next
+// call.
+func (p *Pipeline) nextReplay() (rec *ExecRecord, done bool) {
+	if p.replayRecs != nil {
+		if p.replayPos >= len(p.replayRecs) {
+			p.adoptReplayFinal()
+			return nil, true
+		}
+		rec = &p.replayRecs[p.replayPos]
+		p.replayPos++
+		return rec, false
+	}
+	r, ok := p.replay.Next()
+	if !ok {
+		p.adoptReplayFinal()
+		return nil, true
+	}
+	p.replayScratch = r
+	return &p.replayScratch, false
+}
+
+// adoptReplayFinal installs the capture run's program output and exit code
+// into the architectural state, making the replayed Result's Out/ExitCode
+// identical to the captured one.
+func (p *Pipeline) adoptReplayFinal() {
+	out, code := p.replay.Final()
+	p.state.Out = out
+	p.state.ExitCode = code
+}

@@ -27,11 +27,11 @@ func AblationDRCAssoc(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -39,7 +39,7 @@ func AblationDRCAssoc(s *Sweep, cfg Config) (*Table, error) {
 			ipc := make([]string, 0, len(assocs))
 			for _, a := range assocs {
 				a := a
-				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
+				res, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
 					c.DRCEntries, c.DRCAssoc = 64, a
 				})
 				if err != nil {
@@ -66,19 +66,19 @@ func AblationSplitDRC(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			uni, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			uni, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			split, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+			split, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 				func(c *cpu.Config) { c.DRCSplit = true })
 			if err != nil {
 				return Cell{}, err
@@ -110,18 +110,18 @@ func AblationRetRand(s *Sweep, cfg Config) (*Table, error) {
 			var c Cell
 			var baseIPC float64
 			for _, m := range modes {
-				app, err := prepareOpts(ctx, name, cfg, ilr.Options{RetRand: m})
+				app, err := s.prepareOpts(ctx, name, cfg, ilr.Options{RetRand: m})
 				if err != nil {
 					return Cell{}, err
 				}
 				if baseIPC == 0 {
-					b, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+					b, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 					if err != nil {
 						return Cell{}, err
 					}
 					baseIPC = b.Stats.IPC()
 				}
-				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+				res, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
 				if err != nil {
 					return Cell{}, err
 				}
@@ -149,19 +149,19 @@ func AblationPredictSpace(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			upc, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			upc, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			rpc, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+			rpc, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 				func(c *cpu.Config) { c.PredictOnRPC = true })
 			if err != nil {
 				return Cell{}, err
@@ -189,19 +189,19 @@ func AblationPageConfined(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names([]string{"gcc", "xalan", "h264ref", "sjeng"}),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			free, err := prepareOpts(ctx, name, cfg, ilr.Options{})
+			free, err := s.prepareOpts(ctx, name, cfg, ilr.Options{})
 			if err != nil {
 				return Cell{}, err
 			}
-			conf, err := prepareOpts(ctx, name, cfg, ilr.Options{PageConfined: true})
+			conf, err := s.prepareOpts(ctx, name, cfg, ilr.Options{PageConfined: true})
 			if err != nil {
 				return Cell{}, err
 			}
-			fRes, _, err := runMode(ctx, free, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			fRes, _, err := s.runMode(ctx, free, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			cRes, _, err := runMode(ctx, conf, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			cRes, _, err := s.runMode(ctx, conf, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -228,20 +228,20 @@ func AblationDRC2(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			shared, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+			shared, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 				func(c *cpu.Config) { c.DRCEntries = 64 })
 			if err != nil {
 				return Cell{}, err
 			}
-			dedicated, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
+			dedicated, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, func(c *cpu.Config) {
 				c.DRCEntries = 64
 				c.DRC2Entries = 1024
 			})
@@ -279,11 +279,11 @@ func AblationContextSwitch(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -291,7 +291,7 @@ func AblationContextSwitch(s *Sweep, cfg Config) (*Table, error) {
 			var last cpu.Result
 			for _, iv := range intervals {
 				iv := iv
-				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				res, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 					func(c *cpu.Config) { c.ContextSwitchEvery = iv })
 				if err != nil {
 					return Cell{}, err
@@ -322,7 +322,7 @@ func BaselineInPlace(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -376,7 +376,7 @@ func ExtensionSuperscalar(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(ablationSet),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -384,12 +384,12 @@ func ExtensionSuperscalar(s *Sweep, cfg Config) (*Table, error) {
 			var norms []string
 			for _, w := range []int{1, 2} {
 				w := w
-				base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts,
+				base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts,
 					func(c *cpu.Config) { c.IssueWidth = w })
 				if err != nil {
 					return Cell{}, err
 				}
-				vcfr, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				vcfr, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 					func(c *cpu.Config) { c.IssueWidth = w })
 				if err != nil {
 					return Cell{}, err
@@ -425,7 +425,7 @@ func ExtensionMulticore(s *Sweep, cfg Config) (*Table, error) {
 			pair := strings.SplitN(pairName, "/", 2)
 			apps := make([]*App, 2)
 			for i, name := range pair {
-				a, err := prepare(ctx, name, cfg)
+				a, err := s.prepare(ctx, name, cfg)
 				if err != nil {
 					return Cell{}, err
 				}

@@ -96,11 +96,11 @@ func Fig2(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.Fig2Names),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -132,15 +132,15 @@ func Fig3(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			naive, _, err := s.runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -183,15 +183,15 @@ func Fig4(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			naive, _, err := s.runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -223,7 +223,7 @@ func Table1(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, []string{name},
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -239,7 +239,7 @@ func Table1(s *Sweep, cfg Config) (*Table, error) {
 			var c Cell
 			var baseIPC float64
 			for _, r := range rows {
-				res, _, err := runMode(ctx, app, r.mode, cfg.MaxInsts, nil)
+				res, _, err := s.runMode(ctx, app, r.mode, cfg.MaxInsts, nil)
 				if err != nil {
 					return Cell{}, err
 				}
@@ -339,7 +339,7 @@ func Fig11(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -368,7 +368,7 @@ func Payloads(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -410,15 +410,15 @@ func Fig12(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			naive, _, err := runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
+			naive, _, err := s.runMode(ctx, app, cpu.ModeNaiveILR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
-			vcfr, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			vcfr, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -445,18 +445,18 @@ func Fig13(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			base, _, err := runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
+			base, _, err := s.runMode(ctx, app, cpu.ModeBaseline, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}
 			c := Cell{Rows: [][]string{{name}}}
 			for _, size := range sizes {
 				size := size
-				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				res, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 					func(c *cpu.Config) { c.DRCEntries = size })
 				if err != nil {
 					return Cell{}, err
@@ -488,7 +488,7 @@ func Fig14(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
@@ -497,7 +497,7 @@ func Fig14(s *Sweep, cfg Config) (*Table, error) {
 			rates := make([]float64, len(sizes))
 			for i, size := range sizes {
 				size := size
-				res, _, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
+				res, _, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts,
 					func(c *cpu.Config) { c.DRCEntries = size })
 				if err != nil {
 					return Cell{}, err
@@ -540,11 +540,11 @@ func Fig15(s *Sweep, cfg Config) (*Table, error) {
 	}
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
-			app, err := prepare(ctx, name, cfg)
+			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
-			res, ccfg, err := runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
+			res, ccfg, err := s.runMode(ctx, app, cpu.ModeVCFR, cfg.MaxInsts, nil)
 			if err != nil {
 				return Cell{}, err
 			}

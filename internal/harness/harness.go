@@ -100,16 +100,9 @@ func PrepareOpts(name string, cfg Config, opts ilr.Options) (*App, error) {
 	return &App{W: w, R: res}, nil
 }
 
-// Run simulates the app in the given mode. mutate, if non-nil, adjusts the
-// default machine configuration (DRC size, ablation switches, ...).
-func (a *App) Run(mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
-	ccfg := cpu.DefaultConfig(mode)
-	if mutate != nil {
-		mutate(&ccfg)
-	}
-	var img *program.Image
-	var trans emu.Translator
-	var randRA map[uint32]uint32
+// artifacts selects the executed image and the randomization artifacts for
+// one architecture mode.
+func (a *App) artifacts(mode cpu.Mode) (img *program.Image, trans emu.Translator, randRA map[uint32]uint32, err error) {
 	switch mode {
 	case cpu.ModeBaseline:
 		img = a.R.Orig
@@ -118,13 +111,38 @@ func (a *App) Run(mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu
 	case cpu.ModeVCFR:
 		img, trans, randRA = a.R.VCFR, a.R.Tables, a.R.RandRA
 	default:
-		return cpu.Result{}, ccfg, fmt.Errorf("harness: unknown mode %v", mode)
+		err = fmt.Errorf("harness: unknown mode %v", mode)
+	}
+	return img, trans, randRA, err
+}
+
+// Pipeline builds a fresh pipeline for one run of the app in the given mode,
+// with the workload's input installed. mutate, if non-nil, adjusts the
+// default machine configuration (DRC size, ablation switches, ...).
+func (a *App) Pipeline(mode cpu.Mode, mutate func(*cpu.Config)) (*cpu.Pipeline, cpu.Config, error) {
+	ccfg := cpu.DefaultConfig(mode)
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	img, trans, randRA, err := a.artifacts(mode)
+	if err != nil {
+		return nil, ccfg, err
 	}
 	p, err := cpu.New(img, ccfg, trans, randRA)
 	if err != nil {
-		return cpu.Result{}, ccfg, err
+		return nil, ccfg, err
 	}
 	p.SetInput(a.W.Input)
+	return p, ccfg, nil
+}
+
+// Run simulates the app in the given mode. mutate, if non-nil, adjusts the
+// default machine configuration (DRC size, ablation switches, ...).
+func (a *App) Run(mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
+	p, ccfg, err := a.Pipeline(mode, mutate)
+	if err != nil {
+		return cpu.Result{}, ccfg, err
+	}
 	res, err := p.Run(maxInsts)
 	if err != nil {
 		return res, ccfg, fmt.Errorf("harness: %s under %v: %w", a.W.Name, mode, err)

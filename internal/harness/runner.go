@@ -11,9 +11,8 @@ import (
 	"sync"
 	"time"
 
-	"vcfr/internal/cpu"
 	"vcfr/internal/emu"
-	"vcfr/internal/ilr"
+	"vcfr/internal/trace"
 )
 
 // Runner executes experiments by sharding their (experiment, workload,
@@ -34,9 +33,51 @@ type Runner struct {
 	// Cache, if non-nil, memoizes finished cells keyed by (experiment,
 	// cell, derived seed, config); see Cache for the disk-backed variant.
 	Cache *Cache
+	// Traces, if non-nil, switches cells to record-once/replay-many
+	// execution: one functional trace is captured per (app, mode,
+	// instruction cap) and every further timing configuration replays it
+	// (see trace.go). Replay is bit-identical to execution, so enabling the
+	// cache changes wall-clock time only, never results.
+	Traces *trace.Cache
 
 	semOnce sync.Once
 	sem     chan struct{}
+
+	// Prepared-app memoization, active only alongside Traces: workload
+	// build + ILR rewrite are deterministic in the derived seed, so
+	// repeated sweeps reuse them. Bounded FIFO, maxApps entries.
+	appMu    sync.Mutex
+	apps     map[string]*App
+	appOrder []string
+}
+
+// maxApps bounds the prepared-app memo (each entry holds three images plus
+// translation tables, a few MB at most).
+const maxApps = 64
+
+// cachedApp returns the memoized prepared app for key, or nil.
+func (r *Runner) cachedApp(key string) *App {
+	r.appMu.Lock()
+	defer r.appMu.Unlock()
+	return r.apps[key]
+}
+
+// storeApp memoizes a prepared app, evicting the oldest entry past maxApps.
+func (r *Runner) storeApp(key string, app *App) {
+	r.appMu.Lock()
+	defer r.appMu.Unlock()
+	if r.apps == nil {
+		r.apps = make(map[string]*App)
+	}
+	if _, ok := r.apps[key]; ok {
+		return
+	}
+	if len(r.appOrder) >= maxApps {
+		delete(r.apps, r.appOrder[0])
+		r.appOrder = r.appOrder[1:]
+	}
+	r.apps[key] = app
+	r.appOrder = append(r.appOrder, key)
 }
 
 // NewRunner returns a runner with the given worker budget (<= 0 means
@@ -243,31 +284,9 @@ func vals(cells []Cell, i int) []float64 {
 
 // Cancellation-aware wrappers: cells call these instead of the raw
 // Prepare/Run so a per-cell timeout or a sweep-wide cancel takes effect at
-// the next simulation-run boundary.
-
-// prepare is Prepare with a cancellation check.
-func prepare(ctx context.Context, name string, cfg Config) (*App, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return Prepare(name, cfg)
-}
-
-// prepareOpts is PrepareOpts with a cancellation check.
-func prepareOpts(ctx context.Context, name string, cfg Config, opts ilr.Options) (*App, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return PrepareOpts(name, cfg, opts)
-}
-
-// runMode is App.Run with a cancellation check.
-func runMode(ctx context.Context, app *App, mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
-	if err := ctx.Err(); err != nil {
-		return cpu.Result{}, cpu.Config{}, err
-	}
-	return app.Run(mode, maxInsts, mutate)
-}
+// the next simulation-run boundary. The Sweep methods prepare/prepareOpts/
+// runMode (trace.go) add trace capture/replay on top when the runner
+// carries a trace cache.
 
 // runEmulated is App.RunEmulated with a cancellation check.
 func runEmulated(ctx context.Context, app *App, maxInsts uint64) (emu.RunResult, error) {

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/workloads"
+)
+
+// StatsRow is one (workload, mode) run's complete simulator output: the
+// exact machine configuration that produced it plus the full Result with
+// every cache, DRAM, DRC, and predictor counter. This is the machine-readable
+// counterpart of the experiment tables, meant for downstream analysis
+// (cmd/experiments -stats-json).
+type StatsRow struct {
+	Workload string     `json:"workload"`
+	Mode     string     `json:"mode"`
+	Seed     int64      `json:"seed"`
+	Config   cpu.Config `json:"config"`
+	Result   cpu.Result `json:"result"`
+}
+
+// statsModes is the fixed mode order of a stats sweep.
+var statsModes = [...]cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
+
+// StatsSweep simulates every configured workload (default: the 11 SPEC
+// analogs) under all three architecture modes on the runner's worker pool
+// and returns one row per (workload, mode) in stable (workload, mode) order.
+// Per-workload derived seeds and, when the runner carries a trace cache,
+// record-once/replay-many execution follow the same rules as the table
+// experiments.
+func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]StatsRow, error) {
+	s := r.Sweep(ctx, "stats")
+	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+		func(ctx context.Context, cfg Config, name string) (Cell, error) {
+			app, err := s.prepare(ctx, name, cfg)
+			if err != nil {
+				return Cell{}, err
+			}
+			var rows [][]string
+			for _, mode := range statsModes {
+				res, ccfg, err := s.runMode(ctx, app, mode, cfg.MaxInsts, nil)
+				if err != nil {
+					return Cell{}, err
+				}
+				// Cells carry [][]string rows (and must stay cacheable), so
+				// the structured row travels JSON-encoded in a single column.
+				enc, err := encodeStatsRow(StatsRow{
+					Workload: name,
+					Mode:     mode.String(),
+					Seed:     cfg.Seed,
+					Config:   ccfg,
+					Result:   res,
+				})
+				if err != nil {
+					return Cell{}, err
+				}
+				rows = append(rows, []string{enc})
+			}
+			return Cell{Rows: rows}, nil
+		})
+
+	var out []StatsRow
+	for _, c := range cells {
+		if c.failed() {
+			return nil, fmt.Errorf("harness: stats cell %s: %s", c.Name, c.Err)
+		}
+		for _, row := range c.Rows {
+			sr, err := decodeStatsRow(row[0])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sr)
+		}
+	}
+	return out, nil
+}
+
+func encodeStatsRow(r StatsRow) (string, error) {
+	b, err := json.Marshal(r)
+	return string(b), err
+}
+
+func decodeStatsRow(s string) (StatsRow, error) {
+	var r StatsRow
+	err := json.Unmarshal([]byte(s), &r)
+	return r, err
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+// TestStatsSweep locks the machine-readable sweep's contract: one row per
+// (workload, mode) in stable order, real results inside, and — like the
+// table experiments — identical output with and without the trace cache.
+func TestStatsSweep(t *testing.T) {
+	cfg := tiny("h264ref", "lbm")
+	rows, err := StatsSweep(context.Background(), NewRunner(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 2 workloads x 3 modes = 6", len(rows))
+	}
+	wantOrder := []struct{ w, m string }{
+		{"h264ref", "baseline"}, {"h264ref", "naive-ilr"}, {"h264ref", "vcfr"},
+		{"lbm", "baseline"}, {"lbm", "naive-ilr"}, {"lbm", "vcfr"},
+	}
+	for i, r := range rows {
+		if r.Workload != wantOrder[i].w || r.Mode != wantOrder[i].m {
+			t.Errorf("row %d is %s/%s, want %s/%s", i, r.Workload, r.Mode, wantOrder[i].w, wantOrder[i].m)
+		}
+		if r.Result.Stats.Instructions == 0 || r.Result.Stats.Cycles == 0 {
+			t.Errorf("row %d (%s/%s) has empty stats", i, r.Workload, r.Mode)
+		}
+		if r.Seed == 0 || r.Seed == cfg.Seed {
+			t.Errorf("row %d seed %d not derived per cell", i, r.Seed)
+		}
+	}
+	if rows[0].Config.Mode != cpu.ModeBaseline || rows[2].Config.Mode != cpu.ModeVCFR {
+		t.Error("rows carry the wrong machine configuration")
+	}
+
+	traced, err := StatsSweep(context.Background(), tracedRunner(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, traced) {
+		t.Error("trace-cached stats sweep differs from execute-driven")
+	}
+}

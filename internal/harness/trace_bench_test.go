@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+// benchCfg is the fig13+fig14 DRC-size sweep the acceptance criterion
+// measures: a realistic instruction budget over two workloads.
+func benchCfg() Config {
+	return Config{Workloads: []string{"h264ref", "lbm"}, MaxInsts: 120_000, Scale: 1, Seed: 42, Spread: 8}
+}
+
+// runDRCSweep executes fig13 and fig14 once on r and returns the rendered
+// tables, so both benchmark variants do identical end-to-end work.
+func runDRCSweep(b *testing.B, r *Runner, cfg Config) [2]string {
+	b.Helper()
+	var out [2]string
+	for i, id := range []string{"fig13", "fig14"} {
+		exp, err := ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb, err := exp.Run(r.Sweep(context.Background(), id), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = tb.Render()
+	}
+	return out
+}
+
+// BenchmarkDRCSweep measures the acceptance criterion for the trace
+// subsystem: the fig13+fig14 DRC-size sweep replayed from cached traces must
+// beat the execute-driven sweep by >=2x wall-clock at unchanged output.
+//
+//	go test ./internal/harness -bench DRCSweep -benchtime 3x
+func BenchmarkDRCSweep(b *testing.B) {
+	cfg := benchCfg()
+
+	b.Run("execute", func(b *testing.B) {
+		r := NewRunner(2)
+		want := runDRCSweep(b, r, cfg) // outside the timed region, for the check below
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := runDRCSweep(b, r, cfg); got != want {
+				b.Fatal("execute-driven sweep is not deterministic")
+			}
+		}
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		r := tracedRunner(2)
+		want := runDRCSweep(b, NewRunner(2), cfg)
+		// Warm the cache: the first traced sweep captures, later ones replay.
+		if got := runDRCSweep(b, r, cfg); got != want {
+			b.Fatal("traced sweep output differs from execute-driven")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := runDRCSweep(b, r, cfg); got != want {
+				b.Fatal("replayed sweep output differs from execute-driven")
+			}
+		}
+	})
+}

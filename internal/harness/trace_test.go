@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/trace"
+)
+
+// tracedRunner returns a runner whose cells replay cached traces.
+func tracedRunner(workers int) *Runner {
+	r := NewRunner(workers)
+	r.Traces = trace.NewCache(256 << 20)
+	return r
+}
+
+// TestTracedSweepMatchesExecute locks the harness-level contract: enabling
+// the trace cache changes wall-clock time, never output. The multi-config
+// experiments (fig13: 4 runs/cell, fig14: 3 runs/cell) must render byte-
+// identical tables with and without record-once/replay-many, and the traced
+// runner must actually replay (cache hits > 0).
+func TestTracedSweepMatchesExecute(t *testing.T) {
+	cfg := tiny("h264ref", "lbm")
+	// fig13/fig14 run several timing configs per (app, mode) and must hit the
+	// cache within one sweep; fig12/table1 run each (app, mode) once, so one
+	// pass is all misses — they only check output equality.
+	multiConfig := map[string]bool{"fig13": true, "fig14": true}
+	for _, id := range []string{"fig13", "fig14", "fig12", "table1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := exp.Run(NewRunner(2).Sweep(context.Background(), id), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := tracedRunner(2)
+			traced, err := exp.Run(r.Sweep(context.Background(), id), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := traced.Render(), plain.Render(); got != want {
+				t.Errorf("traced table differs from execute-driven:\n--- traced ---\n%s--- execute ---\n%s", got, want)
+			}
+			hits, misses, _, _ := r.Traces.Stats()
+			if multiConfig[id] && hits == 0 {
+				t.Errorf("trace cache saw no hits (misses=%d): replay path never ran", misses)
+			}
+		})
+	}
+}
+
+// TestTracedSweepDeterministicAcrossWorkers reruns a traced multi-config
+// experiment with 1 and 8 workers: per-cell derived seeds plus bit-identical
+// replay must keep the output byte-stable regardless of scheduling.
+func TestTracedSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := tiny("h264ref", "lbm")
+	exp, err := ByID("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs [2]string
+	for i, workers := range []int{1, 8} {
+		tb, err := exp.Run(tracedRunner(workers).Sweep(context.Background(), "fig13"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = tb.Render()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("traced output depends on worker count:\n--- 1 worker ---\n%s--- 8 workers ---\n%s", outs[0], outs[1])
+	}
+}
+
+// TestTraceKeySeparatesStreams spot-checks the cache key: runs that must not
+// share a functional trace get different keys.
+func TestTraceKeySeparatesStreams(t *testing.T) {
+	cfg := tiny()
+	app, err := Prepare("h264ref", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TraceKey(app, cpu.ModeVCFR, 50_000)
+	if k := TraceKey(app, cpu.ModeBaseline, 50_000); k == base {
+		t.Error("baseline and VCFR share a key")
+	}
+	if k := TraceKey(app, cpu.ModeVCFR, 60_000); k == base {
+		t.Error("different instruction caps share a key")
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	app2, err := Prepare("h264ref", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := TraceKey(app2, cpu.ModeVCFR, 50_000); k == base {
+		t.Error("different layout seeds share a key")
+	}
+	other, err := Prepare("lbm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := TraceKey(other, cpu.ModeVCFR, 50_000); k == base {
+		t.Error("different workloads share a key")
+	}
+}
+
+// TestTracedRunModeFallsBackOnBadTrace poisons the cache with a trace from a
+// different layout and checks the traced runMode recovers by re-executing
+// (and repairs the cache entry) instead of failing the cell.
+func TestTracedRunModeFallsBackOnBadTrace(t *testing.T) {
+	cfg := tiny()
+	app, err := Prepare("h264ref", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Prepare("sjeng", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instCap = 30_000
+	r := tracedRunner(1)
+	s := r.Sweep(context.Background(), "poison")
+
+	// Capture sjeng's trace, then file it under h264ref's key.
+	p, _, err := wrong.Pipeline(cpu.ModeVCFR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTrace, _, err := trace.Capture(p, instCap, trace.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKey(app, cpu.ModeVCFR, instCap)
+	r.Traces.Put(key, badTrace)
+
+	got, _, err := s.runMode(context.Background(), app, cpu.ModeVCFR, instCap, nil)
+	if err != nil {
+		t.Fatalf("poisoned cache failed the run: %v", err)
+	}
+	want, _, err := app.Run(cpu.ModeVCFR, instCap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats {
+		t.Error("fallback run differs from direct execution")
+	}
+	// The poisoned entry must have been replaced by a working capture.
+	if tr, ok := r.Traces.Get(key); !ok || tr == badTrace {
+		t.Error("cache still holds the poisoned trace")
+	}
+}

@@ -1,0 +1,120 @@
+package mem
+
+import "testing"
+
+// small returns a DRAM with a refresh interval far away, so latency tests
+// see pure row-buffer behavior.
+func small() *DRAM {
+	cfg := DefaultDRAMConfig()
+	cfg.RefreshEvery = 1 << 62
+	return NewDRAM(cfg)
+}
+
+func TestDRAMRowHitVsConflictLatency(t *testing.T) {
+	d := small()
+	cfg := d.cfg
+	rowBytes := uint32(cfg.RowBytes)
+	nbanks := uint32(cfg.Ranks * cfg.BanksPerRank)
+
+	// First touch of a bank: closed page, activate + column access.
+	if got, want := d.Access(0, false), cfg.BusAndCtl+cfg.TRCD+cfg.TCAS; got != want {
+		t.Errorf("row miss latency = %d, want %d", got, want)
+	}
+	// Same row again: open-page hit, column access only.
+	if got, want := d.Access(64, false), cfg.BusAndCtl+cfg.TCAS; got != want {
+		t.Errorf("row hit latency = %d, want %d", got, want)
+	}
+	// A different row of the same bank (rows nbanks apart share a bank under
+	// the interleave): precharge + activate + column access.
+	conflict := nbanks * rowBytes
+	if got, want := d.Access(conflict, false), cfg.BusAndCtl+cfg.TRP+cfg.TRCD+cfg.TCAS; got != want {
+		t.Errorf("row conflict latency = %d, want %d", got, want)
+	}
+	// The conflicting row is now the open one.
+	if got, want := d.Access(conflict+64, false), cfg.BusAndCtl+cfg.TCAS; got != want {
+		t.Errorf("post-conflict row hit latency = %d, want %d", got, want)
+	}
+
+	s := d.Stats()
+	if s.Accesses != 4 || s.RowMisses != 1 || s.RowHits != 2 || s.RowConflicts != 1 {
+		t.Errorf("stats = %+v, want accesses=4 misses=1 hits=2 conflicts=1", s)
+	}
+	if s.Refreshes != 0 {
+		t.Errorf("unexpected refreshes: %d", s.Refreshes)
+	}
+	if hr := s.RowHitRate(); hr != 0.5 {
+		t.Errorf("RowHitRate = %v, want 0.5", hr)
+	}
+}
+
+// TestDRAMBankMapping pins the bank-decode function itself (the sweep-level
+// interleaving behavior lives in TestDRAMBankInterleaving): the 16-bank
+// default geometry maps rows less than nbanks apart to distinct banks, and
+// exactly nbanks apart to the same bank.
+func TestDRAMBankMapping(t *testing.T) {
+	d := small()
+	cfg := d.cfg
+	rowBytes := uint32(cfg.RowBytes)
+	nbanks := uint32(cfg.Ranks * cfg.BanksPerRank)
+	if nbanks != 16 {
+		t.Fatalf("default geometry changed: %d banks", nbanks)
+	}
+
+	d.Access(0, false)
+	d.Access((nbanks-1)*rowBytes, false)
+	if s := d.Stats(); s.RowConflicts != 0 {
+		t.Errorf("rows %d apart share a bank: %+v", nbanks-1, s)
+	}
+	d.Access(nbanks*rowBytes, false)
+	if s := d.Stats(); s.RowConflicts != 1 {
+		t.Errorf("rows %d apart did not share a bank: %+v", nbanks, s)
+	}
+}
+
+func TestDRAMRefreshInterference(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	d := NewDRAM(cfg)
+
+	// Hammer one open row: every access after the first is a row hit, except
+	// that each RefreshEvery-th access additionally pays TRFC.
+	d.Access(0, false)
+	hit := cfg.BusAndCtl + cfg.TCAS
+	total := uint64(3 * cfg.RefreshEvery)
+	for i := uint64(2); i <= total; i++ {
+		want := hit
+		if i%cfg.RefreshEvery == 0 {
+			want += cfg.TRFC
+		}
+		if got := d.Access(64, false); got != want {
+			t.Fatalf("access %d: latency %d, want %d", i, got, want)
+		}
+	}
+	s := d.Stats()
+	if s.Refreshes != 3 {
+		t.Errorf("refreshes = %d, want 3 after %d accesses", s.Refreshes, total)
+	}
+	if s.Accesses != total {
+		t.Errorf("accesses = %d, want %d", s.Accesses, total)
+	}
+}
+
+func TestDRAMConfigDefaults(t *testing.T) {
+	// A zero config takes every default; a partial config keeps what it set.
+	d := NewDRAM(DRAMConfig{})
+	if d.cfg != DefaultDRAMConfig() {
+		t.Errorf("zero config: %+v != defaults %+v", d.cfg, DefaultDRAMConfig())
+	}
+	if got, want := len(d.banks), d.cfg.Ranks*d.cfg.BanksPerRank; got != want {
+		t.Errorf("bank count %d, want %d", got, want)
+	}
+	p := NewDRAM(DRAMConfig{Ranks: 1, BanksPerRank: 2, TCAS: 5})
+	if p.cfg.Ranks != 1 || p.cfg.BanksPerRank != 2 || p.cfg.TCAS != 5 {
+		t.Errorf("explicit fields overridden: %+v", p.cfg)
+	}
+	if p.cfg.TRCD != DefaultDRAMConfig().TRCD {
+		t.Errorf("unset field not defaulted: %+v", p.cfg)
+	}
+	if len(p.banks) != 2 {
+		t.Errorf("bank count %d, want 2", len(p.banks))
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+
+	"vcfr/internal/cpu"
+)
+
+// Key identifies one cacheable execution. ImageHash and LayoutSeed pin the
+// executed image and the ILR layout; Mode and MaxInsts pin the functional
+// stream (the stream differs per architecture mode — VCFR's hooks change
+// pushed return addresses — and a trace only replays exactly at its capture
+// cap); Aux folds in everything else that shapes the functional execution
+// (rewriter options, program input), so colliding layouts with, say,
+// different return-address randomization modes never share a trace.
+type Key struct {
+	ImageHash  uint64
+	LayoutSeed int64
+	Mode       cpu.Mode
+	MaxInsts   uint64
+	Aux        uint64
+}
+
+// Cache is a bounded, concurrency-safe LRU of captured traces, keyed by
+// (image hash, layout seed) plus the stream-shaping fields above. Capacity
+// is accounted in bytes (SizeBytes per trace); inserting past the bound
+// evicts least-recently-used entries. A single trace larger than the whole
+// bound is not admitted.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	size    int64
+	order   *list.List // front = most recently used; values are *centry
+	entries map[Key]*list.Element
+
+	hits, misses uint64
+}
+
+type centry struct {
+	key Key
+	t   *Trace
+}
+
+// NewCache returns a cache bounded to maxBytes of trace data. maxBytes <= 0
+// returns a cache that admits nothing (every Get misses), which callers can
+// use as an "off" value without nil checks.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{cap: maxBytes, order: list.New(), entries: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached trace for k, marking it most recently used.
+func (c *Cache) Get(k Key) (*Trace, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*centry).t, true
+}
+
+// Put inserts t under k, evicting least-recently-used traces as needed to
+// stay within the byte bound.
+func (c *Cache) Put(k Key, t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	sz := t.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sz > c.cap {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		c.size += sz - el.Value.(*centry).t.SizeBytes()
+		el.Value.(*centry).t = t
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[k] = c.order.PushFront(&centry{key: k, t: t})
+		c.size += sz
+	}
+	for c.size > c.cap {
+		el := c.order.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*centry)
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.size -= e.t.SizeBytes()
+	}
+}
+
+// Drop removes k from the cache (used when a cached trace proves stale —
+// e.g. a replay diverges — so the caller can fall back to execution and
+// re-capture).
+func (c *Cache) Drop(k Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.Remove(el)
+		delete(c.entries, k)
+		c.size -= el.Value.(*centry).t.SizeBytes()
+	}
+}
+
+// Stats reports cache effectiveness counters and current occupancy.
+func (c *Cache) Stats() (hits, misses uint64, bytes int64, entries int) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.size, len(c.entries)
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/isa"
+)
+
+// On-disk layout (all integers varint-encoded unless noted; see
+// docs/ARCHITECTURE.md "Trace format"):
+//
+//	magic "VXTR" | version byte | header | inst table | records | crc32
+//
+// The CRC-32 (IEEE, little-endian, 4 bytes) covers everything before it,
+// magic and version included, so header corruption and truncation are both
+// caught before any field is trusted.
+
+const (
+	magic   = "VXTR"
+	version = 1
+)
+
+// ErrCorrupt reports a trace file that failed structural validation: bad
+// magic, unsupported version, checksum mismatch, truncation, or a malformed
+// field. Load never panics on hostile input; it returns an error wrapping
+// ErrCorrupt instead.
+var ErrCorrupt = errors.New("trace: corrupt trace file")
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+// memKind narrows a flags field to emu.MemKind.
+func memKind(v byte) emu.MemKind { return emu.MemKind(v) }
+
+// varint/uvarint decode from the iterator's record stream.
+
+func (it *Iter) varint() (int64, bool) {
+	v, n := binary.Varint(it.t.recs[it.pos:])
+	if n <= 0 {
+		return 0, false
+	}
+	it.pos += n
+	return v, true
+}
+
+func (it *Iter) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(it.t.recs[it.pos:])
+	if n <= 0 {
+		return 0, false
+	}
+	it.pos += n
+	return v, true
+}
+
+// Bytes encodes the trace into its canonical byte form. The encoder is
+// canonical: Decode(t.Bytes()) followed by Bytes() reproduces the same bytes,
+// so encode→decode→encode is a fixed point.
+func (t *Trace) Bytes() []byte {
+	b := make([]byte, 0, 64+len(t.Out)+len(t.Insts)*8+len(t.recs))
+	b = append(b, magic...)
+	b = append(b, version)
+
+	// Header.
+	b = appendUvarint(b, uint64(len(t.Meta.Workload)))
+	b = append(b, t.Meta.Workload...)
+	b = append(b, byte(t.Meta.Mode))
+	b = appendVarint(b, t.Meta.LayoutSeed)
+	b = appendUvarint(b, uint64(t.Meta.Spread))
+	b = appendUvarint(b, uint64(t.Meta.Scale))
+	b = appendUvarint(b, t.Meta.MaxInsts)
+	b = binary.LittleEndian.AppendUint64(b, t.Meta.ImageHash)
+	if t.Halted {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendUvarint(b, uint64(t.ExitCode))
+	b = appendUvarint(b, uint64(len(t.Out)))
+	b = append(b, t.Out...)
+
+	// Instruction table, in first-use order; Addr is delta-encoded against
+	// the previous entry.
+	b = appendUvarint(b, uint64(len(t.Insts)))
+	var prevAddr uint32
+	for _, in := range t.Insts {
+		b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt))
+		b = appendVarint(b, int64(in.Imm))
+		b = appendUvarint(b, uint64(in.Target))
+		b = appendVarint(b, int64(int32(in.Addr-prevAddr)))
+		prevAddr = in.Addr
+	}
+
+	// Records.
+	b = appendUvarint(b, uint64(t.n))
+	b = appendUvarint(b, uint64(len(t.recs)))
+	b = append(b, t.recs...)
+
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// Save writes the encoded trace to w.
+func (t *Trace) Save(w io.Writer) error {
+	_, err := w.Write(t.Bytes())
+	return err
+}
+
+// SaveFile writes the encoded trace to path.
+func (t *Trace) SaveFile(path string) error {
+	return os.WriteFile(path, t.Bytes(), 0o644)
+}
+
+// Load reads and decodes one trace from r, validating magic, version,
+// checksum, and the full record stream. It returns an error (wrapping
+// ErrCorrupt for structural damage) and never panics, whatever the input.
+func Load(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// LoadFile reads and decodes the trace at path.
+func LoadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Decode decodes one trace from its canonical byte form.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the smallest trace", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
+	}
+	if v := data[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, version)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorrupt, sum, got)
+	}
+
+	d := &decoder{data: body, pos: len(magic) + 1}
+	t := &Trace{}
+	t.Meta.Workload = string(d.bytes(int(d.uvarint())))
+	t.Meta.Mode = cpu.Mode(d.byte())
+	t.Meta.LayoutSeed = d.varint()
+	t.Meta.Spread = int(d.uvarint())
+	t.Meta.Scale = int(d.uvarint())
+	t.Meta.MaxInsts = d.uvarint()
+	t.Meta.ImageHash = d.uint64()
+	t.Halted = d.byte() != 0
+	t.ExitCode = uint32(d.uvarint())
+	t.Out = append([]byte(nil), d.bytes(int(d.uvarint()))...)
+
+	nInsts := int(d.uvarint())
+	if d.err == nil && (nInsts < 0 || nInsts > d.remaining()) {
+		d.fail("instruction table count %d exceeds file size", nInsts)
+	}
+	var prevAddr uint32
+	for i := 0; i < nInsts && d.err == nil; i++ {
+		var in isa.Inst
+		in.Op = isa.Op(d.byte())
+		in.Rd = isa.Reg(d.byte())
+		in.Rs = isa.Reg(d.byte())
+		in.Rt = isa.Reg(d.byte())
+		in.Imm = int32(d.varint())
+		in.Target = uint32(d.uvarint())
+		in.Addr = prevAddr + uint32(int32(d.varint()))
+		prevAddr = in.Addr
+		t.Insts = append(t.Insts, in)
+	}
+
+	t.n = int(d.uvarint())
+	nRecs := int(d.uvarint())
+	if d.err == nil && (t.n < 0 || nRecs < 0 || nRecs != d.remaining()) {
+		d.fail("record stream length %d does not match remaining %d bytes", nRecs, d.remaining())
+	}
+	t.recs = append([]byte(nil), d.bytes(nRecs)...)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := t.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+// decoder reads the payload sequentially, latching the first error so
+// callers can decode a whole section and check once.
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.data) {
+		d.fail("truncated at byte %d", d.pos)
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.remaining() {
+		d.fail("field of %d bytes truncated at byte %d", n, d.pos)
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint at byte %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint at byte %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.bytes(8)
+	if len(b) != 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

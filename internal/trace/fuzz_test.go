@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+// FuzzDecode throws arbitrary bytes at the codec. Two properties must hold
+// for every input: Decode never panics (corruption is always an error), and
+// any input it does accept re-encodes canonically — encode→decode→encode is
+// byte-identical.
+func FuzzDecode(f *testing.F) {
+	good := synthetic().Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("VXTR"))
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	// An empty-but-valid trace.
+	f.Add(NewBuilder(Meta{}).Finish(cpu.Result{}).Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc1 := tr.Bytes()
+		tr2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted trace failed: %v", err)
+		}
+		if enc2 := tr2.Bytes(); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode→decode→encode not byte-identical: %d vs %d bytes", len(enc1), len(enc2))
+		}
+		// The record stream of an accepted trace must fully iterate.
+		n := 0
+		it := tr.Iter()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != tr.Len() {
+			t.Fatalf("iterated %d records, header says %d", n, tr.Len())
+		}
+	})
+}

@@ -1,0 +1,310 @@
+// Package trace captures the canonical dynamic execution of a (workload, ILR
+// layout) pair and replays it through the cycle-level pipeline.
+//
+// A trace records, per executed instruction, exactly what the timing model
+// consumes from the functional execute stage (see cpu.ExecRecord): the
+// decoded instruction with its original-space PC, the control-transfer
+// outcome with its architectural (possibly randomized-space) target, the
+// data-memory access, and the VCFR auto-de-randomization count. Because the
+// functional execution of a fixed (workload, layout, mode, instruction cap)
+// is invariant under every timing knob — DRC geometry, issue width,
+// context-switch interval, prediction space — one captured trace drives any
+// number of timing configurations, and each replay reproduces the
+// execute-driven Result bit for bit.
+//
+// On disk a trace is a compact versioned binary: a header, a table of unique
+// decoded instructions, and a delta/varint-packed record stream, protected
+// end to end by a CRC-32 (see codec.go and docs/ARCHITECTURE.md for the
+// byte-level format).
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/isa"
+)
+
+// Meta identifies what a trace captured: the workload, the ILR layout it was
+// randomized with, the architecture mode it executed under, and the
+// instruction cap of the capture run. A replay is only meaningful against
+// the same five-tuple; ImageHash lets consumers verify they rebuilt the same
+// executed image.
+type Meta struct {
+	Workload   string
+	Mode       cpu.Mode
+	LayoutSeed int64
+	Spread     int
+	Scale      int
+	MaxInsts   uint64
+	ImageHash  uint64
+}
+
+// Trace is one captured execution. Insts is the table of unique decoded
+// instructions (keyed by full content, so self-modifying images stay
+// faithful); the packed record stream references them by index.
+type Trace struct {
+	Meta     Meta
+	Halted   bool   // the capture run halted (vs hitting the instruction cap)
+	ExitCode uint32 // program exit code at capture end
+	Out      []byte // program output at capture end
+
+	Insts []isa.Inst
+	n     int    // record count
+	recs  []byte // delta/varint-packed record stream
+
+	matOnce sync.Once
+	mat     []cpu.ExecRecord // materialized records, built on first replay
+}
+
+// Len returns the number of recorded instructions.
+func (t *Trace) Len() int { return t.n }
+
+// SizeBytes approximates the trace's in-memory footprint, used by the
+// bounded Cache for eviction accounting. A cached trace exists to be
+// replayed, and the first replay materializes the record stream into a flat
+// slice (see records), so that slice is charged up front.
+func (t *Trace) SizeBytes() int64 {
+	const instSize = 24 // isa.Inst: packed field sizes, rounded up
+	const recSize = 48  // cpu.ExecRecord, rounded up
+	return int64(len(t.recs)) + int64(t.n)*recSize +
+		int64(len(t.Insts))*instSize + int64(len(t.Out)) + 128
+}
+
+// records returns the trace's record stream as a flat slice, decoding the
+// packed form exactly once. Safe for concurrent replays of a shared trace;
+// callers must not mutate the result.
+func (t *Trace) records() []cpu.ExecRecord {
+	t.matOnce.Do(func() {
+		out := make([]cpu.ExecRecord, 0, t.n)
+		it := t.Iter()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		t.mat = out
+	})
+	return t.mat
+}
+
+// Builder accumulates ExecRecords into a Trace during a capture run.
+type Builder struct {
+	t       *Trace
+	idx     map[isa.Inst]int
+	prevIdx int
+	prevMem uint32
+	prevTgt uint32
+}
+
+// NewBuilder returns a builder for one capture run.
+func NewBuilder(meta Meta) *Builder {
+	return &Builder{
+		t:       &Trace{Meta: meta},
+		idx:     make(map[isa.Inst]int),
+		prevIdx: -1,
+	}
+}
+
+// Record flag bits (one flags byte per packed record).
+const (
+	recMemKindMask = 0x03 // bits 0-1: emu.MemKind
+	recTaken       = 1 << 2
+	recHalt        = 1 << 3
+	recDerands     = 1 << 4 // Derands > 0; count follows as uvarint
+	recSeqInst     = 1 << 5 // instruction index == previous index + 1
+)
+
+// Add appends one executed instruction's record. It is shaped to be passed
+// directly to cpu.Pipeline.SetRecorder.
+func (b *Builder) Add(r cpu.ExecRecord) {
+	t := b.t
+	i, ok := b.idx[r.Inst]
+	if !ok {
+		i = len(t.Insts)
+		b.idx[r.Inst] = i
+		t.Insts = append(t.Insts, r.Inst)
+	}
+
+	flags := byte(r.MemKind) & recMemKindMask
+	if r.Taken {
+		flags |= recTaken
+	}
+	if r.Halt {
+		flags |= recHalt
+	}
+	if r.Derands > 0 {
+		flags |= recDerands
+	}
+	if i == b.prevIdx+1 {
+		flags |= recSeqInst
+	}
+	t.recs = append(t.recs, flags)
+	if flags&recSeqInst == 0 {
+		t.recs = appendVarint(t.recs, int64(i)-int64(b.prevIdx))
+	}
+	b.prevIdx = i
+	if r.MemKind != 0 {
+		t.recs = appendVarint(t.recs, int64(int32(r.MemAddr-b.prevMem)))
+		b.prevMem = r.MemAddr
+	}
+	if r.Taken {
+		t.recs = appendVarint(t.recs, int64(int32(r.Target-b.prevTgt)))
+		b.prevTgt = r.Target
+	}
+	if r.Derands > 0 {
+		t.recs = appendUvarint(t.recs, uint64(r.Derands))
+	}
+	t.n++
+}
+
+// Finish seals the trace with the capture run's terminal program state.
+func (b *Builder) Finish(res cpu.Result) *Trace {
+	t := b.t
+	t.Halted = res.Halted
+	t.ExitCode = res.ExitCode
+	t.Out = append([]byte(nil), res.Out...)
+	return t
+}
+
+// Iter walks a trace's packed records in execution order.
+type Iter struct {
+	t       *Trace
+	pos     int
+	prevIdx int
+	prevMem uint32
+	prevTgt uint32
+}
+
+// Iter returns an iterator positioned at the first record.
+func (t *Trace) Iter() *Iter { return &Iter{t: t, prevIdx: -1} }
+
+// Next decodes the next record. ok=false at the end of the trace or on a
+// malformed stream (Load validates the stream, so a loaded trace never hits
+// the malformed case).
+func (it *Iter) Next() (cpu.ExecRecord, bool) {
+	t := it.t
+	if it.pos >= len(t.recs) {
+		return cpu.ExecRecord{}, false
+	}
+	flags := t.recs[it.pos]
+	it.pos++
+
+	idx := it.prevIdx + 1
+	if flags&recSeqInst == 0 {
+		d, ok := it.varint()
+		if !ok {
+			return cpu.ExecRecord{}, false
+		}
+		idx = it.prevIdx + int(d)
+	}
+	if idx < 0 || idx >= len(t.Insts) {
+		return cpu.ExecRecord{}, false
+	}
+	it.prevIdx = idx
+
+	r := cpu.ExecRecord{
+		Inst:  t.Insts[idx],
+		Taken: flags&recTaken != 0,
+		Halt:  flags&recHalt != 0,
+	}
+	if flags&recMemKindMask > 2 {
+		return cpu.ExecRecord{}, false // no such emu.MemKind
+	}
+	r.MemKind = memKind(flags & recMemKindMask)
+	if r.MemKind != 0 {
+		d, ok := it.varint()
+		if !ok {
+			return cpu.ExecRecord{}, false
+		}
+		it.prevMem += uint32(int32(d))
+		r.MemAddr = it.prevMem
+	}
+	if r.Taken {
+		d, ok := it.varint()
+		if !ok {
+			return cpu.ExecRecord{}, false
+		}
+		it.prevTgt += uint32(int32(d))
+		r.Target = it.prevTgt
+	}
+	if flags&recDerands != 0 {
+		v, ok := it.uvarint()
+		if !ok || v == 0 {
+			return cpu.ExecRecord{}, false
+		}
+		r.Derands = int(v)
+	}
+	return r, true
+}
+
+// validate walks every record once, proving the packed stream is
+// well-formed: each record decodes, indices stay in the instruction table,
+// and the stream ends exactly at the declared count.
+func (t *Trace) validate() error {
+	it := t.Iter()
+	for i := 0; i < t.n; i++ {
+		if _, ok := it.Next(); !ok {
+			return fmt.Errorf("trace: malformed record %d of %d", i, t.n)
+		}
+	}
+	if it.pos != len(t.recs) {
+		return fmt.Errorf("trace: %d trailing record bytes after %d records", len(t.recs)-it.pos, t.n)
+	}
+	return nil
+}
+
+// Replayer adapts a Trace to cpu.ReplaySource. It walks the materialized
+// record slice, so replay pays no per-record varint decoding.
+type Replayer struct {
+	t    *Trace
+	recs []cpu.ExecRecord
+	pos  int
+}
+
+// NewReplayer returns a replay source positioned at the trace's start.
+func NewReplayer(t *Trace) *Replayer { return &Replayer{t: t, recs: t.records()} }
+
+// Next implements cpu.ReplaySource.
+func (r *Replayer) Next() (cpu.ExecRecord, bool) {
+	if r.pos >= len(r.recs) {
+		return cpu.ExecRecord{}, false
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, true
+}
+
+// Records exposes the materialized slice, enabling the pipeline's zero-copy
+// replay fast path (see cpu.Pipeline.SetReplay). Callers must not mutate it.
+func (r *Replayer) Records() []cpu.ExecRecord { return r.recs }
+
+// Final implements cpu.ReplaySource. The output is copied so concurrent
+// replays of one cached trace never share the slice.
+func (r *Replayer) Final() ([]byte, uint32) {
+	return append([]byte(nil), r.t.Out...), r.t.ExitCode
+}
+
+// Capture runs p for up to maxInsts instructions with a recorder attached
+// and returns the sealed trace alongside the run's own Result.
+func Capture(p *cpu.Pipeline, maxInsts uint64, meta Meta) (*Trace, cpu.Result, error) {
+	b := NewBuilder(meta)
+	p.SetRecorder(b.Add)
+	res, err := p.Run(maxInsts)
+	p.SetRecorder(nil)
+	if err != nil {
+		return nil, res, err
+	}
+	return b.Finish(res), res, nil
+}
+
+// Replay drives p from t and returns the replayed Result. With maxInsts
+// matching the capture run's cap, the Result is bit-identical to the
+// execute-driven one.
+func Replay(t *Trace, p *cpu.Pipeline, maxInsts uint64) (cpu.Result, error) {
+	p.SetReplay(NewReplayer(t))
+	return p.Run(maxInsts)
+}
