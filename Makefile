@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments results examples vet fmt fmtcheck cover race check trace
+.PHONY: all build test test-short bench experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke
 
 all: build test
 
@@ -16,9 +16,10 @@ test-short:
 	$(GO) test -short ./...
 
 # The concurrency-heavy packages under the race detector: the parallel
-# experiment runner, the pipeline it drives, and the shared trace cache.
+# experiment runner, the pipeline it drives, the shared trace cache, the
+# versioned wire format, and the vcfrd job queue / worker pool.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace ./internal/results ./internal/server
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -56,6 +57,15 @@ trace:
 	$(GO) run ./cmd/vxtrace info /tmp/h264ref.vxt
 	$(GO) run ./cmd/vxtrace replay /tmp/h264ref.vxt
 	$(GO) run ./cmd/vxtrace replay -drc 64 /tmp/h264ref.vxt
+
+# Run the simulation service in the foreground (SIGINT/SIGTERM drain).
+serve:
+	$(GO) run ./cmd/vcfrd
+
+# Boot vcfrd, exercise every endpoint, prove simulate output is
+# byte-identical to vcfrsim -stats-json, and drain on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

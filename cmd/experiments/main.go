@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vcfr/internal/harness"
+	"vcfr/internal/results"
 	"vcfr/internal/trace"
 )
 
@@ -104,9 +105,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+		// One schema across every entry point: the sweep rides the same
+		// versioned envelope the vcfrd service and vcfrsim emit. A partial
+		// sweep (cancelled, or cells failed) still prints every finished
+		// row, then exits non-zero so scripts notice.
+		env := results.NewSweep(rows)
+		if err := results.Write(os.Stdout, env); err != nil {
+			return err
+		}
+		if env.Sweep.Partial {
+			return fmt.Errorf("stats sweep incomplete: some cells failed or were cancelled")
+		}
+		return nil
 	}
 
 	start := time.Now()

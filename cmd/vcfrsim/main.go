@@ -11,24 +11,30 @@
 //	vcfrsim -workload lbm -mode all -stats-json
 //
 // It prints IPC, the stall breakdown, cache statistics, and (under VCFR)
-// DRC statistics and the dynamic-power breakdown.
+// DRC statistics and the dynamic-power breakdown. With -stats-json the full
+// per-mode Results are emitted as one versioned results.Envelope — the same
+// schema, and for workload runs the same bytes, that the vcfrd service
+// returns from POST /v1/simulate.
 package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"vcfr/internal/core"
 	"vcfr/internal/cpu"
+	"vcfr/internal/harness"
 	"vcfr/internal/ilr"
 	"vcfr/internal/power"
+	"vcfr/internal/results"
 	"vcfr/internal/trace"
 	"vcfr/internal/workloads"
 )
@@ -56,7 +62,7 @@ func run() error {
 		ctxEvery = flag.Uint64("ctxswitch", 0, "flush process-private state every N instructions")
 		record   = flag.String("record", "", "capture the run into a trace file (single mode only)")
 		replayF  = flag.String("replay", "", "replay a trace file through the configured machine (mode taken from the trace)")
-		jsonOut  = flag.Bool("stats-json", false, "emit the full Result as JSON instead of the text report")
+		jsonOut  = flag.Bool("stats-json", false, "emit a versioned results.Envelope as JSON instead of the text report")
 	)
 	flag.Parse()
 
@@ -71,8 +77,40 @@ func run() error {
 		return nil
 	}
 
+	modes, err := parseModes(*mode)
+	if err != nil {
+		return err
+	}
+	mutate := func(c *cpu.Config) {
+		c.DRCEntries = *drc
+		c.IssueWidth = *width
+		c.ContextSwitchEvery = *ctxEvery
+	}
+	ccfgOf := func(m cpu.Mode) cpu.Config {
+		c := cpu.DefaultConfig(m)
+		mutate(&c)
+		return c
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The canonical JSON path: a plain workload simulation goes through the
+	// exact entry point the vcfrd service uses (harness.SimulateRuns +
+	// results.Marshal), so `vcfrsim -workload W -stats-json` and
+	// `POST /v1/simulate {"workload": "W", ...}` produce identical bytes.
+	if *jsonOut && *workload != "" && *bundle == "" && *record == "" && *replayF == "" && flag.NArg() == 0 {
+		cfg := harness.Config{Scale: *scale, MaxInsts: *maxInsts, Seed: *seed, Spread: *spread}
+		rows, err := harness.SimulateRuns(ctx, harness.NewRunner(1), *workload, modes, cfg, mutate)
+		if err != nil {
+			return err
+		}
+		return results.Write(os.Stdout, results.NewRun(rows...))
+	}
+
 	var sys *core.System
 	var input []byte
+	name := *workload
 	switch {
 	case *bundle != "":
 		data, err := os.ReadFile(*bundle)
@@ -84,6 +122,7 @@ func run() error {
 			return err
 		}
 		sys = core.FromRewrite(res)
+		name = res.Orig.Name
 	case *workload != "":
 		w, err := workloads.ByName(*workload, *scale)
 		if err != nil {
@@ -99,7 +138,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		name := strings.TrimSuffix(filepath.Base(flag.Arg(0)), filepath.Ext(flag.Arg(0)))
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), filepath.Ext(flag.Arg(0)))
 		sys, err = core.NewSystemFromSource(name, string(src), core.Options{Seed: *seed, Spread: *spread})
 		if err != nil {
 			return err
@@ -109,21 +148,28 @@ func run() error {
 	}
 	_ = input // workload inputs are empty today; kept for interface symmetry
 
-	modes, err := parseModes(*mode)
-	if err != nil {
-		return err
-	}
-	mutate := func(c *cpu.Config) {
-		c.DRCEntries = *drc
-		c.IssueWidth = *width
-		c.ContextSwitchEvery = *ctxEvery
-	}
+	// With -stats-json, every remaining path accumulates envelope rows and
+	// emits one results.Envelope at the end instead of text reports.
+	var jsonRows []results.Run
 	emit := func(w io.Writer, m cpu.Mode, res cpu.Result) error {
 		if *jsonOut {
-			return writeJSONResult(w, m, res)
+			jsonRows = append(jsonRows, results.Run{
+				Workload: name,
+				Mode:     m.String(),
+				Seed:     *seed,
+				Config:   ccfgOf(m),
+				Result:   res,
+			})
+			return nil
 		}
 		report(w, m, res, *drc)
 		return nil
+	}
+	finish := func() error {
+		if !*jsonOut {
+			return nil
+		}
+		return results.Write(os.Stdout, results.NewRun(jsonRows...))
 	}
 
 	// -replay drives the configured machine from a recorded trace instead of
@@ -144,11 +190,14 @@ func run() error {
 		if *maxInsts > 0 {
 			instCap = *maxInsts
 		}
-		res, err := trace.Replay(tr, p, instCap)
+		res, err := trace.ReplayContext(ctx, tr, p, instCap)
 		if err != nil {
 			return err
 		}
-		return emit(os.Stdout, m, res)
+		if err := emit(os.Stdout, m, res); err != nil {
+			return err
+		}
+		return finish()
 	}
 
 	// -record captures the run into a trace file alongside the normal report.
@@ -161,7 +210,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		tr, res, err := trace.Capture(p, *maxInsts, trace.Meta{
+		tr, res, err := trace.CaptureContext(ctx, p, *maxInsts, trace.Meta{
 			Workload: *workload, Mode: m, LayoutSeed: *seed, Spread: *spread,
 			Scale: *scale, MaxInsts: *maxInsts,
 		})
@@ -172,14 +221,18 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "vcfrsim: recorded %d instructions to %s\n", tr.Len(), *record)
-		return emit(os.Stdout, m, res)
+		if err := emit(os.Stdout, m, res); err != nil {
+			return err
+		}
+		return finish()
 	}
 
 	// -mode all simulates the three architectures concurrently; each mode's
 	// report is buffered and printed in mode order, so the output is
 	// identical to a sequential run. Tracing interleaves prints with
-	// execution, so it forces the sequential path.
-	if *traceN > 0 || len(modes) == 1 {
+	// execution, and -stats-json accumulates ordered envelope rows, so both
+	// force the sequential path.
+	if *traceN > 0 || *jsonOut || len(modes) == 1 {
 		for _, m := range modes {
 			res, err := simulate(sys, m, mutate, *maxInsts, *traceN)
 			if err != nil {
@@ -189,7 +242,7 @@ func run() error {
 				return err
 			}
 		}
-		return nil
+		return finish()
 	}
 	var (
 		wg   sync.WaitGroup
@@ -238,16 +291,6 @@ func simulate(sys *core.System, m cpu.Mode, mutate func(*cpu.Config), maxInsts, 
 		}
 	})
 	return p.Run(maxInsts)
-}
-
-// writeJSONResult emits one mode's full Result as an indented JSON object.
-func writeJSONResult(w io.Writer, mode cpu.Mode, res cpu.Result) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Mode   string     `json:"mode"`
-		Result cpu.Result `json:"result"`
-	}{mode.String(), res})
 }
 
 func parseModes(s string) ([]cpu.Mode, error) {

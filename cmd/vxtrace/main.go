@@ -22,6 +22,7 @@ import (
 
 	"vcfr/internal/cpu"
 	"vcfr/internal/harness"
+	"vcfr/internal/results"
 	"vcfr/internal/trace"
 )
 
@@ -115,11 +116,12 @@ func record(args []string) error {
 
 func info(args []string) error {
 	fs := flag.NewFlagSet("vxtrace info", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit a versioned results.Envelope instead of the text report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: vxtrace info FILE")
+		return fmt.Errorf("usage: vxtrace info [-json] FILE")
 	}
 	path := fs.Arg(0)
 	tr, err := trace.LoadFile(path)
@@ -131,6 +133,23 @@ func info(args []string) error {
 		return err
 	}
 	m := tr.Meta
+	if *jsonOut {
+		return results.Write(os.Stdout, results.NewTrace(results.Trace{
+			Workload:     m.Workload,
+			Mode:         m.Mode.String(),
+			LayoutSeed:   m.LayoutSeed,
+			Spread:       m.Spread,
+			Scale:        m.Scale,
+			ImageHash:    fmt.Sprintf("%#016x", m.ImageHash),
+			MaxInsts:     m.MaxInsts,
+			Records:      tr.Len(),
+			UniqueInsts:  len(tr.Insts),
+			Halted:       tr.Halted,
+			ExitCode:     tr.ExitCode,
+			OutputBytes:  len(tr.Out),
+			EncodedBytes: st.Size(),
+		}))
+	}
 	fmt.Printf("workload      %s\n", m.Workload)
 	fmt.Printf("mode          %s\n", m.Mode)
 	fmt.Printf("layout        seed=%d spread=%d scale=%d\n", m.LayoutSeed, m.Spread, m.Scale)

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -849,10 +850,31 @@ func (p *Pipeline) redirect(in isa.Inst, out emu.Outcome, overlap int) (uint64, 
 // Run executes up to maxInsts instructions (0 means emu.DefaultMaxSteps) and
 // returns the collected result.
 func (p *Pipeline) Run(maxInsts uint64) (Result, error) {
+	return p.RunContext(context.Background(), maxInsts)
+}
+
+// cancelCheckEvery is how many instructions RunContext executes between
+// cancellation checks: frequent enough that a timed-out or abandoned run
+// stops within microseconds of wall clock, rare enough that the check is
+// invisible in the hot loop.
+const cancelCheckEvery = 4096
+
+// RunContext is Run with real mid-run cancellation: the context is polled
+// every cancelCheckEvery instructions, so a cancelled or deadline-expired
+// run stops promptly instead of executing to its instruction cap. The
+// partial Result collected so far is returned alongside ctx's error.
+func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 	if maxInsts == 0 {
 		maxInsts = emu.DefaultMaxSteps
 	}
+	next := p.stats.Instructions + cancelCheckEvery
 	for p.stats.Instructions < maxInsts {
+		if p.stats.Instructions >= next {
+			next = p.stats.Instructions + cancelCheckEvery
+			if err := ctx.Err(); err != nil {
+				return p.result(), err
+			}
+		}
 		running, err := p.Step()
 		if err != nil {
 			return p.result(), err

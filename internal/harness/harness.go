@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -139,11 +140,18 @@ func (a *App) Pipeline(mode cpu.Mode, mutate func(*cpu.Config)) (*cpu.Pipeline, 
 // Run simulates the app in the given mode. mutate, if non-nil, adjusts the
 // default machine configuration (DRC size, ablation switches, ...).
 func (a *App) Run(mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
+	return a.RunContext(context.Background(), mode, maxInsts, mutate)
+}
+
+// RunContext is Run with mid-run cancellation: a cancelled or deadline-
+// expired context stops the simulation within a few thousand instructions
+// (see cpu.Pipeline.RunContext) instead of running to the instruction cap.
+func (a *App) RunContext(ctx context.Context, mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
 	p, ccfg, err := a.Pipeline(mode, mutate)
 	if err != nil {
 		return cpu.Result{}, ccfg, err
 	}
-	res, err := p.Run(maxInsts)
+	res, err := p.RunContext(ctx, maxInsts)
 	if err != nil {
 		return res, ccfg, fmt.Errorf("harness: %s under %v: %w", a.W.Name, mode, err)
 	}

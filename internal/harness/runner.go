@@ -25,10 +25,15 @@ type Runner struct {
 	// Workers bounds the number of concurrently executing cells across
 	// every experiment this runner is driving. <= 0 means GOMAXPROCS.
 	Workers int
-	// CellTimeout caps one cell's wall-clock time; 0 means no limit. The
-	// timeout is enforced cooperatively at simulation-run granularity, so
-	// a timed-out cell stops at the next run boundary and surfaces as an
-	// error row.
+	// CellTimeout caps one cell's wall-clock time; 0 means no limit. A
+	// timed-out cell is cancelled mid-run (see cpu.Pipeline.RunContext)
+	// and surfaces as an error row while the rest of the sweep completes.
+	//
+	// Deprecated: field-based timeouts predate context plumbing. New
+	// callers should bound the context they pass to Run/RunAll/StatsSweep
+	// (context.WithTimeout / WithDeadline) instead; CellTimeout remains as
+	// a per-cell refinement of that budget and is honored as a derived
+	// per-cell context.WithTimeout.
 	CellTimeout time.Duration
 	// Cache, if non-nil, memoizes finished cells keyed by (experiment,
 	// cell, derived seed, config); see Cache for the disk-backed variant.

@@ -3,24 +3,21 @@ package harness
 import (
 	"context"
 	"encoding/json"
-	"fmt"
+	"strings"
 
 	"vcfr/internal/cpu"
+	"vcfr/internal/results"
 	"vcfr/internal/workloads"
 )
 
 // StatsRow is one (workload, mode) run's complete simulator output: the
 // exact machine configuration that produced it plus the full Result with
-// every cache, DRAM, DRC, and predictor counter. This is the machine-readable
-// counterpart of the experiment tables, meant for downstream analysis
-// (cmd/experiments -stats-json).
-type StatsRow struct {
-	Workload string     `json:"workload"`
-	Mode     string     `json:"mode"`
-	Seed     int64      `json:"seed"`
-	Config   cpu.Config `json:"config"`
-	Result   cpu.Result `json:"result"`
-}
+// every cache, DRAM, DRC, and predictor counter.
+//
+// Deprecated: StatsRow is the versioned wire type results.Run; use that
+// package directly. The alias remains so pre-redesign callers keep
+// compiling.
+type StatsRow = results.Run
 
 // statsModes is the fixed mode order of a stats sweep.
 var statsModes = [...]cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
@@ -31,8 +28,15 @@ var statsModes = [...]cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
 // Per-workload derived seeds and, when the runner carries a trace cache,
 // record-once/replay-many execution follow the same rules as the table
 // experiments.
-func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]StatsRow, error) {
+//
+// A failed or cancelled cell does not discard the sweep: its workload
+// contributes a single error row (Mode empty, Error set) and every cell
+// that did finish is returned intact. Callers that need all-or-nothing
+// semantics can check results.Run.Failed on each row, or wrap the rows with
+// results.NewSweep, which derives the Partial flag.
+func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]results.Run, error) {
 	s := r.Sweep(ctx, "stats")
+	cfg = cfg.withDefaults()
 	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
 			app, err := s.prepare(ctx, name, cfg)
@@ -47,7 +51,7 @@ func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]StatsRow, error) 
 				}
 				// Cells carry [][]string rows (and must stay cacheable), so
 				// the structured row travels JSON-encoded in a single column.
-				enc, err := encodeStatsRow(StatsRow{
+				enc, err := encodeStatsRow(results.Run{
 					Workload: name,
 					Mode:     mode.String(),
 					Seed:     cfg.Seed,
@@ -62,15 +66,20 @@ func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]StatsRow, error) 
 			return Cell{Rows: rows}, nil
 		})
 
-	var out []StatsRow
+	var out []results.Run
 	for _, c := range cells {
 		if c.failed() {
-			return nil, fmt.Errorf("harness: stats cell %s: %s", c.Name, c.Err)
+			out = append(out, results.Run{
+				Workload: c.Name,
+				Seed:     CellSeed(cfg.Seed, s.exp, c.Name),
+				Error:    firstLine(c.Err),
+			})
+			continue
 		}
 		for _, row := range c.Rows {
 			sr, err := decodeStatsRow(row[0])
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			out = append(out, sr)
 		}
@@ -78,13 +87,57 @@ func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]StatsRow, error) 
 	return out, nil
 }
 
-func encodeStatsRow(r StatsRow) (string, error) {
+// SimulateRuns is the one simulation entry point shared by vcfrsim
+// -stats-json and the vcfrd service: it prepares the named workload with
+// cfg.Seed as the layout seed (no per-cell derivation — this is a direct
+// query, not a sweep) and runs it under each requested mode, in order, with
+// mutate applied to the machine configuration. When the runner carries a
+// trace cache, repeated timing-only queries replay the captured trace, and
+// concurrent identical captures are deduplicated (trace.Cache.Do).
+//
+// Both producers serialize the returned rows through results.NewRun +
+// results.Marshal, which is what makes a service response byte-identical to
+// the equivalent CLI invocation.
+func SimulateRuns(ctx context.Context, r *Runner, name string, modes []cpu.Mode, cfg Config, mutate func(*cpu.Config)) ([]results.Run, error) {
+	s := r.Sweep(ctx, "simulate")
+	cfg = cfg.withDefaults()
+	app, err := s.prepare(ctx, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]results.Run, 0, len(modes))
+	for _, mode := range modes {
+		res, ccfg, err := s.runMode(ctx, app, mode, cfg.MaxInsts, mutate)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, results.Run{
+			Workload: name,
+			Mode:     mode.String(),
+			Seed:     cfg.Seed,
+			Config:   ccfg,
+			Result:   res,
+		})
+	}
+	return rows, nil
+}
+
+// firstLine truncates an error message to its first line (panic values
+// carry whole stack traces).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func encodeStatsRow(r results.Run) (string, error) {
 	b, err := json.Marshal(r)
 	return string(b), err
 }
 
-func decodeStatsRow(s string) (StatsRow, error) {
-	var r StatsRow
+func decodeStatsRow(s string) (results.Run, error) {
+	var r results.Run
 	err := json.Unmarshal([]byte(s), &r)
 	return r, err
 }

@@ -47,3 +47,44 @@ func TestStatsSweep(t *testing.T) {
 		t.Error("trace-cached stats sweep differs from execute-driven")
 	}
 }
+
+// TestStatsSweepCancelledPartial locks the redesigned cancellation
+// contract: a sweep whose context is already cancelled does not discard the
+// table — every workload comes back as an error row with its derived seed,
+// so the caller can tell exactly which cells are missing and why.
+func TestStatsSweepCancelledPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := StatsSweep(ctx, NewRunner(2), tiny("h264ref", "lbm"))
+	if err != nil {
+		t.Fatalf("cancelled sweep must return partial rows, got error %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want one error row per workload (2)", len(rows))
+	}
+	for i, r := range rows {
+		if !r.Failed() {
+			t.Errorf("row %d (%s) not marked failed under cancelled context", i, r.Workload)
+		}
+		if r.Seed == 0 {
+			t.Errorf("row %d error row lost its derived seed", i)
+		}
+	}
+}
+
+// TestStatsSweepTimeoutMidRun proves per-cell timeouts cancel a cell
+// mid-simulation (not just at run boundaries): an absurdly small budget
+// must fail every cell while the sweep itself still returns rows.
+func TestStatsSweepTimeoutMidRun(t *testing.T) {
+	r := NewRunner(2)
+	r.CellTimeout = 1 // 1ns: expires during the first cell's first run
+	cfg := tiny("h264ref")
+	cfg.MaxInsts = 0 // uncapped: only cancellation can stop the run early
+	rows, err := StatsSweep(context.Background(), r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Failed() {
+		t.Fatalf("rows = %+v, want a single error row for the timed-out cell", rows)
+	}
+}

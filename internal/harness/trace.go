@@ -112,36 +112,66 @@ func (s *Sweep) prepareOpts(ctx context.Context, name string, cfg Config, opts i
 	return app, nil
 }
 
-// runMode is App.Run with a cancellation check and, when the runner carries
-// a trace cache, record-once/replay-many execution.
+// runMode is App.Run with mid-run cancellation and, when the runner carries
+// a trace cache, record-once/replay-many execution. Concurrent calls that
+// resolve to the same trace key are coalesced through the cache's
+// singleflight: exactly one executes the capture, the rest replay it under
+// their own timing configuration.
 func (s *Sweep) runMode(ctx context.Context, app *App, mode cpu.Mode, maxInsts uint64, mutate func(*cpu.Config)) (cpu.Result, cpu.Config, error) {
 	if err := ctx.Err(); err != nil {
 		return cpu.Result{}, cpu.Config{}, err
 	}
 	tc := s.r.Traces
 	if tc == nil {
-		return app.Run(mode, maxInsts, mutate)
+		return app.RunContext(ctx, mode, maxInsts, mutate)
 	}
 	key := TraceKey(app, mode, maxInsts)
-	if t, ok := tc.Get(key); ok {
-		p, ccfg, err := app.Pipeline(mode, mutate)
-		if err != nil {
-			return cpu.Result{}, ccfg, err
-		}
-		res, err := trace.Replay(t, p, maxInsts)
-		if err == nil {
-			return res, ccfg, nil
-		}
-		// A failed replay means the cached trace does not actually match
-		// this app (stale entry or key collision): drop it and fall back to
-		// an execute-driven run, which re-captures below.
-		tc.Drop(key)
-	}
 	p, ccfg, err := app.Pipeline(mode, mutate)
 	if err != nil {
 		return cpu.Result{}, ccfg, err
 	}
-	t, res, err := trace.Capture(p, maxInsts, trace.Meta{
+	var leadRes cpu.Result
+	t, leader, doErr := tc.Do(key, func() (*trace.Trace, error) {
+		tt, res, err := trace.CaptureContext(ctx, p, maxInsts, trace.Meta{
+			Workload:   app.W.Name,
+			Mode:       mode,
+			LayoutSeed: app.R.Opts.Seed,
+			Spread:     app.R.Opts.Spread,
+			MaxInsts:   maxInsts,
+			ImageHash:  key.ImageHash,
+		})
+		leadRes = res
+		return tt, err
+	})
+	if leader {
+		// The leader's capture run already produced this configuration's
+		// Result; replaying again would only repeat the same numbers.
+		if doErr != nil {
+			return leadRes, ccfg, fmt.Errorf("harness: %s under %v: %w", app.W.Name, mode, doErr)
+		}
+		return leadRes, ccfg, nil
+	}
+	if doErr == nil {
+		res, rerr := trace.ReplayContext(ctx, t, p, maxInsts)
+		if rerr == nil {
+			return res, ccfg, nil
+		}
+		// A failed replay means the cached trace does not actually match
+		// this app (stale entry or key collision): drop it and fall back to
+		// an execute-driven run below.
+		tc.Drop(key)
+	}
+	// Follower fallback: the leader failed (its context may have expired,
+	// not ours) or the shared trace proved stale. Execute on a fresh
+	// pipeline — the one above may hold partial replay state.
+	if err := ctx.Err(); err != nil {
+		return cpu.Result{}, ccfg, err
+	}
+	p2, ccfg2, err := app.Pipeline(mode, mutate)
+	if err != nil {
+		return cpu.Result{}, ccfg2, err
+	}
+	t2, res, err := trace.CaptureContext(ctx, p2, maxInsts, trace.Meta{
 		Workload:   app.W.Name,
 		Mode:       mode,
 		LayoutSeed: app.R.Opts.Seed,
@@ -150,8 +180,8 @@ func (s *Sweep) runMode(ctx context.Context, app *App, mode cpu.Mode, maxInsts u
 		ImageHash:  key.ImageHash,
 	})
 	if err != nil {
-		return res, ccfg, fmt.Errorf("harness: %s under %v: %w", app.W.Name, mode, err)
+		return res, ccfg2, fmt.Errorf("harness: %s under %v: %w", app.W.Name, mode, err)
 	}
-	tc.Put(key, t)
-	return res, ccfg, nil
+	tc.Put(key, t2)
+	return res, ccfg2, nil
 }

@@ -1,0 +1,146 @@
+// Package results defines the one versioned wire format every VCFR entry
+// point speaks: the vcfrd service, vcfrsim -stats-json, experiments
+// -stats-json, and vxtrace info -json all serialize through the Envelope
+// below. One schema, one marshal path — a consumer that parses the output of
+// any producer parses them all, and the golden-file tests in this package
+// pin the byte-level format so accidental drift fails CI instead of breaking
+// downstream tooling.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vcfr/internal/cpu"
+)
+
+// SchemaVersion is the wire-format version carried by every Envelope. Bump
+// it on any change to the field set, field names, or number formatting of
+// the types below, and regenerate the golden files (go test ./internal/results
+// -update).
+const SchemaVersion = 1
+
+// Kind discriminates what an Envelope carries.
+type Kind string
+
+// Envelope kinds.
+const (
+	// KindRun is one or more single simulations of one workload (one row
+	// per architecture mode), sharing a layout seed and timing config.
+	KindRun Kind = "run"
+	// KindSweep is a full stats sweep: every workload under every mode,
+	// with per-cell derived seeds.
+	KindSweep Kind = "sweep"
+	// KindTrace describes a captured execution trace file.
+	KindTrace Kind = "trace"
+)
+
+// Envelope is the single top-level object every producer emits. Exactly one
+// of Run, Sweep, Trace is populated, selected by Kind.
+type Envelope struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          Kind   `json:"kind"`
+	Run           []Run  `json:"run,omitempty"`
+	Sweep         *Sweep `json:"sweep,omitempty"`
+	Trace         *Trace `json:"trace,omitempty"`
+}
+
+// Run is one (workload, mode) simulation's complete output: the exact
+// machine configuration that produced it plus the full Result with every
+// cache, DRAM, DRC, and predictor counter. A failed or cancelled run carries
+// its error in Error and a zero Result.
+type Run struct {
+	Workload string     `json:"workload"`
+	Mode     string     `json:"mode"`
+	Seed     int64      `json:"seed"`
+	Config   cpu.Config `json:"config"`
+	Result   cpu.Result `json:"result"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// Failed reports whether the run errored instead of completing.
+func (r Run) Failed() bool { return r.Error != "" }
+
+// Sweep is a multi-workload stats sweep. Partial is set when any row failed
+// or the sweep was cancelled mid-flight: the rows that did finish are
+// present and valid, failed cells appear as error rows.
+type Sweep struct {
+	Rows    []Run `json:"rows"`
+	Partial bool  `json:"partial,omitempty"`
+}
+
+// Trace describes one captured execution trace (the machine-readable
+// counterpart of vxtrace info).
+type Trace struct {
+	Workload     string `json:"workload"`
+	Mode         string `json:"mode"`
+	LayoutSeed   int64  `json:"layout_seed"`
+	Spread       int    `json:"spread"`
+	Scale        int    `json:"scale"`
+	ImageHash    string `json:"image_hash"` // %#016x, matching vxtrace info
+	MaxInsts     uint64 `json:"max_insts"`  // capture cap; 0 = to completion
+	Records      int    `json:"records"`
+	UniqueInsts  int    `json:"unique_insts"`
+	Halted       bool   `json:"halted"`
+	ExitCode     uint32 `json:"exit_code"`
+	OutputBytes  int    `json:"output_bytes"`
+	EncodedBytes int64  `json:"encoded_bytes,omitempty"` // on-disk size, if known
+}
+
+// NewRun wraps single-simulation rows in a versioned envelope.
+func NewRun(rows ...Run) Envelope {
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindRun, Run: rows}
+}
+
+// NewSweep wraps a stats sweep in a versioned envelope. Partial is derived
+// from the rows themselves: any error row marks the sweep partial.
+func NewSweep(rows []Run) Envelope {
+	s := &Sweep{Rows: rows}
+	for _, r := range rows {
+		if r.Failed() {
+			s.Partial = true
+			break
+		}
+	}
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindSweep, Sweep: s}
+}
+
+// NewTrace wraps a trace description in a versioned envelope.
+func NewTrace(t Trace) Envelope {
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindTrace, Trace: &t}
+}
+
+// Marshal is the one serialization path: two-space-indented JSON with a
+// trailing newline. Every producer must emit exactly these bytes, which is
+// what makes service responses and CLI output byte-comparable.
+func Marshal(e Envelope) ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Write marshals e and writes it to w.
+func Write(w io.Writer, e Envelope) error {
+	b, err := Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Unmarshal parses an envelope and rejects schema versions this package
+// does not understand.
+func Unmarshal(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Envelope{}, fmt.Errorf("results: %w", err)
+	}
+	if e.SchemaVersion != SchemaVersion {
+		return Envelope{}, fmt.Errorf("results: schema version %d, want %d", e.SchemaVersion, SchemaVersion)
+	}
+	return e, nil
+}

@@ -1,0 +1,125 @@
+package results
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtures builds one deterministic envelope per kind. The values are
+// synthetic but structurally complete, so the goldens pin every field the
+// wire format carries — including the full cpu.Config / cpu.Result shape.
+func fixtures() map[string]Envelope {
+	cfg := cpu.DefaultConfig(cpu.ModeVCFR)
+	var res cpu.Result
+	res.Stats.Instructions = 120000
+	res.Stats.Cycles = 180000
+	res.IL1.Accesses = 120000
+	res.IL1.Misses = 420
+	res.DRC.Lookups = 9000
+	res.DRC.RandLookups = 8800
+	res.Out = []byte("ok\n")
+	res.Halted = true
+
+	run := Run{
+		Workload: "h264ref",
+		Mode:     "vcfr",
+		Seed:     42,
+		Config:   cfg,
+		Result:   res,
+	}
+	failed := Run{Workload: "lbm", Mode: "", Seed: 42, Error: "context deadline exceeded"}
+
+	return map[string]Envelope{
+		"run":   NewRun(run),
+		"sweep": NewSweep([]Run{run, failed}),
+		"trace": NewTrace(Trace{
+			Workload:     "h264ref",
+			Mode:         "vcfr",
+			LayoutSeed:   42,
+			Spread:       8,
+			Scale:        1,
+			ImageHash:    "0x00000deadbeef123",
+			MaxInsts:     120000,
+			Records:      120000,
+			UniqueInsts:  812,
+			Halted:       false,
+			ExitCode:     0,
+			OutputBytes:  3,
+			EncodedBytes: 151234,
+		}),
+	}
+}
+
+// TestGolden pins the wire format byte for byte. Any change to the schema —
+// field set, names, ordering, indentation — must bump SchemaVersion and
+// regenerate these files with -update.
+func TestGolden(t *testing.T) {
+	for name, env := range fixtures() {
+		t.Run(name, func(t *testing.T) {
+			got, err := Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestRoundTrip proves Marshal/Unmarshal are inverses and the schema gate
+// rejects foreign versions.
+func TestRoundTrip(t *testing.T) {
+	for name, env := range fixtures() {
+		b, err := Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b2, err := Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("%s: round trip not stable", name)
+		}
+	}
+	if _, err := Unmarshal([]byte(`{"schema_version": 999, "kind": "run"}`)); err == nil {
+		t.Error("foreign schema version accepted")
+	}
+}
+
+// TestSweepPartial locks the partial-derivation rule: any error row marks
+// the sweep partial, none means complete.
+func TestSweepPartial(t *testing.T) {
+	ok := NewSweep([]Run{{Workload: "a"}})
+	if ok.Sweep.Partial {
+		t.Error("clean sweep marked partial")
+	}
+	bad := NewSweep([]Run{{Workload: "a"}, {Workload: "b", Error: "boom"}})
+	if !bad.Sweep.Partial {
+		t.Error("sweep with error row not marked partial")
+	}
+}

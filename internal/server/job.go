@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+	"vcfr/internal/workloads"
+)
+
+// JobKind selects what a job computes.
+type JobKind string
+
+// Job kinds.
+const (
+	// JobRun is one workload under one or more modes with a fixed layout
+	// seed — the service twin of `vcfrsim -stats-json`.
+	JobRun JobKind = "run"
+	// JobSweep is a full stats sweep with per-cell derived seeds — the
+	// service twin of `experiments -stats-json`.
+	JobSweep JobKind = "sweep"
+)
+
+// JobState is a job's position in its lifecycle. Transitions are strictly
+// queued -> running -> (done | failed); there are no other edges.
+type JobState string
+
+// Job states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// SimRequest is the body of POST /v1/simulate and POST /v1/sweep. Zero
+// values take the matching CLI's defaults (documented per field), which is
+// what keeps service responses byte-identical to CLI output.
+type SimRequest struct {
+	// Workload names the built-in workload to simulate (required for
+	// simulate; ignored by sweep).
+	Workload string `json:"workload,omitempty"`
+	// Workloads restricts a sweep to a subset (default: all 11 SPEC
+	// analogs). Ignored by simulate.
+	Workloads []string `json:"workloads,omitempty"`
+	// Mode is baseline | naive | vcfr | all. Default "vcfr" (vcfrsim's
+	// default). Ignored by sweep, which always runs all three modes.
+	Mode string `json:"mode,omitempty"`
+	// Seed is the randomization seed. Default 1 for simulate (vcfrsim's
+	// -seed default) and 42 for sweep (experiments' -seed default).
+	Seed int64 `json:"seed,omitempty"`
+	// Spread is the ILR scatter factor. Default 8.
+	Spread int `json:"spread,omitempty"`
+	// Scale multiplies workload iteration counts. Default 1.
+	Scale int `json:"scale,omitempty"`
+	// Instructions caps simulated instructions per run. 0 = to completion.
+	Instructions uint64 `json:"instructions,omitempty"`
+	// DRC is the De-Randomization Cache entry count. Default 128.
+	DRC int `json:"drc,omitempty"`
+	// Width is the issue width. Default 1 (the paper's core).
+	Width int `json:"width,omitempty"`
+	// CtxSwitchEvery flushes process-private state every N instructions.
+	// Default 0 (never).
+	CtxSwitchEvery uint64 `json:"ctxswitch,omitempty"`
+	// TimeoutMS bounds the job's execution wall clock, refining the
+	// server's default job timeout. 0 = server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize applies the per-kind CLI defaults and validates the request.
+func (r *SimRequest) normalize(kind JobKind) error {
+	if r.Mode == "" {
+		r.Mode = "vcfr"
+	}
+	if _, err := parseModes(r.Mode); err != nil {
+		return err
+	}
+	if r.Seed == 0 {
+		if kind == JobRun {
+			r.Seed = 1
+		} else {
+			r.Seed = 42
+		}
+	}
+	if r.Spread == 0 {
+		r.Spread = 8
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if r.DRC == 0 {
+		r.DRC = 128
+	}
+	if r.Width == 0 {
+		r.Width = 1
+	}
+	if kind == JobRun {
+		if r.Workload == "" {
+			return fmt.Errorf("simulate needs a workload")
+		}
+		if _, err := workloads.ByName(r.Workload, 1); err != nil {
+			return err
+		}
+	}
+	for _, w := range r.Workloads {
+		if _, err := workloads.ByName(w, 1); err != nil {
+			return err
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// mutate returns the machine-config mutation the request describes —
+// field-for-field the same closure vcfrsim builds from its flags.
+func (r *SimRequest) mutate() func(*cpu.Config) {
+	drc, width, ctxEvery := r.DRC, r.Width, r.CtxSwitchEvery
+	return func(c *cpu.Config) {
+		c.DRCEntries = drc
+		c.IssueWidth = width
+		c.ContextSwitchEvery = ctxEvery
+	}
+}
+
+// config maps the request onto a harness.Config.
+func (r *SimRequest) config() harness.Config {
+	return harness.Config{
+		Workloads: r.Workloads,
+		Scale:     r.Scale,
+		MaxInsts:  r.Instructions,
+		Seed:      r.Seed,
+		Spread:    r.Spread,
+	}
+}
+
+func parseModes(s string) ([]cpu.Mode, error) {
+	switch s {
+	case "baseline":
+		return []cpu.Mode{cpu.ModeBaseline}, nil
+	case "naive":
+		return []cpu.Mode{cpu.ModeNaiveILR}, nil
+	case "vcfr":
+		return []cpu.Mode{cpu.ModeVCFR}, nil
+	case "all":
+		return []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want baseline, naive, vcfr, or all)", s)
+	}
+}
+
+// Job is one queued or executing request. State, timestamps, and the result
+// are guarded by mu; done is closed exactly once when the job leaves the
+// running state, which is what synchronous waiters block on.
+type Job struct {
+	ID   string
+	Kind JobKind
+	Req  SimRequest
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+	envelope []byte // marshaled results.Envelope, set when state == JobDone
+
+	done chan struct{}
+}
+
+func newJob(id string, kind JobKind, req SimRequest) *Job {
+	return &Job{
+		ID:      id,
+		Kind:    kind,
+		Req:     req,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns the channel closed when the job finishes (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Envelope returns the marshaled result bytes and error text; valid only
+// after Done.
+func (j *Job) Envelope() (body []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.envelope, j.err
+}
+
+// view is the JSON shape GET /v1/jobs/{id} serves.
+type jobView struct {
+	ID       string          `json:"id"`
+	Kind     JobKind         `json:"kind"`
+	State    JobState        `json:"state"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{ID: j.ID, Kind: j.Kind, State: j.state, Created: j.created, Error: j.err}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.state == JobDone {
+		v.Result = json.RawMessage(j.envelope)
+	}
+	return v
+}
+
+// worker drains the queue until it is closed (graceful shutdown closes the
+// queue only after intake stops, so every accepted job still executes).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation and a per-job deadline. A
+// panic anywhere in the simulator fails this job and this job only; the
+// worker, the queue, and every other job keep going.
+func (s *Server) runJob(j *Job) {
+	start := time.Now()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = start
+	queueWait := start.Sub(j.created)
+	j.mu.Unlock()
+	s.metrics.jobStarted(queueWait)
+
+	timeout := s.cfg.JobTimeout
+	if ms := j.Req.TimeoutMS; ms > 0 {
+		if t := time.Duration(ms) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	body, err := func() (body []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.jobPanicked()
+				err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		env, err := s.exec(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		return results.Marshal(env)
+	}()
+
+	now := time.Now()
+	j.mu.Lock()
+	j.finished = now
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+		j.envelope = body
+	}
+	j.mu.Unlock()
+	s.metrics.jobFinished(err == nil, now.Sub(start))
+	close(j.done)
+}
+
+// execute is the production job executor (tests substitute s.exec): the
+// service is a thin HTTP shell around exactly the entry points the CLIs
+// use, which is what pins service responses to CLI output byte for byte.
+func (s *Server) execute(ctx context.Context, j *Job) (results.Envelope, error) {
+	switch j.Kind {
+	case JobRun:
+		modes, err := parseModes(j.Req.Mode)
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		rows, err := harness.SimulateRuns(ctx, s.runner, j.Req.Workload, modes, j.Req.config(), j.Req.mutate())
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		return results.NewRun(rows...), nil
+	case JobSweep:
+		rows, err := harness.StatsSweep(ctx, s.runner, j.Req.config())
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		return results.NewSweep(rows), nil
+	default:
+		return results.Envelope{}, fmt.Errorf("unknown job kind %q", j.Kind)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is the server's observability state: job counters by lifecycle
+// state, queue pressure, and per-stage latency histograms. Everything is
+// hand-rolled on one mutex — the paper repo carries no metrics dependency,
+// and the render below speaks the Prometheus text exposition format, so any
+// standard scraper can consume /metrics unchanged.
+type metrics struct {
+	mu sync.Mutex
+
+	accepted  uint64 // jobs admitted to the queue
+	rejected  uint64 // jobs refused with 429 (queue full)
+	queued    int    // currently waiting
+	running   int    // currently executing
+	done      uint64 // finished successfully (cumulative)
+	failed    uint64 // finished with an error (cumulative)
+	panicked  uint64 // failures caused by a recovered panic (subset of failed)
+	queueWait *histogram
+	runDur    *histogram
+}
+
+func newMetrics() *metrics {
+	// Bounds chosen for simulation jobs: sub-millisecond queue waits up to
+	// multi-minute uncapped sweeps.
+	bounds := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+	return &metrics{
+		queueWait: newHistogram(bounds),
+		runDur:    newHistogram(bounds),
+	}
+}
+
+func (m *metrics) jobAccepted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepted++
+	m.queued++
+}
+
+func (m *metrics) jobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+func (m *metrics) jobStarted(queueWait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queued--
+	m.running++
+	m.queueWait.observe(queueWait.Seconds())
+}
+
+func (m *metrics) jobPanicked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panicked++
+}
+
+func (m *metrics) jobFinished(ok bool, runDur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	if ok {
+		m.done++
+	} else {
+		m.failed++
+	}
+	m.runDur.observe(runDur.Seconds())
+}
+
+// render writes the Prometheus text exposition. traceHits/… come from the
+// shared trace cache; queueDepth/queueCap from the job queue channel.
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, traceHits, traceMisses uint64, traceBytes int64, traceEntries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	p("# HELP vcfrd_jobs_accepted_total Jobs admitted to the queue.")
+	p("# TYPE vcfrd_jobs_accepted_total counter")
+	p("vcfrd_jobs_accepted_total %d", m.accepted)
+	p("# HELP vcfrd_jobs_rejected_total Jobs refused with 429 because the queue was full.")
+	p("# TYPE vcfrd_jobs_rejected_total counter")
+	p("vcfrd_jobs_rejected_total %d", m.rejected)
+	p("# HELP vcfrd_jobs_state Jobs currently in each lifecycle state (queued, running) and cumulative terminal counts (done, failed).")
+	p("# TYPE vcfrd_jobs_state gauge")
+	p(`vcfrd_jobs_state{state="queued"} %d`, m.queued)
+	p(`vcfrd_jobs_state{state="running"} %d`, m.running)
+	p(`vcfrd_jobs_state{state="done"} %d`, m.done)
+	p(`vcfrd_jobs_state{state="failed"} %d`, m.failed)
+	p("# HELP vcfrd_job_panics_total Jobs failed by a recovered panic.")
+	p("# TYPE vcfrd_job_panics_total counter")
+	p("vcfrd_job_panics_total %d", m.panicked)
+	p("# HELP vcfrd_queue_depth Jobs waiting in the bounded queue.")
+	p("# TYPE vcfrd_queue_depth gauge")
+	p("vcfrd_queue_depth %d", queueDepth)
+	p("# HELP vcfrd_queue_capacity Bound of the job queue.")
+	p("# TYPE vcfrd_queue_capacity gauge")
+	p("vcfrd_queue_capacity %d", queueCap)
+	p("# HELP vcfrd_trace_cache_hits_total Trace cache hits (replays and coalesced captures) across all jobs.")
+	p("# TYPE vcfrd_trace_cache_hits_total counter")
+	p("vcfrd_trace_cache_hits_total %d", traceHits)
+	p("# HELP vcfrd_trace_cache_misses_total Trace cache misses (each one paid a capture).")
+	p("# TYPE vcfrd_trace_cache_misses_total counter")
+	p("vcfrd_trace_cache_misses_total %d", traceMisses)
+	p("# HELP vcfrd_trace_cache_bytes Bytes of trace data currently cached.")
+	p("# TYPE vcfrd_trace_cache_bytes gauge")
+	p("vcfrd_trace_cache_bytes %d", traceBytes)
+	p("# HELP vcfrd_trace_cache_entries Traces currently cached.")
+	p("# TYPE vcfrd_trace_cache_entries gauge")
+	p("vcfrd_trace_cache_entries %d", traceEntries)
+
+	p("# HELP vcfrd_stage_seconds Per-stage job latency: queue = acceptance to execution start, run = execution wall clock.")
+	p("# TYPE vcfrd_stage_seconds histogram")
+	m.queueWait.render(w, "vcfrd_stage_seconds", "queue")
+	m.runDur.render(w, "vcfrd_stage_seconds", "run")
+}
+
+// histogram is a fixed-bucket latency histogram in seconds.
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// render emits the histogram's series in Prometheus cumulative-bucket form
+// under name{stage="..."}; the caller prints HELP/TYPE once for the shared
+// metric name and holds the metrics mutex.
+func (h *histogram) render(w io.Writer, name, stage string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"%g\"} %d\n", name, stage, b, cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, cum)
+	fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, h.sum)
+	fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, h.n)
+}

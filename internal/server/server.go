@@ -1,0 +1,359 @@
+// Package server implements vcfrd, the long-running HTTP/JSON simulation
+// service: it accepts simulation and sweep jobs, runs them on a shared
+// harness.Runner whose trace cache turns repeated timing-only queries into
+// replays, and answers every request in the one versioned wire format of
+// internal/results.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one workload, one layout seed — synchronous; the
+//	                    response body is byte-identical to the equivalent
+//	                    `vcfrsim -stats-json` invocation
+//	POST /v1/sweep      full stats sweep — asynchronous; returns 202 and a
+//	                    job id to poll
+//	GET  /v1/jobs/{id}  job state, timings, error, and (when done) result
+//	GET  /v1/workloads  the built-in workload catalog
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text: jobs by state, queue pressure,
+//	                    trace-cache effectiveness, per-stage latency
+//	GET  /debug/pprof/  the standard Go profiler
+//
+// Robustness model: the job queue is bounded and overload answers 429 with
+// Retry-After (backpressure, not collapse); every job runs under a context
+// deadline with real mid-simulation cancellation; a panicking job fails
+// alone; Shutdown stops intake, lets the HTTP layer finish, and drains
+// every accepted job before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+	"vcfr/internal/trace"
+	"vcfr/internal/workloads"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:8642". Port 0 picks an
+	// ephemeral port (see Server.Addr).
+	Addr string
+	// Workers is the number of concurrent job executors. <= 0 means 2.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs; a
+	// full queue answers 429. <= 0 means 64.
+	QueueDepth int
+	// JobTimeout is the default per-job execution deadline; requests may
+	// shorten it per job (timeout_ms) but never extend it. 0 = none.
+	JobTimeout time.Duration
+	// Runner executes jobs. nil builds a default runner with a 256 MiB
+	// trace cache. Give it a trace.Cache to share captures across requests.
+	Runner *harness.Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Runner == nil {
+		c.Runner = harness.NewRunner(0)
+		c.Runner.Traces = trace.NewCache(256 << 20)
+	}
+	return c
+}
+
+// Server is one vcfrd instance. Create with New, start with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	runner  *harness.Runner
+	metrics *metrics
+
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+
+	queue    chan *Job
+	jobMu    sync.Mutex
+	jobs     map[string]*Job
+	jobSeq   atomic.Uint64
+	wg       sync.WaitGroup // job workers
+	intakeMu sync.Mutex     // serializes enqueue vs. shutdown's queue close
+	draining bool           // guarded by intakeMu
+
+	// exec runs one job's computation. Production is (*Server).execute;
+	// lifecycle tests substitute controllable executors.
+	exec func(context.Context, *Job) (results.Envelope, error)
+}
+
+// New builds a server; it does not listen yet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		runner:  cfg.Runner,
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	s.exec = s.execute
+	s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Start binds the listen address, launches the job workers, and serves HTTP
+// in the background. It returns once the listener is bound, so Addr is
+// valid immediately after.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails this way if the listener dies under us;
+			// nothing to do but let in-flight work finish.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (resolving port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: new jobs are refused (503), the
+// HTTP layer finishes in-flight requests (including synchronous simulate
+// calls still waiting on their job), and every job already accepted into
+// the queue runs to completion before Shutdown returns. ctx bounds the
+// whole drain; an expired ctx abandons the remaining work and returns its
+// error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.intakeMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.intakeMu.Unlock()
+
+	err := s.http.Shutdown(ctx)
+
+	if !already {
+		// No enqueue can be in flight past this point: enqueue() holds
+		// intakeMu and re-checks draining before touching the channel.
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return err
+}
+
+// errQueueFull and errDraining distinguish the two refusal modes.
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server shutting down")
+)
+
+// enqueue registers j and admits it to the bounded queue without blocking:
+// a full queue is backpressure the caller must see, not hidden latency.
+func (s *Server) enqueue(j *Job) error {
+	s.intakeMu.Lock()
+	defer s.intakeMu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.jobRejected()
+		return errQueueFull
+	}
+	s.jobMu.Lock()
+	s.jobs[j.ID] = j
+	s.jobMu.Unlock()
+	s.metrics.jobAccepted()
+	return nil
+}
+
+func (s *Server) newJob(kind JobKind, req SimRequest) *Job {
+	return newJob(fmt.Sprintf("job-%06d", s.jobSeq.Add(1)), kind, req)
+}
+
+// writeError answers with the service's uniform error shape.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeRefusal maps the two intake refusals onto HTTP: queue pressure is
+// 429 with a Retry-After hint, drain is 503.
+func writeRefusal(w http.ResponseWriter, err error) {
+	if errors.Is(err, errQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+func decodeRequest(r *http.Request, kind JobKind) (SimRequest, error) {
+	var req SimRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("bad request body: %w", err)
+	}
+	if err := req.normalize(kind); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// handleSimulate runs one simulation synchronously: the job goes through
+// the same queue and workers as everything else (so backpressure and
+// deadlines apply), and the handler streams back the job's envelope bytes
+// untouched — the bytes results.Marshal produced, hence byte-identical to
+// the CLI.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, JobRun)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.newJob(JobRun, req)
+	if err := s.enqueue(j); err != nil {
+		writeRefusal(w, err)
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// The client went away; the job still runs to completion and
+		// remains pollable at /v1/jobs/{id}.
+		writeError(w, http.StatusRequestTimeout, "client cancelled while job %s still runs", j.ID)
+		return
+	}
+	body, errMsg := j.Envelope()
+	if errMsg != "" {
+		writeError(w, http.StatusInternalServerError, "%s", errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-Id", j.ID)
+	_, _ = w.Write(body)
+}
+
+// handleSweep enqueues an asynchronous sweep and answers 202 with the job
+// id to poll.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, JobSweep)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.newJob(JobSweep, req)
+	if err := s.enqueue(j); err != nil {
+		writeRefusal(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"id":     j.ID,
+		"state":  string(j.State()),
+		"status": "/v1/jobs/" + j.ID,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	j, ok := s.jobs[id]
+	s.jobMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(j.view())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Desc string `json:"desc"`
+	}
+	var out []entry
+	for _, n := range workloads.Names() {
+		wl, err := workloads.ByName(n, 1)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out = append(out, entry{Name: n, Desc: wl.Desc})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, bytes, entries := s.runner.Traces.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, len(s.queue), cap(s.queue), hits, misses, bytes, entries)
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+	"vcfr/internal/trace"
+)
+
+// startServer builds and starts a server on an ephemeral port, cleaning it
+// up when the test ends.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func post(t *testing.T, s *Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+s.Addr()+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, s *Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestSimulateMatchesCLI is the acceptance criterion of the API redesign: a
+// POST /v1/simulate response body must be byte-identical to what
+// `vcfrsim -stats-json` prints for the same (workload, mode, seed, config).
+// The CLI's JSON path is harness.SimulateRuns + results.Marshal, so the
+// test computes those bytes directly and compares.
+func TestSimulateMatchesCLI(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	resp, body := post(t, s, "/v1/simulate",
+		`{"workload": "h264ref", "mode": "all", "instructions": 30000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// The CLI equivalent: vcfrsim -workload h264ref -mode all
+	// -instructions 30000 -stats-json (defaults: seed 1, spread 8,
+	// drc 128, width 1).
+	modes := []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
+	cfg := harness.Config{Scale: 1, MaxInsts: 30000, Seed: 1, Spread: 8}
+	rows, err := harness.SimulateRuns(context.Background(), harness.NewRunner(1), "h264ref", modes, cfg,
+		func(c *cpu.Config) { c.DRCEntries = 128; c.IssueWidth = 1; c.ContextSwitchEvery = 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := results.Marshal(results.NewRun(rows...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("service response differs from CLI bytes:\n--- service ---\n%.400s\n--- cli ---\n%.400s", body, want)
+	}
+}
+
+// TestRepeatedQueryReplays locks the shared-cache behavior: a second
+// request that changes only timing knobs (DRC size) must be served by
+// replaying the first request's captured trace — the hit counter moves, the
+// capture counter does not.
+func TestRepeatedQueryReplays(t *testing.T) {
+	r := harness.NewRunner(0)
+	r.Traces = trace.NewCache(64 << 20)
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8, Runner: r})
+
+	body := `{"workload": "lbm", "mode": "vcfr", "instructions": 30000}`
+	if resp, b := post(t, s, "/v1/simulate", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first simulate: %d: %s", resp.StatusCode, b)
+	}
+	hits0, misses0, _, _ := r.Traces.Stats()
+	if misses0 == 0 {
+		t.Fatal("first request did not capture")
+	}
+
+	timingOnly := `{"workload": "lbm", "mode": "vcfr", "instructions": 30000, "drc": 64}`
+	if resp, b := post(t, s, "/v1/simulate", timingOnly); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second simulate: %d: %s", resp.StatusCode, b)
+	}
+	hits1, misses1, _, _ := r.Traces.Stats()
+	if hits1 <= hits0 {
+		t.Errorf("timing-only repeat was not a cache hit (hits %d -> %d)", hits0, hits1)
+	}
+	if misses1 != misses0 {
+		t.Errorf("timing-only repeat re-captured (misses %d -> %d)", misses0, misses1)
+	}
+
+	// The /metrics endpoint must surface the same counters.
+	_, metricsBody := get(t, s, "/metrics")
+	want := fmt.Sprintf("vcfrd_trace_cache_hits_total %d", hits1)
+	if !strings.Contains(string(metricsBody), want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}
+
+// blockingExec returns a job executor that signals when a job starts and
+// holds it until released, letting tests pin the queue in known states.
+func blockingExec(started chan<- string, release <-chan struct{}) func(context.Context, *Job) (results.Envelope, error) {
+	return func(ctx context.Context, j *Job) (results.Envelope, error) {
+		started <- j.ID
+		select {
+		case <-release:
+			return results.NewRun(results.Run{Workload: j.Req.Workload}), nil
+		case <-ctx.Done():
+			return results.Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// TestBackpressure429 fills the queue and asserts the service refuses with
+// 429 + Retry-After instead of buffering unboundedly — and recovers once
+// the queue drains.
+func TestBackpressure429(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	s.exec = blockingExec(started, release)
+
+	// Job 1 occupies the single worker; wait until it is actually running
+	// so job 2 deterministically sits in the queue.
+	if resp, b := post(t, s, "/v1/sweep", `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: %d: %s", resp.StatusCode, b)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job 1 never started")
+	}
+	if resp, b := post(t, s, "/v1/sweep", `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: %d: %s", resp.StatusCode, b)
+	}
+
+	// Queue (depth 1) is full: job 3 must bounce with backpressure.
+	resp, body := post(t, s, "/v1/sweep", `{}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Synchronous simulate hits the same bound.
+	if resp, _ := post(t, s, "/v1/simulate", `{"workload": "lbm"}`); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("simulate under full queue: %d, want 429", resp.StatusCode)
+	}
+
+	close(release)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job 2 never started after release")
+	}
+	// Once the queue drains, intake works again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := post(t, s, "/v1/sweep", `{}`)
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never recovered after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownDrains locks the graceful-termination contract the SIGTERM
+// path relies on: Shutdown refuses new work but every accepted job runs to
+// completion before Shutdown returns.
+func TestShutdownDrains(t *testing.T) {
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	s := New(Config{Addr: "127.0.0.1:0", Workers: 1, QueueDepth: 4})
+	s.exec = blockingExec(started, release)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, s, "/v1/sweep", `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct{ ID string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Shutdown must be blocked on the in-flight job, not bailing early.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v while a job was still running", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned after the job finished")
+	}
+
+	s.jobMu.Lock()
+	j := s.jobs[accepted.ID]
+	s.jobMu.Unlock()
+	if j == nil || j.State() != JobDone {
+		t.Errorf("drained job state = %v, want done", j.State())
+	}
+}
+
+// TestRequestValidation locks the 400 surface: bad bodies, unknown fields,
+// unknown workloads and modes are rejected before touching the queue.
+func TestRequestValidation(t *testing.T) {
+	s := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	for _, tc := range []struct{ name, body string }{
+		{"empty", `{}`}, // simulate requires a workload
+		{"unknown workload", `{"workload": "doom"}`},
+		{"unknown mode", `{"workload": "lbm", "mode": "quantum"}`},
+		{"unknown field", `{"workload": "lbm", "turbo": true}`},
+		{"negative timeout", `{"workload": "lbm", "timeout_ms": -5}`},
+		{"not json", `drop table jobs`},
+	} {
+		if resp, b := post(t, s, "/v1/simulate", tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d (%s), want 400", tc.name, resp.StatusCode, b)
+		}
+	}
+	if resp, _ := get(t, s, "/v1/jobs/job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPanicIsolation proves one panicking job fails alone: the worker
+// survives and the next job on the same worker completes.
+func TestPanicIsolation(t *testing.T) {
+	s := startServer(t, Config{Workers: 1, QueueDepth: 4})
+	boom := true
+	s.exec = func(ctx context.Context, j *Job) (results.Envelope, error) {
+		if boom {
+			boom = false
+			panic("simulated defect")
+		}
+		return results.NewRun(results.Run{Workload: j.Req.Workload}), nil
+	}
+
+	if resp, b := post(t, s, "/v1/simulate", `{"workload": "lbm"}`); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking job: %d (%s), want 500", resp.StatusCode, b)
+	}
+	if resp, b := post(t, s, "/v1/simulate", `{"workload": "lbm"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job after panic: %d (%s), want 200 from the same worker", resp.StatusCode, b)
+	}
+	_, metricsBody := get(t, s, "/metrics")
+	if !strings.Contains(string(metricsBody), "vcfrd_job_panics_total 1") {
+		t.Error("/metrics does not count the panic")
+	}
+}
+
+// TestJobEndpointLifecycle follows an async sweep from 202 through done and
+// checks the result envelope parses under the pinned schema.
+func TestJobEndpointLifecycle(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, body := post(t, s, "/v1/sweep", `{"workloads": ["lbm"], "instructions": 20000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct{ ID string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var v jobView
+	for {
+		_, b := get(t, s, "/v1/jobs/"+accepted.ID)
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == JobDone || v.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", v.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v.State != JobDone {
+		t.Fatalf("job failed: %s", v.Error)
+	}
+	env, err := results.Unmarshal(v.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != results.KindSweep || len(env.Sweep.Rows) != 3 {
+		t.Errorf("sweep result: kind=%s rows=%d, want sweep with 3 rows (1 workload x 3 modes)", env.Kind, len(env.Sweep.Rows))
+	}
+}

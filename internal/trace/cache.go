@@ -33,8 +33,17 @@ type Cache struct {
 	size    int64
 	order   *list.List // front = most recently used; values are *centry
 	entries map[Key]*list.Element
+	flights map[Key]*flight // in-progress captures, for Do's singleflight
 
 	hits, misses uint64
+}
+
+// flight is one in-progress capture that concurrent Do callers for the same
+// key wait on instead of capturing again.
+type flight struct {
+	done chan struct{}
+	t    *Trace
+	err  error
 }
 
 type centry struct {
@@ -96,6 +105,58 @@ func (c *Cache) Put(k Key, t *Trace) {
 		delete(c.entries, e.key)
 		c.size -= e.t.SizeBytes()
 	}
+}
+
+// Do returns the trace for k, coalescing concurrent captures of the same
+// key: a cached trace is returned immediately; otherwise the first caller
+// (the leader, reported by the second return value) runs capture and the
+// sealed trace is inserted and handed to every waiter. Followers that
+// arrive while the leader is capturing block until it finishes and receive
+// the same trace — or the leader's error, in which case they are free to
+// fall back to executing themselves.
+//
+// This closes the double-capture race: without it, two concurrent cells
+// with the same (image hash, seed, mode, cap) key would both miss Get and
+// both pay a full execute-driven capture.
+func (c *Cache) Do(k Key, capture func() (*Trace, error)) (t *Trace, leader bool, err error) {
+	if c == nil {
+		t, err = capture()
+		return t, true, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		t = el.Value.(*centry).t
+		c.mu.Unlock()
+		return t, false, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		// A capture for k is already in flight: joining it serves this
+		// request without a second capture, which is a hit in every sense
+		// that matters for the counters.
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.t, false, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	if c.flights == nil {
+		c.flights = make(map[Key]*flight)
+	}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	f.t, f.err = capture()
+	if f.err == nil {
+		c.Put(k, f.t)
+	}
+	c.mu.Lock()
+	delete(c.flights, k)
+	c.mu.Unlock()
+	close(f.done)
+	return f.t, true, f.err
 }
 
 // Drop removes k from the cache (used when a cached trace proves stale —

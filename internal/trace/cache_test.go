@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vcfr/internal/cpu"
+)
+
+// tinyTrace builds a minimal sealed trace for cache tests.
+func tinyTrace(workload string) *Trace {
+	b := NewBuilder(Meta{Workload: workload, Mode: cpu.ModeVCFR})
+	var res cpu.Result
+	res.Halted = true
+	return b.Finish(res)
+}
+
+// TestDoSingleflight locks the double-capture fix: 8 concurrent identical
+// requests must run exactly one capture, with every caller receiving the
+// same trace and exactly one of them reporting leadership.
+func TestDoSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{ImageHash: 0xabc, LayoutSeed: 42, Mode: cpu.ModeVCFR, MaxInsts: 1000}
+
+	var captures atomic.Int64
+	release := make(chan struct{})
+	capture := func() (*Trace, error) {
+		captures.Add(1)
+		<-release // hold the flight open until every goroutine has arrived
+		return tinyTrace("h264ref"), nil
+	}
+
+	const n = 8
+	var (
+		wg      sync.WaitGroup
+		started sync.WaitGroup
+		mu      sync.Mutex
+		traces  []*Trace
+		leaders int
+	)
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			tr, leader, err := c.Do(k, capture)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			traces = append(traces, tr)
+			if leader {
+				leaders++
+			}
+			mu.Unlock()
+		}()
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+
+	if got := captures.Load(); got != 1 {
+		t.Fatalf("%d captures under %d concurrent identical requests, want exactly 1", got, n)
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+	for i, tr := range traces {
+		if tr != traces[0] {
+			t.Errorf("caller %d got a different trace pointer", i)
+		}
+	}
+	if tr, ok := c.Get(k); !ok || tr != traces[0] {
+		t.Error("captured trace not inserted into the cache")
+	}
+}
+
+// TestDoCachedHit proves Do never runs capture when the trace is already
+// cached.
+func TestDoCachedHit(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{ImageHash: 1}
+	want := tinyTrace("lbm")
+	c.Put(k, want)
+
+	got, leader, err := c.Do(k, func() (*Trace, error) {
+		t.Fatal("capture ran despite cached trace")
+		return nil, nil
+	})
+	if err != nil || leader || got != want {
+		t.Errorf("Do(cached) = (%p, leader=%v, %v), want (%p, false, nil)", got, leader, err, want)
+	}
+}
+
+// TestDoLeaderError proves a failed capture is propagated to followers, not
+// cached, and does not wedge later callers.
+func TestDoLeaderError(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{ImageHash: 2}
+	boom := errors.New("capture failed")
+
+	if _, _, err := c.Do(k, func() (*Trace, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want %v", err, boom)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Error("failed capture was cached")
+	}
+	// The key is not poisoned: the next Do runs a fresh capture.
+	tr, leader, err := c.Do(k, func() (*Trace, error) { return tinyTrace("x"), nil })
+	if err != nil || !leader || tr == nil {
+		t.Errorf("retry after failure = (%p, leader=%v, %v), want fresh leader capture", tr, leader, err)
+	}
+}

@@ -19,6 +19,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -291,9 +292,16 @@ func (r *Replayer) Final() ([]byte, uint32) {
 // Capture runs p for up to maxInsts instructions with a recorder attached
 // and returns the sealed trace alongside the run's own Result.
 func Capture(p *cpu.Pipeline, maxInsts uint64, meta Meta) (*Trace, cpu.Result, error) {
+	return CaptureContext(context.Background(), p, maxInsts, meta)
+}
+
+// CaptureContext is Capture with mid-run cancellation: a cancelled context
+// aborts the capture promptly (see cpu.Pipeline.RunContext) and no trace is
+// produced.
+func CaptureContext(ctx context.Context, p *cpu.Pipeline, maxInsts uint64, meta Meta) (*Trace, cpu.Result, error) {
 	b := NewBuilder(meta)
 	p.SetRecorder(b.Add)
-	res, err := p.Run(maxInsts)
+	res, err := p.RunContext(ctx, maxInsts)
 	p.SetRecorder(nil)
 	if err != nil {
 		return nil, res, err
@@ -305,6 +313,11 @@ func Capture(p *cpu.Pipeline, maxInsts uint64, meta Meta) (*Trace, cpu.Result, e
 // matching the capture run's cap, the Result is bit-identical to the
 // execute-driven one.
 func Replay(t *Trace, p *cpu.Pipeline, maxInsts uint64) (cpu.Result, error) {
+	return ReplayContext(context.Background(), t, p, maxInsts)
+}
+
+// ReplayContext is Replay with mid-run cancellation.
+func ReplayContext(ctx context.Context, t *Trace, p *cpu.Pipeline, maxInsts uint64) (cpu.Result, error) {
 	p.SetReplay(NewReplayer(t))
-	return p.Run(maxInsts)
+	return p.RunContext(ctx, maxInsts)
 }
