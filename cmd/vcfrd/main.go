@@ -54,6 +54,7 @@ func run() error {
 		queue      = flag.Int("queue", 64, "bounded job queue depth; a full queue answers 429")
 		traceCache = flag.Int("trace-cache", 256, "shared trace cache budget in MiB (0 disables replay reuse)")
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "default per-job execution deadline (0 = none)")
+		retention  = flag.Int("job-retention", 256, "finished jobs kept pollable at /v1/jobs/{id}; oldest evicted past this")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	)
 	flag.Parse()
@@ -68,11 +69,12 @@ func run() error {
 	}
 
 	srv := server.New(server.Config{
-		Addr:       *addr,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Runner:     r,
+		Addr:         *addr,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		JobRetention: *retention,
+		Runner:       r,
 	})
 	if err := srv.Start(); err != nil {
 		return err

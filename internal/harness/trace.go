@@ -131,7 +131,7 @@ func (s *Sweep) runMode(ctx context.Context, app *App, mode cpu.Mode, maxInsts u
 		return cpu.Result{}, ccfg, err
 	}
 	var leadRes cpu.Result
-	t, leader, doErr := tc.Do(key, func() (*trace.Trace, error) {
+	t, leader, doErr := tc.Do(ctx, key, func() (*trace.Trace, error) {
 		tt, res, err := trace.CaptureContext(ctx, p, maxInsts, trace.Meta{
 			Workload:   app.W.Name,
 			Mode:       mode,

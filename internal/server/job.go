@@ -39,9 +39,12 @@ const (
 	JobFailed  JobState = "failed"
 )
 
-// SimRequest is the body of POST /v1/simulate and POST /v1/sweep. Zero
-// values take the matching CLI's defaults (documented per field), which is
-// what keeps service responses byte-identical to CLI output.
+// SimRequest is the body of POST /v1/simulate and POST /v1/sweep. Absent
+// fields take the matching CLI's defaults (documented per field), which is
+// what keeps service responses byte-identical to CLI output. The numeric
+// tuning knobs are pointers so that presence, not value, selects the
+// default: `"seed": 0` means literally seed 0 (handled downstream exactly
+// as the CLIs handle `-seed 0`), while omitting seed means the default.
 type SimRequest struct {
 	// Workload names the built-in workload to simulate (required for
 	// simulate; ignored by sweep).
@@ -54,17 +57,17 @@ type SimRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// Seed is the randomization seed. Default 1 for simulate (vcfrsim's
 	// -seed default) and 42 for sweep (experiments' -seed default).
-	Seed int64 `json:"seed,omitempty"`
+	Seed *int64 `json:"seed,omitempty"`
 	// Spread is the ILR scatter factor. Default 8.
-	Spread int `json:"spread,omitempty"`
+	Spread *int `json:"spread,omitempty"`
 	// Scale multiplies workload iteration counts. Default 1.
-	Scale int `json:"scale,omitempty"`
+	Scale *int `json:"scale,omitempty"`
 	// Instructions caps simulated instructions per run. 0 = to completion.
 	Instructions uint64 `json:"instructions,omitempty"`
 	// DRC is the De-Randomization Cache entry count. Default 128.
-	DRC int `json:"drc,omitempty"`
+	DRC *int `json:"drc,omitempty"`
 	// Width is the issue width. Default 1 (the paper's core).
-	Width int `json:"width,omitempty"`
+	Width *int `json:"width,omitempty"`
 	// CtxSwitchEvery flushes process-private state every N instructions.
 	// Default 0 (never).
 	CtxSwitchEvery uint64 `json:"ctxswitch,omitempty"`
@@ -73,7 +76,9 @@ type SimRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// normalize applies the per-kind CLI defaults and validates the request.
+// normalize applies the per-kind CLI defaults to absent fields and
+// validates the request. After it returns nil, every pointer field is
+// non-nil.
 func (r *SimRequest) normalize(kind JobKind) error {
 	if r.Mode == "" {
 		r.Mode = "vcfr"
@@ -81,24 +86,28 @@ func (r *SimRequest) normalize(kind JobKind) error {
 	if _, err := parseModes(r.Mode); err != nil {
 		return err
 	}
-	if r.Seed == 0 {
-		if kind == JobRun {
-			r.Seed = 1
-		} else {
-			r.Seed = 42
+	if r.Seed == nil {
+		seed := int64(1)
+		if kind != JobRun {
+			seed = 42
 		}
+		r.Seed = &seed
 	}
-	if r.Spread == 0 {
-		r.Spread = 8
+	if r.Spread == nil {
+		spread := 8
+		r.Spread = &spread
 	}
-	if r.Scale == 0 {
-		r.Scale = 1
+	if r.Scale == nil {
+		scale := 1
+		r.Scale = &scale
 	}
-	if r.DRC == 0 {
-		r.DRC = 128
+	if r.DRC == nil {
+		drc := 128
+		r.DRC = &drc
 	}
-	if r.Width == 0 {
-		r.Width = 1
+	if r.Width == nil {
+		width := 1
+		r.Width = &width
 	}
 	if kind == JobRun {
 		if r.Workload == "" {
@@ -120,9 +129,10 @@ func (r *SimRequest) normalize(kind JobKind) error {
 }
 
 // mutate returns the machine-config mutation the request describes —
-// field-for-field the same closure vcfrsim builds from its flags.
+// field-for-field the same closure vcfrsim builds from its flags. Call
+// only after normalize has filled the pointer fields.
 func (r *SimRequest) mutate() func(*cpu.Config) {
-	drc, width, ctxEvery := r.DRC, r.Width, r.CtxSwitchEvery
+	drc, width, ctxEvery := *r.DRC, *r.Width, r.CtxSwitchEvery
 	return func(c *cpu.Config) {
 		c.DRCEntries = drc
 		c.IssueWidth = width
@@ -130,14 +140,15 @@ func (r *SimRequest) mutate() func(*cpu.Config) {
 	}
 }
 
-// config maps the request onto a harness.Config.
+// config maps the request onto a harness.Config. Call only after normalize
+// has filled the pointer fields.
 func (r *SimRequest) config() harness.Config {
 	return harness.Config{
 		Workloads: r.Workloads,
-		Scale:     r.Scale,
+		Scale:     *r.Scale,
 		MaxInsts:  r.Instructions,
-		Seed:      r.Seed,
-		Spread:    r.Spread,
+		Seed:      *r.Seed,
+		Spread:    *r.Spread,
 	}
 }
 
@@ -295,6 +306,7 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 	s.metrics.jobFinished(err == nil, now.Sub(start))
 	close(j.done)
+	s.retireJob(j)
 }
 
 // execute is the production job executor (tests substitute s.exec): the

@@ -44,6 +44,15 @@ func (m *metrics) jobAccepted() {
 	m.queued++
 }
 
+// jobAcceptRolledBack undoes one jobAccepted for a job that was registered
+// optimistically but then bounced off a full queue.
+func (m *metrics) jobAcceptRolledBack() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepted--
+	m.queued--
+}
+
 func (m *metrics) jobRejected() {
 	m.mu.Lock()
 	defer m.mu.Unlock()

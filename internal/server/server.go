@@ -56,6 +56,11 @@ type Config struct {
 	// JobTimeout is the default per-job execution deadline; requests may
 	// shorten it per job (timeout_ms) but never extend it. 0 = none.
 	JobTimeout time.Duration
+	// JobRetention caps how many finished jobs (and their result envelopes)
+	// stay pollable at /v1/jobs/{id}; beyond it the oldest-finished are
+	// evicted, which is what keeps a long-running instance's memory bounded.
+	// <= 0 means 256.
+	JobRetention int
 	// Runner executes jobs. nil builds a default runner with a 256 MiB
 	// trace cache. Give it a trace.Cache to share captures across requests.
 	Runner *harness.Runner
@@ -67,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 256
 	}
 	if c.Runner == nil {
 		c.Runner = harness.NewRunner(0)
@@ -89,6 +97,7 @@ type Server struct {
 	queue    chan *Job
 	jobMu    sync.Mutex
 	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention eviction
 	jobSeq   atomic.Uint64
 	wg       sync.WaitGroup // job workers
 	intakeMu sync.Mutex     // serializes enqueue vs. shutdown's queue close
@@ -201,23 +210,45 @@ var (
 
 // enqueue registers j and admits it to the bounded queue without blocking:
 // a full queue is backpressure the caller must see, not hidden latency.
+// Registration and accounting happen before the channel send — a worker can
+// dequeue j the instant it enters the channel, and jobStarted must never
+// run against a job the accepted counters haven't seen (the queued gauge
+// would dip negative and /v1/jobs/{id} would briefly 404 a running job).
 func (s *Server) enqueue(j *Job) error {
 	s.intakeMu.Lock()
 	defer s.intakeMu.Unlock()
 	if s.draining {
 		return errDraining
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.metrics.jobRejected()
-		return errQueueFull
-	}
 	s.jobMu.Lock()
 	s.jobs[j.ID] = j
 	s.jobMu.Unlock()
 	s.metrics.jobAccepted()
+	select {
+	case s.queue <- j:
+	default:
+		s.jobMu.Lock()
+		delete(s.jobs, j.ID)
+		s.jobMu.Unlock()
+		s.metrics.jobAcceptRolledBack()
+		s.metrics.jobRejected()
+		return errQueueFull
+	}
 	return nil
+}
+
+// retireJob records j as finished and evicts the oldest finished jobs past
+// the retention bound, so completed envelopes don't accumulate for the life
+// of the process. Waiters holding the *Job (the synchronous simulate path)
+// are unaffected — eviction only drops the map entry that serves polling.
+func (s *Server) retireJob(j *Job) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.JobRetention {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
 }
 
 func (s *Server) newJob(kind JobKind, req SimRequest) *Job {

@@ -187,6 +187,15 @@ func TestBackpressure429(t *testing.T) {
 		t.Errorf("simulate under full queue: %d, want 429", resp.StatusCode)
 	}
 
+	// Bounced jobs must leave no trace in the accounting: only jobs 1 and 2
+	// were admitted, and both rejections counted.
+	_, metricsBody := get(t, s, "/metrics")
+	for _, want := range []string{"vcfrd_jobs_accepted_total 2", "vcfrd_jobs_rejected_total 2"} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q after rollback", want)
+		}
+	}
+
 	close(release)
 	select {
 	case <-started:
@@ -262,6 +271,78 @@ func TestShutdownDrains(t *testing.T) {
 	s.jobMu.Unlock()
 	if j == nil || j.State() != JobDone {
 		t.Errorf("drained job state = %v, want done", j.State())
+	}
+}
+
+// TestFinishedJobRetention proves completed jobs do not accumulate for the
+// life of the process: past the retention bound the oldest-finished jobs
+// (and their result envelopes) are evicted from /v1/jobs/{id}, while the
+// newest stay pollable.
+func TestFinishedJobRetention(t *testing.T) {
+	s := startServer(t, Config{Workers: 1, QueueDepth: 4, JobRetention: 2})
+	s.exec = func(ctx context.Context, j *Job) (results.Envelope, error) {
+		return results.NewRun(results.Run{Workload: j.Req.Workload}), nil
+	}
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp, body := post(t, s, "/v1/simulate", `{"workload": "lbm"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %d: %d: %s", i, resp.StatusCode, body)
+		}
+		ids = append(ids, resp.Header.Get("X-Job-Id"))
+	}
+
+	// The last job's retirement (which evicts ids[1]) may still be racing
+	// the response; poll for the eviction instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp0, _ := get(t, s, "/v1/jobs/"+ids[0])
+		resp1, _ := get(t, s, "/v1/jobs/"+ids[1])
+		if resp0.StatusCode == http.StatusNotFound && resp1.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oldest jobs not evicted: %s=%d %s=%d, want 404s", ids[0], resp0.StatusCode, ids[1], resp1.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, id := range ids[2:] {
+		if resp, _ := get(t, s, "/v1/jobs/"+id); resp.StatusCode != http.StatusOK {
+			t.Errorf("recent job %s: %d, want 200 (still within retention)", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestNormalizeExplicitZero locks the zero-vs-unset distinction: an explicit
+// zero in the request survives normalize (reaching the harness exactly as a
+// CLI `-seed 0` etc. would), while absent fields take the per-kind defaults.
+func TestNormalizeExplicitZero(t *testing.T) {
+	zero64, zero := int64(0), 0
+	r := SimRequest{Workload: "lbm", Seed: &zero64, Spread: &zero, Scale: &zero, DRC: &zero, Width: &zero}
+	if err := r.normalize(JobRun); err != nil {
+		t.Fatal(err)
+	}
+	if *r.Seed != 0 || *r.Spread != 0 || *r.Scale != 0 || *r.DRC != 0 || *r.Width != 0 {
+		t.Errorf("explicit zeros rewritten: seed=%d spread=%d scale=%d drc=%d width=%d, want all 0",
+			*r.Seed, *r.Spread, *r.Scale, *r.DRC, *r.Width)
+	}
+
+	run := SimRequest{Workload: "lbm"}
+	if err := run.normalize(JobRun); err != nil {
+		t.Fatal(err)
+	}
+	if *run.Seed != 1 || *run.Spread != 8 || *run.Scale != 1 || *run.DRC != 128 || *run.Width != 1 {
+		t.Errorf("simulate defaults: seed=%d spread=%d scale=%d drc=%d width=%d, want 1/8/1/128/1",
+			*run.Seed, *run.Spread, *run.Scale, *run.DRC, *run.Width)
+	}
+
+	sweep := SimRequest{}
+	if err := sweep.normalize(JobSweep); err != nil {
+		t.Fatal(err)
+	}
+	if *sweep.Seed != 42 {
+		t.Errorf("sweep default seed = %d, want 42", *sweep.Seed)
 	}
 }
 

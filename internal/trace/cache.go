@@ -2,6 +2,8 @@ package trace
 
 import (
 	"container/list"
+	"context"
+	"fmt"
 	"sync"
 
 	"vcfr/internal/cpu"
@@ -113,12 +115,19 @@ func (c *Cache) Put(k Key, t *Trace) {
 // sealed trace is inserted and handed to every waiter. Followers that
 // arrive while the leader is capturing block until it finishes and receive
 // the same trace — or the leader's error, in which case they are free to
-// fall back to executing themselves.
+// fall back to executing themselves. A follower stops waiting when its own
+// ctx expires (returning ctx.Err()), so one slow leader cannot hold a
+// coalesced request past that request's deadline.
 //
 // This closes the double-capture race: without it, two concurrent cells
 // with the same (image hash, seed, mode, cap) key would both miss Get and
 // both pay a full execute-driven capture.
-func (c *Cache) Do(k Key, capture func() (*Trace, error)) (t *Trace, leader bool, err error) {
+//
+// If capture panics, the flight is unregistered and its waiters released
+// with an error before the panic is re-raised to the leader, so a panic
+// cannot poison the key: followers fall back, and the next Do for k runs a
+// fresh capture.
+func (c *Cache) Do(ctx context.Context, k Key, capture func() (*Trace, error)) (t *Trace, leader bool, err error) {
 	if c == nil {
 		t, err = capture()
 		return t, true, err
@@ -137,8 +146,14 @@ func (c *Cache) Do(k Key, capture func() (*Trace, error)) (t *Trace, leader bool
 		// that matters for the counters.
 		c.hits++
 		c.mu.Unlock()
-		<-f.done
-		return f.t, false, f.err
+		select {
+		case <-f.done:
+			return f.t, false, f.err
+		case <-ctx.Done():
+			// The leader keeps capturing (its own ctx governs it); this
+			// follower just refuses to outwait its deadline.
+			return nil, false, ctx.Err()
+		}
 	}
 	c.misses++
 	f := &flight{done: make(chan struct{})}
@@ -148,15 +163,28 @@ func (c *Cache) Do(k Key, capture func() (*Trace, error)) (t *Trace, leader bool
 	c.flights[k] = f
 	c.mu.Unlock()
 
+	defer func() {
+		if r := recover(); r != nil {
+			f.t, f.err = nil, fmt.Errorf("trace capture panicked: %v", r)
+			c.unregister(k)
+			close(f.done)
+			panic(r)
+		}
+		if f.err == nil {
+			c.Put(k, f.t)
+		}
+		c.unregister(k)
+		close(f.done)
+	}()
 	f.t, f.err = capture()
-	if f.err == nil {
-		c.Put(k, f.t)
-	}
+	return f.t, true, f.err
+}
+
+// unregister removes k's in-flight marker.
+func (c *Cache) unregister(k Key) {
 	c.mu.Lock()
 	delete(c.flights, k)
 	c.mu.Unlock()
-	close(f.done)
-	return f.t, true, f.err
 }
 
 // Drop removes k from the cache (used when a cached trace proves stale —

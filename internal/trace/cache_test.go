@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"vcfr/internal/cpu"
 )
@@ -46,7 +48,7 @@ func TestDoSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			started.Done()
-			tr, leader, err := c.Do(k, capture)
+			tr, leader, err := c.Do(context.Background(), k, capture)
 			if err != nil {
 				t.Error(err)
 				return
@@ -87,7 +89,7 @@ func TestDoCachedHit(t *testing.T) {
 	want := tinyTrace("lbm")
 	c.Put(k, want)
 
-	got, leader, err := c.Do(k, func() (*Trace, error) {
+	got, leader, err := c.Do(context.Background(), k, func() (*Trace, error) {
 		t.Fatal("capture ran despite cached trace")
 		return nil, nil
 	})
@@ -103,15 +105,106 @@ func TestDoLeaderError(t *testing.T) {
 	k := Key{ImageHash: 2}
 	boom := errors.New("capture failed")
 
-	if _, _, err := c.Do(k, func() (*Trace, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), k, func() (*Trace, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("leader error = %v, want %v", err, boom)
 	}
 	if _, ok := c.Get(k); ok {
 		t.Error("failed capture was cached")
 	}
 	// The key is not poisoned: the next Do runs a fresh capture.
-	tr, leader, err := c.Do(k, func() (*Trace, error) { return tinyTrace("x"), nil })
+	tr, leader, err := c.Do(context.Background(), k, func() (*Trace, error) { return tinyTrace("x"), nil })
 	if err != nil || !leader || tr == nil {
 		t.Errorf("retry after failure = (%p, leader=%v, %v), want fresh leader capture", tr, leader, err)
+	}
+}
+
+// TestDoLeaderPanic proves a panicking capture cannot poison the key: the
+// panic propagates to the leader, followers are released with an error
+// instead of blocking forever, and the next Do runs a fresh capture.
+func TestDoLeaderPanic(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{ImageHash: 3}
+
+	inCapture := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic was swallowed")
+			}
+		}()
+		_, _, _ = c.Do(context.Background(), k, func() (*Trace, error) {
+			close(inCapture)
+			<-release
+			panic("capture blew up")
+		})
+	}()
+
+	<-inCapture
+	type outcome struct {
+		tr  *Trace
+		err error
+	}
+	followerDone := make(chan outcome, 1)
+	go func() {
+		tr, _, err := c.Do(context.Background(), k, func() (*Trace, error) { return tinyTrace("y"), nil })
+		followerDone <- outcome{tr, err}
+	}()
+	// Give the follower a moment to join the flight, then trip the panic.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case o := <-followerDone:
+		// Joined the flight → released with the panic error; raced past the
+		// cleanup → led its own successful capture. Both are panic-free;
+		// what must never happen is blocking forever below.
+		if o.err == nil && o.tr == nil {
+			t.Error("follower returned neither a trace nor an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower still blocked after the leader panicked: key is poisoned")
+	}
+
+	// The key is clean: the next Do leads a fresh, successful capture.
+	tr, leader, err := c.Do(context.Background(), k, func() (*Trace, error) { return tinyTrace("z"), nil })
+	if err != nil || !leader || tr == nil {
+		t.Errorf("Do after panic = (%p, leader=%v, %v), want fresh leader capture", tr, leader, err)
+	}
+}
+
+// TestDoFollowerDeadline proves a coalesced follower honors its own context
+// while the leader is still capturing, instead of inheriting the leader's
+// pace.
+func TestDoFollowerDeadline(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := Key{ImageHash: 4}
+
+	inCapture := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = c.Do(context.Background(), k, func() (*Trace, error) {
+			close(inCapture)
+			<-release
+			return tinyTrace("slow"), nil
+		})
+	}()
+	<-inCapture
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, k, func() (*Trace, error) { return tinyTrace("never"), nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("follower error = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower ignored its deadline while coalesced behind a slow leader")
 	}
 }
