@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke
+.PHONY: all build test test-short bench bench-pipeline experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke
 
 all: build test
 
@@ -38,9 +38,15 @@ fmtcheck:
 cover:
 	$(GO) test -cover ./internal/...
 
-# Every table and figure of the paper, as testing.B benchmarks.
-bench:
+# Every table and figure of the paper, as testing.B benchmarks, plus the
+# archived pipeline baseline (BENCH_pipeline.json).
+bench: bench-pipeline
 	$(GO) test -bench=. -benchmem ./...
+
+# The fig13+fig14 DRC-sweep acceptance benchmark, archived as JSON
+# (ns/op and ns per simulated instruction) for before/after comparison.
+bench-pipeline:
+	./scripts/bench_pipeline.sh
 
 # Every table and figure, as readable text tables.
 experiments:

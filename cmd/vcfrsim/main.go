@@ -31,10 +31,12 @@ import (
 
 	"vcfr/internal/core"
 	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
 	"vcfr/internal/harness"
 	"vcfr/internal/ilr"
 	"vcfr/internal/power"
 	"vcfr/internal/results"
+	"vcfr/internal/stats"
 	"vcfr/internal/trace"
 	"vcfr/internal/workloads"
 )
@@ -63,6 +65,8 @@ func run() error {
 		record   = flag.String("record", "", "capture the run into a trace file (single mode only)")
 		replayF  = flag.String("replay", "", "replay a trace file through the configured machine (mode taken from the trace)")
 		jsonOut  = flag.Bool("stats-json", false, "emit a versioned results.Envelope as JSON instead of the text report")
+		interval = flag.Uint64("interval", 0, "snapshot counters every N instructions; the per-window series lands in the envelope's intervals field")
+		emulate  = flag.Bool("emulate", false, "also run the software-ILR emulation and report its counters (emulated-ilr row under -stats-json)")
 	)
 	flag.Parse()
 
@@ -85,11 +89,20 @@ func run() error {
 		c.DRCEntries = *drc
 		c.IssueWidth = *width
 		c.ContextSwitchEvery = *ctxEvery
+		c.SampleEvery = *interval
 	}
 	ccfgOf := func(m cpu.Mode) cpu.Config {
 		c := cpu.DefaultConfig(m)
 		mutate(&c)
 		return c
+	}
+	// Flag bounds live in exactly one place — cpu.Config.Validate, the same
+	// check the vcfrd service applies to request bodies — so a bad -drc or
+	// -width fails here with the same message a bad HTTP request gets.
+	for _, m := range modes {
+		if err := ccfgOf(m).Validate(); err != nil {
+			return err
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -99,7 +112,7 @@ func run() error {
 	// exact entry point the vcfrd service uses (harness.SimulateRuns +
 	// results.Marshal), so `vcfrsim -workload W -stats-json` and
 	// `POST /v1/simulate {"workload": "W", ...}` produce identical bytes.
-	if *jsonOut && *workload != "" && *bundle == "" && *record == "" && *replayF == "" && flag.NArg() == 0 {
+	if *jsonOut && *workload != "" && *bundle == "" && *record == "" && *replayF == "" && !*emulate && flag.NArg() == 0 {
 		cfg := harness.Config{Scale: *scale, MaxInsts: *maxInsts, Seed: *seed, Spread: *spread}
 		rows, err := harness.SimulateRuns(ctx, harness.NewRunner(1), *workload, modes, cfg, mutate)
 		if err != nil {
@@ -146,26 +159,59 @@ func run() error {
 	default:
 		return fmt.Errorf("need -workload or a source file; see -h")
 	}
-	_ = input // workload inputs are empty today; kept for interface symmetry
 
 	// With -stats-json, every remaining path accumulates envelope rows and
 	// emits one results.Envelope at the end instead of text reports.
 	var jsonRows []results.Run
 	emit := func(w io.Writer, m cpu.Mode, res cpu.Result) error {
 		if *jsonOut {
-			jsonRows = append(jsonRows, results.Run{
-				Workload: name,
-				Mode:     m.String(),
-				Seed:     *seed,
-				Config:   ccfgOf(m),
-				Result:   res,
-			})
+			row := results.Run{
+				Workload:  name,
+				Mode:      m.String(),
+				Seed:      *seed,
+				Config:    ccfgOf(m),
+				Result:    res,
+				Intervals: results.MakeIntervals(res.Intervals),
+			}
+			if m != cpu.ModeBaseline {
+				st := sys.Stats()
+				row.Ilr = &st
+			}
+			jsonRows = append(jsonRows, row)
 			return nil
 		}
 		report(w, m, res, *drc)
 		return nil
 	}
+	// -emulate appends the software-ILR emulation's counters — the emu.Stats
+	// that used to be reachable only through the interpreter paths — as an
+	// extra emulated-ilr row (or text block) after the pipeline modes.
+	emitEmulated := func() error {
+		if !*emulate {
+			return nil
+		}
+		rr, err := sys.Run(core.ExecEmulated, input...)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			st, ilrSt := rr.Stats, sys.Stats()
+			jsonRows = append(jsonRows, results.Run{
+				Workload: name,
+				Mode:     "emulated-ilr",
+				Seed:     *seed,
+				Emu:      &st,
+				Ilr:      &ilrSt,
+			})
+			return nil
+		}
+		reportEmulated(os.Stdout, rr.Stats)
+		return nil
+	}
 	finish := func() error {
+		if err := emitEmulated(); err != nil {
+			return err
+		}
 		if !*jsonOut {
 			return nil
 		}
@@ -270,7 +316,7 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+	return finish()
 }
 
 // simulate runs one mode, optionally tracing the first traceN instructions.
@@ -308,29 +354,55 @@ func parseModes(s string) ([]cpu.Mode, error) {
 	}
 }
 
+// report renders the text report by resolving canonical names against the
+// statistics spine (the run's value-backed registry) instead of naming
+// struct fields a second time; the output bytes are unchanged from the
+// pre-spine report.
 func report(w io.Writer, mode cpu.Mode, res cpu.Result, drcEntries int) {
-	s := res.Stats
+	snap := res.Registry().Snapshot()
+	u := func(key string) uint64 {
+		v, _ := snap.Uint(key)
+		return v
+	}
+	rate := func(numKey, denKey string) float64 {
+		num, den := u(numKey), u(denKey)
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
 	fmt.Fprintf(w, "=== %s ===\n", mode)
-	fmt.Fprintf(w, "instructions  %d\n", s.Instructions)
-	fmt.Fprintf(w, "cycles        %d\n", s.Cycles)
-	fmt.Fprintf(w, "IPC           %.3f\n", s.IPC())
+	fmt.Fprintf(w, "instructions  %d\n", u("cpu.instructions"))
+	fmt.Fprintf(w, "cycles        %d\n", u("cpu.cycles"))
+	fmt.Fprintf(w, "IPC           %.3f\n", rate("cpu.instructions", "cpu.cycles"))
 	fmt.Fprintf(w, "stalls        fetch=%d mem=%d exec=%d control=%d drc=%d\n",
-		s.FetchStall, s.MemStall, s.ExecStall, s.ControlStall, s.DRCStall)
+		u("cpu.stall.fetch"), u("cpu.stall.mem"), u("cpu.stall.exec"),
+		u("cpu.stall.control"), u("cpu.stall.drc"))
+	prefetchSettled := u("mem.il1.prefetch.useful") + u("mem.il1.prefetch.useless")
+	prefetchUseless := 0.0
+	if prefetchSettled > 0 {
+		prefetchUseless = float64(u("mem.il1.prefetch.useless")) / float64(prefetchSettled)
+	}
 	fmt.Fprintf(w, "il1           accesses=%d miss=%.2f%% prefetch-useless=%.1f%%\n",
-		res.IL1.Accesses, 100*res.IL1.MissRate(), 100*res.IL1.PrefetchMissRate())
+		u("mem.il1.accesses"), 100*rate("mem.il1.misses", "mem.il1.accesses"), 100*prefetchUseless)
 	fmt.Fprintf(w, "dl1           accesses=%d miss=%.2f%%\n",
-		res.DL1.Accesses, 100*res.DL1.MissRate())
+		u("mem.dl1.accesses"), 100*rate("mem.dl1.misses", "mem.dl1.accesses"))
 	fmt.Fprintf(w, "l2            accesses=%d miss=%.2f%%\n",
-		res.L2.Accesses, 100*res.L2.MissRate())
+		u("mem.l2.accesses"), 100*rate("mem.l2.misses", "mem.l2.accesses"))
 	fmt.Fprintf(w, "dram          accesses=%d row-hit=%.1f%%\n",
-		res.DRAM.Accesses, 100*res.DRAM.RowHitRate())
+		u("dram.accesses"), 100*rate("dram.row_hits", "dram.accesses"))
+	condAcc := 0.0
+	if u("bpred.cond.lookups") > 0 {
+		condAcc = 1 - rate("bpred.cond.mispredicts", "bpred.cond.lookups")
+	}
 	fmt.Fprintf(w, "bpred         cond-acc=%.2f%% btb-miss=%d ras-mispred=%d\n",
-		100*res.BPred.CondAccuracy(), res.BPred.BTBMisses, res.BPred.RASMispred)
-	fmt.Fprintf(w, "itlb          accesses=%d misses=%d\n", s.ITLBAccesses, s.ITLBMisses)
+		100*condAcc, u("bpred.btb.misses"), u("bpred.ras.mispredicts"))
+	fmt.Fprintf(w, "itlb          accesses=%d misses=%d\n",
+		u("cpu.itlb.accesses"), u("cpu.itlb.misses"))
 	if mode == cpu.ModeVCFR {
 		fmt.Fprintf(w, "drc           lookups=%d miss=%.2f%% (rand=%d derand=%d walks=%d)\n",
-			res.DRC.Lookups, 100*res.DRC.MissRate(),
-			res.DRC.RandLookups, res.DRC.DerandLookups, res.DRC.TableWalks)
+			u("drc.lookups"), 100*rate("drc.misses", "drc.lookups"),
+			u("drc.lookups.rand"), u("drc.lookups.derand"), u("drc.table_walks"))
 		cfg := cpu.DefaultConfig(mode)
 		cfg.DRCEntries = drcEntries
 		b := power.DefaultModel().Analyze(res, cfg)
@@ -342,5 +414,25 @@ func report(w io.Writer, mode cpu.Mode, res cpu.Result, drcEntries int) {
 	if len(res.Out) > 0 && len(res.Out) < 64 {
 		fmt.Fprintf(w, "output        %q\n", res.Out)
 	}
+	fmt.Fprintln(w)
+}
+
+// reportEmulated prints the software-ILR emulation counters, likewise
+// resolved through the spine.
+func reportEmulated(w io.Writer, st emu.Stats) {
+	reg := stats.New()
+	st.Register(reg)
+	snap := reg.Snapshot()
+	u := func(key string) uint64 {
+		v, _ := snap.Uint(key)
+		return v
+	}
+	fmt.Fprintf(w, "=== emulated-ilr ===\n")
+	fmt.Fprintf(w, "instructions  %d\n", u("emu.instructions"))
+	fmt.Fprintf(w, "host-cycles   %d\n", u("emu.host_cycles"))
+	fmt.Fprintf(w, "control       taken=%d calls=%d rets=%d indirect=%d\n",
+		u("emu.taken"), u("emu.calls"), u("emu.rets"), u("emu.indirect_cf"))
+	fmt.Fprintf(w, "memory        loads=%d stores=%d\n", u("emu.loads"), u("emu.stores"))
+	fmt.Fprintf(w, "unrandomized  %d\n", u("emu.unrandomized"))
 	fmt.Fprintln(w)
 }

@@ -100,6 +100,14 @@ type Config struct {
 	// (Sec. IV-B), so the DRC restarts cold on every switch-in.
 	ContextSwitchEvery uint64
 
+	// SampleEvery, when nonzero, snapshots the live counter registry every
+	// N instructions during RunContext (plus once at run end), filling
+	// Result.Intervals with cumulative readings. Consumers turn consecutive
+	// snapshots into per-window IPC/miss-rate series (results.Interval).
+	// 0 disables sampling; the hot loop then pays a single always-false
+	// compare per instruction.
+	SampleEvery uint64
+
 	// PredictOnRPC indexes the branch predictor with randomized addresses
 	// instead of de-randomized ones — the ablation showing why VCFR keeps
 	// prediction in the original space (Sec. IV-D).

@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"testing"
+
+	"vcfr/internal/stats"
+)
+
+// TestIntervalDeltasSumToTotals is the sampling spine's conservation
+// property: for every counter, the per-window increments (consecutive
+// snapshot Deltas, with the first window measured against zero) must sum to
+// exactly the run's final total, and every mid-run snapshot must be monotonic
+// with respect to its predecessor. A counter that is ever decremented, or a
+// sampling hook that loses a window, breaks one of the two.
+func TestIntervalDeltasSumToTotals(t *testing.T) {
+	res := rewriteSrc(t, "callheavy", callHeavySrc)
+	for _, mode := range []Mode{ModeBaseline, ModeNaiveILR, ModeVCFR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			out := runPipe(t, res, mode, func(c *Config) { c.SampleEvery = 1000 })
+			snaps := out.Intervals
+			if len(snaps) < 2 {
+				t.Fatalf("got %d snapshots, want >= 2 (run is %d instructions, window 1000)",
+					len(snaps), out.Stats.Instructions)
+			}
+
+			for i := 1; i < len(snaps); i++ {
+				if err := snaps[i].Monotonic(snaps[i-1]); err != nil {
+					t.Fatalf("snapshot %d not monotonic over %d: %v", i, i-1, err)
+				}
+			}
+
+			// Accumulate the window increments counter by counter.
+			sums := make(map[string]uint64)
+			var prev stats.Snapshot
+			for i, s := range snaps {
+				win := s
+				if i > 0 {
+					d, err := s.Delta(prev)
+					if err != nil {
+						t.Fatalf("Delta(%d, %d): %v", i, i-1, err)
+					}
+					win = d
+				}
+				win.Each(func(d stats.Desc, v stats.Value) {
+					if d.Kind == stats.KindCounter {
+						sums[d.Name] += v.U
+					}
+				})
+				prev = s
+			}
+
+			// The sums must equal the finished run's totals. Result.Registry
+			// registers drc.* unconditionally while the live registry only has
+			// them under VCFR; a name the live run never sampled must total 0.
+			final := out.Registry().Snapshot()
+			checked := 0
+			final.Each(func(d stats.Desc, v stats.Value) {
+				if d.Kind != stats.KindCounter {
+					return
+				}
+				checked++
+				got, sampled := sums[d.Name]
+				if !sampled && v.U != 0 {
+					t.Errorf("%s: final total %d but counter never sampled", d.Name, v.U)
+					return
+				}
+				if got != v.U {
+					t.Errorf("%s: interval deltas sum to %d, final total %d", d.Name, got, v.U)
+				}
+			})
+			if checked == 0 {
+				t.Fatal("final registry exposed no counters")
+			}
+			if sums["cpu.instructions"] != out.Stats.Instructions {
+				t.Errorf("cpu.instructions deltas sum to %d, Result says %d",
+					sums["cpu.instructions"], out.Stats.Instructions)
+			}
+		})
+	}
+}
+
+// TestSamplingOffKeepsIntervalsEmpty pins the default: no SampleEvery, no
+// snapshots, no per-run allocation.
+func TestSamplingOffKeepsIntervalsEmpty(t *testing.T) {
+	res := rewriteSrc(t, "fib", fibSrc)
+	out := runPipe(t, res, ModeVCFR, nil)
+	if len(out.Intervals) != 0 {
+		t.Errorf("sampling off produced %d snapshots, want 0", len(out.Intervals))
+	}
+}
+
+// TestClusterRegistriesLabelled checks the multi-core dimension: each core's
+// registry carries a core="<i>" label on every entry, so per-core series stay
+// distinguishable when merged into one exposition.
+func TestClusterRegistriesLabelled(t *testing.T) {
+	res := rewriteSrc(t, "fib", fibSrc)
+	cfg := DefaultConfig(ModeVCFR)
+	cl, err := NewCluster(cfg, []ClusterProc{
+		{Img: res.VCFR, Trans: res.Tables, RandRA: res.RandRA},
+		{Img: res.VCFR, Trans: res.Tables, RandRA: res.RandRA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := cl.Registries()
+	if len(regs) != 2 {
+		t.Fatalf("Registries() = %d, want one per core", len(regs))
+	}
+	for i, r := range regs {
+		want := `core="` + string(rune('0'+i)) + `"`
+		if r.Labels() != want {
+			t.Errorf("core %d labels = %q, want %q", i, r.Labels(), want)
+		}
+		s := r.Snapshot()
+		if s.Len() == 0 {
+			t.Fatalf("core %d registry is empty", i)
+		}
+		s.Each(func(d stats.Desc, _ stats.Value) {
+			if d.Labels != want {
+				t.Errorf("core %d entry %s labels = %q, want %q", i, d.Name, d.Labels, want)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"vcfr/internal/isa"
 	"vcfr/internal/mem"
 	"vcfr/internal/program"
+	"vcfr/internal/stats"
 )
 
 // Stats aggregates one simulation's counters.
@@ -63,6 +64,12 @@ type Result struct {
 	Out      []byte
 	ExitCode uint32
 	Halted   bool
+
+	// Intervals holds the cumulative mid-run snapshots taken every
+	// Config.SampleEvery instructions (plus one at run end); empty when
+	// sampling is off. It is excluded from the Result's JSON shape — the
+	// wire form is the derived results.Interval series.
+	Intervals []stats.Snapshot `json:"-"`
 }
 
 // ErrControlViolation mirrors emu.ErrControlViolation for the pipeline: a
@@ -101,6 +108,12 @@ type Pipeline struct {
 	tableSlots uint32
 	itlb       *itlb
 	stats      Stats
+
+	// reg is the lazily built live counter registry (see register.go);
+	// intervals accumulates the cumulative snapshots Config.SampleEvery
+	// asks for.
+	reg       *stats.Registry
+	intervals []stats.Snapshot
 
 	// pendingDerands counts auto-de-randomizing stack-bitmap loads performed
 	// by the current instruction (timing charged after Exec).
@@ -868,12 +881,25 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 		maxInsts = emu.DefaultMaxSteps
 	}
 	next := p.stats.Instructions + cancelCheckEvery
+	// Interval sampling piggybacks on the same threshold pattern as the
+	// cancellation check: one uint64 compare per instruction when sampling
+	// is off, so the hot loop pays nothing for the spine.
+	sampleEvery := p.cfg.SampleEvery
+	nextSample := ^uint64(0)
+	if sampleEvery > 0 {
+		p.Registry() // build p.reg before the loop
+		nextSample = p.stats.Instructions + sampleEvery
+	}
 	for p.stats.Instructions < maxInsts {
 		if p.stats.Instructions >= next {
 			next = p.stats.Instructions + cancelCheckEvery
 			if err := ctx.Err(); err != nil {
 				return p.result(), err
 			}
+		}
+		if p.stats.Instructions >= nextSample {
+			p.intervals = append(p.intervals, p.reg.Snapshot())
+			nextSample = p.stats.Instructions + sampleEvery
 		}
 		running, err := p.Step()
 		if err != nil {
@@ -883,7 +909,20 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 			break
 		}
 	}
+	if sampleEvery > 0 {
+		// Close the final (possibly partial) window unless the run ended
+		// exactly on the last sampled boundary.
+		if n := len(p.intervals); n == 0 || snapshotInsts(p.intervals[n-1]) < p.stats.Instructions {
+			p.intervals = append(p.intervals, p.reg.Snapshot())
+		}
+	}
 	return p.result(), nil
+}
+
+// snapshotInsts reads the committed-instruction count out of a snapshot.
+func snapshotInsts(s stats.Snapshot) uint64 {
+	v, _ := s.Uint("cpu.instructions")
+	return v
 }
 
 func (p *Pipeline) result() Result {
@@ -903,5 +942,6 @@ func (p *Pipeline) result() Result {
 	if p.drc != nil {
 		r.DRC = p.drc.stats
 	}
+	r.Intervals = p.intervals
 	return r
 }

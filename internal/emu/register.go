@@ -1,0 +1,21 @@
+package emu
+
+import "vcfr/internal/stats"
+
+// Register registers the interpreter's counters into the statistics spine
+// under the emu.* names (see internal/stats). The emulator is the
+// functional golden model, so its counters describe the instruction stream,
+// not timing.
+func (s *Stats) Register(r *stats.Registry) {
+	sc := r.Scope("emu")
+	sc.Counter("instructions", "Instructions interpreted.", &s.Instructions)
+	sc.Counter("taken", "Executed taken control transfers.", &s.Taken)
+	sc.Counter("calls", "Executed calls.", &s.Calls)
+	sc.Counter("rets", "Executed returns.", &s.Rets)
+	sc.Counter("indirect_cf", "Executed indirect transfers (jmpr/callr/ret).", &s.IndirectCF)
+	sc.Counter("loads", "Executed loads.", &s.Loads)
+	sc.Counter("stores", "Executed stores.", &s.Stores)
+	sc.Counter("syscalls", "Executed syscalls.", &s.Syscalls)
+	sc.Counter("host_cycles", "Accumulated cost-model cycles (software ILR emulation).", &s.HostCycles)
+	sc.Counter("unrandomized", "Instructions executed at un-randomized addresses (VCFR failover).", &s.Unrandomized)
+}

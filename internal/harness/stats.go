@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"strings"
+	"sync"
 
 	"vcfr/internal/cpu"
 	"vcfr/internal/results"
@@ -35,34 +36,66 @@ var statsModes = [...]cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
 // semantics can check results.Run.Failed on each row, or wrap the rows with
 // results.NewSweep, which derives the Partial flag.
 func StatsSweep(ctx context.Context, r *Runner, cfg Config) ([]results.Run, error) {
+	return StatsSweepProgress(ctx, r, cfg, nil)
+}
+
+// Progress is a sweep's live completion state, reported after each finished
+// cell: how many cells are done, how many the sweep has in total, and the
+// simulated instructions accumulated by the finished cells (read from the
+// statistics spine). Cells served from a disk results cache do not execute
+// and therefore do not report.
+type Progress struct {
+	CellsDone    int    `json:"cells_done"`
+	CellsTotal   int    `json:"cells_total"`
+	Instructions uint64 `json:"instructions"`
+}
+
+// StatsSweepProgress is StatsSweep with a live progress callback: onProgress
+// (when non-nil) is invoked after every executed cell, from worker
+// goroutines, with a consistent cumulative Progress. The vcfrd service feeds
+// this into GET /v1/jobs/{id} so a running sweep is observable mid-flight.
+func StatsSweepProgress(ctx context.Context, r *Runner, cfg Config, onProgress func(Progress)) ([]results.Run, error) {
 	s := r.Sweep(ctx, "stats")
 	cfg = cfg.withDefaults()
-	cells := s.mapCells(cfg, cfg.names(workloads.SpecNames),
+	names := cfg.names(workloads.SpecNames)
+	var (
+		progMu sync.Mutex
+		prog   = Progress{CellsTotal: len(names)}
+	)
+	report := func(insts uint64) {
+		if onProgress == nil {
+			return
+		}
+		progMu.Lock()
+		prog.CellsDone++
+		prog.Instructions += insts
+		p := prog
+		progMu.Unlock()
+		onProgress(p)
+	}
+	cells := s.mapCells(cfg, names,
 		func(ctx context.Context, cfg Config, name string) (Cell, error) {
 			app, err := s.prepare(ctx, name, cfg)
 			if err != nil {
 				return Cell{}, err
 			}
 			var rows [][]string
+			var cellInsts uint64
 			for _, mode := range statsModes {
 				res, ccfg, err := s.runMode(ctx, app, mode, cfg.MaxInsts, nil)
 				if err != nil {
 					return Cell{}, err
 				}
+				cellInsts += res.Stats.Instructions
 				// Cells carry [][]string rows (and must stay cacheable), so
 				// the structured row travels JSON-encoded in a single column.
-				enc, err := encodeStatsRow(results.Run{
-					Workload: name,
-					Mode:     mode.String(),
-					Seed:     cfg.Seed,
-					Config:   ccfg,
-					Result:   res,
-				})
+				enc, err := encodeStatsRow(runRow(name, mode, cfg.Seed, ccfg, res, app))
 				if err != nil {
 					return Cell{}, err
 				}
 				rows = append(rows, []string{enc})
 			}
+			report(cellInsts)
 			return Cell{Rows: rows}, nil
 		})
 
@@ -111,15 +144,29 @@ func SimulateRuns(ctx context.Context, r *Runner, name string, modes []cpu.Mode,
 		if err != nil {
 			return rows, err
 		}
-		rows = append(rows, results.Run{
-			Workload: name,
-			Mode:     mode.String(),
-			Seed:     cfg.Seed,
-			Config:   ccfg,
-			Result:   res,
-		})
+		rows = append(rows, runRow(name, mode, cfg.Seed, ccfg, res, app))
 	}
 	return rows, nil
+}
+
+// runRow builds the wire row for one finished (workload, mode) simulation,
+// attaching the spine-derived extras every producer must agree on: the
+// rewriter statistics (absent under baseline, which runs the original
+// binary) and the interval series derived from the run's sampled snapshots.
+func runRow(name string, mode cpu.Mode, seed int64, ccfg cpu.Config, res cpu.Result, app *App) results.Run {
+	row := results.Run{
+		Workload:  name,
+		Mode:      mode.String(),
+		Seed:      seed,
+		Config:    ccfg,
+		Result:    res,
+		Intervals: results.MakeIntervals(res.Intervals),
+	}
+	if mode != cpu.ModeBaseline {
+		st := app.R.Stats
+		row.Ilr = &st
+	}
+	return row
 }
 
 // firstLine truncates an error message to its first line (panic values

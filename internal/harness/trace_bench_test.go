@@ -3,6 +3,8 @@ package harness
 import (
 	"context"
 	"testing"
+
+	"vcfr/internal/cpu"
 )
 
 // benchCfg is the fig13+fig14 DRC-size sweep the acceptance criterion
@@ -30,13 +32,44 @@ func runDRCSweep(b *testing.B, r *Runner, cfg Config) [2]string {
 	return out
 }
 
+// sweepInstructions computes the total simulated instructions one
+// fig13+fig14 sweep executes, for the ns/instr metric: per workload, fig13
+// runs one baseline and three VCFR timing configs and fig14 two more VCFR
+// configs. Executed instruction counts are a property of the workload's
+// functional execution — identical across modes, timing configs, and layout
+// seeds (the lockstep tests pin this) — so one baseline + one VCFR run per
+// workload yields an exact denominator.
+func sweepInstructions(b *testing.B, cfg Config) uint64 {
+	b.Helper()
+	r := NewRunner(2)
+	var total uint64
+	for _, w := range cfg.Workloads {
+		rows, err := SimulateRuns(context.Background(), r, w,
+			[]cpu.Mode{cpu.ModeBaseline, cpu.ModeVCFR}, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rows[0].Result.Stats.Instructions
+		total += 5 * rows[1].Result.Stats.Instructions
+	}
+	return total
+}
+
 // BenchmarkDRCSweep measures the acceptance criterion for the trace
 // subsystem: the fig13+fig14 DRC-size sweep replayed from cached traces must
-// beat the execute-driven sweep by >=2x wall-clock at unchanged output.
+// beat the execute-driven sweep by >=2x wall-clock at unchanged output. Both
+// variants also report ns/instr (wall clock per simulated instruction), the
+// number scripts/bench_pipeline.sh archives in BENCH_pipeline.json so
+// refactors of the simulate hot path can be checked against a recorded
+// baseline.
 //
 //	go test ./internal/harness -bench DRCSweep -benchtime 3x
 func BenchmarkDRCSweep(b *testing.B) {
 	cfg := benchCfg()
+	insts := sweepInstructions(b, cfg)
+	if insts == 0 {
+		b.Fatal("sweep simulates zero instructions")
+	}
 
 	b.Run("execute", func(b *testing.B) {
 		r := NewRunner(2)
@@ -47,6 +80,7 @@ func BenchmarkDRCSweep(b *testing.B) {
 				b.Fatal("execute-driven sweep is not deterministic")
 			}
 		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(insts)*float64(b.N)), "ns/instr")
 	})
 
 	b.Run("replay", func(b *testing.B) {
@@ -62,5 +96,6 @@ func BenchmarkDRCSweep(b *testing.B) {
 				b.Fatal("replayed sweep output differs from execute-driven")
 			}
 		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(insts)*float64(b.N)), "ns/instr")
 	})
 }

@@ -1,0 +1,19 @@
+package ilr
+
+import "vcfr/internal/stats"
+
+// Register registers the rewriter's statistics into the statistics spine
+// under the ilr.* names (see internal/stats). These are end-of-rewrite
+// facts, not run-time counters, so they register as gauges.
+func (s *Stats) Register(r *stats.Registry) {
+	sc := r.Scope("ilr")
+	sc.Int("instructions", "Instructions randomized.", &s.Instructions)
+	sc.Int("relocs.code", "In-code address fields retargeted.", &s.CodeRelocs)
+	sc.Int("relocs.data", "Data words (jump tables, pointers) retargeted.", &s.DataRelocs)
+	sc.Int("calls.randomized", "Call sites with randomized return addresses.", &s.CallsRandomized)
+	sc.Int("calls.plain", "Call sites left un-randomized.", &s.CallsPlain)
+	sc.Int("scan_only", "Unpatchable computed-target addresses (failover).", &s.ScanOnly)
+	sc.Float("entropy_bits", "Randomization entropy in bits.", &s.EntropyBits)
+	sc.Int("table_bytes", "Size of the rand/derand tables in bytes.", &s.TableBytes)
+	sc.Int("software_growth", "Code growth (bytes) the software return-address option would add.", &s.SoftwareGrowth)
+}

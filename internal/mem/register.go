@@ -1,0 +1,51 @@
+package mem
+
+import "vcfr/internal/stats"
+
+// This file wires the memory hierarchy into the statistics spine
+// (internal/stats): each stat struct registers its fields once, under a
+// caller-chosen prefix, and every consumer — text reports, envelope interval
+// series, /metrics — derives from that single registration.
+
+// Register registers the cache counters under prefix (e.g. "mem.il1").
+func (s *CacheStats) Register(r *stats.Registry, prefix string) {
+	sc := r.Scope(prefix)
+	sc.Counter("accesses", "Demand accesses.", &s.Accesses)
+	sc.Counter("misses", "Demand misses.", &s.Misses)
+	sc.Counter("writebacks", "Dirty evictions written to the next level.", &s.Writebacks)
+	sc.Counter("evictions", "Lines evicted.", &s.Evictions)
+	sc.Counter("prefetch.issued", "Prefetch fills installed.", &s.PrefetchIssued)
+	sc.Counter("prefetch.useful", "Prefetched lines referenced before eviction.", &s.PrefetchUseful)
+	sc.Counter("prefetch.useless", "Prefetched lines evicted unreferenced.", &s.PrefetchUseless)
+}
+
+// Register registers the DRAM counters under prefix (e.g. "dram").
+func (s *DRAMStats) Register(r *stats.Registry, prefix string) {
+	sc := r.Scope(prefix)
+	sc.Counter("accesses", "DRAM accesses.", &s.Accesses)
+	sc.Counter("row_hits", "Open-page row-buffer hits.", &s.RowHits)
+	sc.Counter("row_conflicts", "Row-buffer conflicts (precharge + activate).", &s.RowConflicts)
+	sc.Counter("row_misses", "Closed-page activations.", &s.RowMisses)
+	sc.Counter("refreshes", "Refresh cycles taken.", &s.Refreshes)
+}
+
+// RegisterStats registers the cache's live counters under prefix: the
+// registered pointers alias the fields Access increments, so snapshots taken
+// mid-run observe the simulation as it happens at zero hot-path cost.
+func (c *Cache) RegisterStats(r *stats.Registry, prefix string) {
+	c.stats.Register(r, prefix)
+}
+
+// RegisterStats registers the DRAM's live counters under prefix.
+func (d *DRAM) RegisterStats(r *stats.Registry, prefix string) {
+	d.stats.Register(r, prefix)
+}
+
+// Register registers the whole hierarchy's live counters under the canonical
+// spine prefixes mem.il1, mem.dl1, mem.l2, dram.
+func (h *Hierarchy) Register(r *stats.Registry) {
+	h.IL1.RegisterStats(r, "mem.il1")
+	h.DL1.RegisterStats(r, "mem.dl1")
+	h.L2.RegisterStats(r, "mem.l2")
+	h.DRAM.RegisterStats(r, "dram")
+}

@@ -1,0 +1,18 @@
+package power
+
+import "vcfr/internal/stats"
+
+// Register registers the dynamic-energy breakdown into the statistics spine
+// under the power.* names (see internal/stats). Energies are derived
+// quantities computed once per finished run, so they register as floats.
+func (b *Breakdown) Register(r *stats.Registry) {
+	sc := r.Scope("power")
+	sc.Float("il1", "IL1 dynamic energy (pJ).", &b.IL1)
+	sc.Float("dl1", "DL1 dynamic energy (pJ).", &b.DL1)
+	sc.Float("l2", "L2 dynamic energy (pJ).", &b.L2)
+	sc.Float("dram", "DRAM dynamic energy (pJ).", &b.DRAM)
+	sc.Float("bpred", "Branch-predictor dynamic energy (pJ).", &b.BPred)
+	sc.Float("drc", "De-Randomization Cache dynamic energy (pJ).", &b.DRC)
+	sc.Float("core", "Core (decode + regfile + ALU) dynamic energy (pJ).", &b.Core)
+	sc.Float("total", "Total dynamic energy (pJ).", &b.Total)
+}

@@ -13,13 +13,30 @@ import (
 	"io"
 
 	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/stats"
 )
 
 // SchemaVersion is the wire-format version carried by every Envelope. Bump
 // it on any change to the field set, field names, or number formatting of
 // the types below, and regenerate the golden files (go test ./internal/results
 // -update).
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial run/sweep/trace envelopes.
+//	2 — run rows gained `intervals` (per-window time series from
+//	    cpu.Config.SampleEvery sampling), `ilr` (the rewriter statistics
+//	    that were previously only in CLI text output), and `emu` (software
+//	    emulation counters, set by emulated-ILR runs); cpu.Config gained
+//	    SampleEvery. Purely additive: every v1 document is a valid v2
+//	    document with those fields absent, and Unmarshal accepts both.
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest version Unmarshal still accepts; every
+// version in [minSchemaVersion, SchemaVersion] is additive-compatible.
+const minSchemaVersion = 1
 
 // Kind discriminates what an Envelope carries.
 type Kind string
@@ -56,7 +73,17 @@ type Run struct {
 	Seed     int64      `json:"seed"`
 	Config   cpu.Config `json:"config"`
 	Result   cpu.Result `json:"result"`
-	Error    string     `json:"error,omitempty"`
+	// Ilr carries the rewriter statistics for the layout this run executed
+	// (schema v2; absent under ModeBaseline, which runs the original binary).
+	Ilr *ilr.Stats `json:"ilr,omitempty"`
+	// Emu carries software-emulation counters for emulated-ILR runs
+	// (schema v2; absent for pipeline-driven runs).
+	Emu *emu.Stats `json:"emu,omitempty"`
+	// Intervals is the per-window time series sampled every
+	// cpu.Config.SampleEvery instructions (schema v2; absent when sampling
+	// is off).
+	Intervals []Interval `json:"intervals,omitempty"`
+	Error     string     `json:"error,omitempty"`
 }
 
 // Failed reports whether the run errored instead of completing.
@@ -139,8 +166,80 @@ func Unmarshal(data []byte) (Envelope, error) {
 	if err := json.Unmarshal(data, &e); err != nil {
 		return Envelope{}, fmt.Errorf("results: %w", err)
 	}
-	if e.SchemaVersion != SchemaVersion {
-		return Envelope{}, fmt.Errorf("results: schema version %d, want %d", e.SchemaVersion, SchemaVersion)
+	if e.SchemaVersion < minSchemaVersion || e.SchemaVersion > SchemaVersion {
+		return Envelope{}, fmt.Errorf("results: schema version %d, want %d..%d",
+			e.SchemaVersion, minSchemaVersion, SchemaVersion)
 	}
 	return e, nil
+}
+
+// Interval is one sampling window of a run: cumulative counters at the
+// window's end plus the per-window rates the paper's phase plots need. It is
+// derived purely from spine snapshots (MakeIntervals) — no field here is
+// copied from a stat struct by hand.
+type Interval struct {
+	// Instructions and Cycles are cumulative at the window's end.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// WindowInstructions/WindowCycles are this window's increments.
+	WindowInstructions uint64 `json:"window_instructions"`
+	WindowCycles       uint64 `json:"window_cycles"`
+	// IPC is the window's instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// IL1MissRate and DL1MissRate are the window's demand miss rates.
+	IL1MissRate float64 `json:"il1_miss_rate"`
+	DL1MissRate float64 `json:"dl1_miss_rate"`
+	// DRCMissRate is the window's DRC miss rate (0 outside VCFR).
+	DRCMissRate float64 `json:"drc_miss_rate"`
+	// DRCStall and FetchStall are the window's stall-cycle increments.
+	DRCStall   uint64 `json:"drc_stall"`
+	FetchStall uint64 `json:"fetch_stall"`
+}
+
+// MakeIntervals turns a run's cumulative spine snapshots
+// (cpu.Result.Intervals) into the per-window wire series. The first window
+// is measured against zeroed counters; a registry missing a name (no drc.*
+// outside VCFR) contributes zeros for it.
+func MakeIntervals(snaps []stats.Snapshot) []Interval {
+	if len(snaps) == 0 {
+		return nil
+	}
+	get := func(s stats.Snapshot, key string) uint64 {
+		v, _ := s.Uint(key)
+		return v
+	}
+	rate := func(num, den uint64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	out := make([]Interval, len(snaps))
+	var prev stats.Snapshot
+	havePrev := false
+	for i, s := range snaps {
+		win := s
+		if havePrev {
+			d, err := s.Delta(prev)
+			if err == nil {
+				win = d
+			}
+		}
+		insts := get(win, "cpu.instructions")
+		cycles := get(win, "cpu.cycles")
+		out[i] = Interval{
+			Instructions:       get(s, "cpu.instructions"),
+			Cycles:             get(s, "cpu.cycles"),
+			WindowInstructions: insts,
+			WindowCycles:       cycles,
+			IPC:                rate(insts, cycles),
+			IL1MissRate:        rate(get(win, "mem.il1.misses"), get(win, "mem.il1.accesses")),
+			DL1MissRate:        rate(get(win, "mem.dl1.misses"), get(win, "mem.dl1.accesses")),
+			DRCMissRate:        rate(get(win, "drc.misses"), get(win, "drc.lookups")),
+			DRCStall:           get(win, "cpu.stall.drc"),
+			FetchStall:         get(win, "cpu.stall.fetch"),
+		}
+		prev, havePrev = s, true
+	}
+	return out
 }

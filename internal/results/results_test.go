@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/ilr"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -33,11 +35,46 @@ func fixtures() map[string]Envelope {
 		Seed:     42,
 		Config:   cfg,
 		Result:   res,
+		// Schema v2 extras: the rewriter statistics for the layout this run
+		// executed and a two-window interval series.
+		Ilr: &ilr.Stats{
+			Instructions:    812,
+			CodeRelocs:      340,
+			DataRelocs:      12,
+			CallsRandomized: 96,
+			CallsPlain:      4,
+			EntropyBits:     9.67,
+			TableBytes:      6496,
+		},
+		Intervals: []Interval{
+			{Instructions: 60000, Cycles: 91000, WindowInstructions: 60000,
+				WindowCycles: 91000, IPC: 0.6593, IL1MissRate: 0.0041, DRCMissRate: 0.012,
+				DRCStall: 800, FetchStall: 4100},
+			{Instructions: 120000, Cycles: 180000, WindowInstructions: 60000,
+				WindowCycles: 89000, IPC: 0.6742, IL1MissRate: 0.0029, DRCMissRate: 0.008,
+				DRCStall: 610, FetchStall: 3900},
+		},
+	}
+	emulated := Run{
+		Workload: "h264ref",
+		Mode:     "emulated-ilr",
+		Seed:     42,
+		Emu: &emu.Stats{
+			Instructions: 120000,
+			Taken:        14200,
+			Calls:        1800,
+			Rets:         1800,
+			IndirectCF:   1810,
+			Loads:        31000,
+			Stores:       18000,
+			Syscalls:     3,
+			HostCycles:   410000,
+		},
 	}
 	failed := Run{Workload: "lbm", Mode: "", Seed: 42, Error: "context deadline exceeded"}
 
 	return map[string]Envelope{
-		"run":   NewRun(run),
+		"run":   NewRun(run, emulated),
 		"sweep": NewSweep([]Run{run, failed}),
 		"trace": NewTrace(Trace{
 			Workload:     "h264ref",

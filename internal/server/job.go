@@ -71,6 +71,10 @@ type SimRequest struct {
 	// CtxSwitchEvery flushes process-private state every N instructions.
 	// Default 0 (never).
 	CtxSwitchEvery uint64 `json:"ctxswitch,omitempty"`
+	// Interval samples the statistics spine every N simulated instructions,
+	// adding the per-window `intervals` series to every result row (the
+	// service twin of vcfrsim -interval). Default 0 (off).
+	Interval uint64 `json:"interval,omitempty"`
 	// TimeoutMS bounds the job's execution wall clock, refining the
 	// server's default job timeout. 0 = server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -125,18 +129,38 @@ func (r *SimRequest) normalize(kind JobKind) error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
 	}
+	// Machine-config bounds live in exactly one place — cpu.Config.Validate,
+	// the same check vcfrsim applies to its flags — so a bad drc or width in a
+	// request body fails with the same message a bad CLI flag gets. Sweeps
+	// ignore Mode and always run all three architectures.
+	modes := statsModes
+	if kind == JobRun {
+		modes, _ = parseModes(r.Mode)
+	}
+	mutate := r.mutate()
+	for _, m := range modes {
+		c := cpu.DefaultConfig(m)
+		mutate(&c)
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// statsModes is the fixed mode set of a sweep (mirrors harness.StatsSweep).
+var statsModes = []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
 
 // mutate returns the machine-config mutation the request describes —
 // field-for-field the same closure vcfrsim builds from its flags. Call
 // only after normalize has filled the pointer fields.
 func (r *SimRequest) mutate() func(*cpu.Config) {
-	drc, width, ctxEvery := *r.DRC, *r.Width, r.CtxSwitchEvery
+	drc, width, ctxEvery, interval := *r.DRC, *r.Width, r.CtxSwitchEvery, r.Interval
 	return func(c *cpu.Config) {
 		c.DRCEntries = drc
 		c.IssueWidth = width
 		c.ContextSwitchEvery = ctxEvery
+		c.SampleEvery = interval
 	}
 }
 
@@ -181,7 +205,8 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	err      string
-	envelope []byte // marshaled results.Envelope, set when state == JobDone
+	envelope []byte            // marshaled results.Envelope, set when state == JobDone
+	progress *harness.Progress // live sweep completion state, set while running
 
 	done chan struct{}
 }
@@ -215,22 +240,38 @@ func (j *Job) Envelope() (body []byte, errMsg string) {
 	return j.envelope, j.err
 }
 
+// setProgress records the sweep's live completion state; it is the
+// harness.StatsSweepProgress callback, invoked from worker goroutines.
+func (j *Job) setProgress(p harness.Progress) {
+	j.mu.Lock()
+	j.progress = &p
+	j.mu.Unlock()
+}
+
 // view is the JSON shape GET /v1/jobs/{id} serves.
 type jobView struct {
-	ID       string          `json:"id"`
-	Kind     JobKind         `json:"kind"`
-	State    JobState        `json:"state"`
-	Created  time.Time       `json:"created"`
-	Started  *time.Time      `json:"started,omitempty"`
-	Finished *time.Time      `json:"finished,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
+	ID       string     `json:"id"`
+	Kind     JobKind    `json:"kind"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Progress is the sweep's live completion state (cells finished, cells
+	// total, simulated instructions so far), populated while a sweep runs
+	// and retained on its final view.
+	Progress *harness.Progress `json:"progress,omitempty"`
+	Result   json.RawMessage   `json:"result,omitempty"`
 }
 
 func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{ID: j.ID, Kind: j.Kind, State: j.state, Created: j.created, Error: j.err}
+	if j.progress != nil {
+		p := *j.progress
+		v.Progress = &p
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		v.Started = &t
@@ -325,7 +366,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (results.Envelope, error) 
 		}
 		return results.NewRun(rows...), nil
 	case JobSweep:
-		rows, err := harness.StatsSweep(ctx, s.runner, j.Req.config())
+		rows, err := harness.StatsSweepProgress(ctx, s.runner, j.Req.config(), j.setProgress)
 		if err != nil {
 			return results.Envelope{}, err
 		}

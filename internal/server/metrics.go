@@ -6,23 +6,40 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vcfr/internal/stats"
 )
 
 // metrics is the server's observability state: job counters by lifecycle
-// state, queue pressure, and per-stage latency histograms. Everything is
-// hand-rolled on one mutex — the paper repo carries no metrics dependency,
-// and the render below speaks the Prometheus text exposition format, so any
-// standard scraper can consume /metrics unchanged.
+// state, queue pressure, and per-stage latency histograms. The scalar series
+// are registered into a stats.Registry at construction — name, help, and
+// type live only there, and /metrics is generated from the registry, so a
+// counter added to the registry cannot be silently dropped from the
+// exposition (metrics_test.go asserts the exactly-once property). The
+// fixed-bucket histograms keep their hand-rolled rendering: the registry
+// models scalars, and the paper repo carries no metrics dependency.
 type metrics struct {
-	mu sync.Mutex
+	mu  sync.Mutex
+	reg *stats.Registry
 
-	accepted  uint64 // jobs admitted to the queue
-	rejected  uint64 // jobs refused with 429 (queue full)
-	queued    int    // currently waiting
-	running   int    // currently executing
-	done      uint64 // finished successfully (cumulative)
-	failed    uint64 // finished with an error (cumulative)
-	panicked  uint64 // failures caused by a recovered panic (subset of failed)
+	accepted uint64 // jobs admitted to the queue
+	rejected uint64 // jobs refused with 429 (queue full)
+	queued   int64  // currently waiting
+	running  int64  // currently executing
+	done     int64  // finished successfully (cumulative)
+	failed   int64  // finished with an error (cumulative)
+	panicked uint64 // failures caused by a recovered panic (subset of failed)
+
+	// Mirrors of state owned elsewhere (the queue channel, the shared trace
+	// cache), copied in under mu at render time so the registry has one
+	// consistent instant to snapshot.
+	queueDepth   int64
+	queueCap     int64
+	traceHits    uint64
+	traceMisses  uint64
+	traceBytes   int64
+	traceEntries int64
+
 	queueWait *histogram
 	runDur    *histogram
 }
@@ -31,10 +48,29 @@ func newMetrics() *metrics {
 	// Bounds chosen for simulation jobs: sub-millisecond queue waits up to
 	// multi-minute uncapped sweeps.
 	bounds := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
-	return &metrics{
+	m := &metrics{
 		queueWait: newHistogram(bounds),
 		runDur:    newHistogram(bounds),
 	}
+	// Registration order is exposition order; series sharing a metric name
+	// (jobs.state) must be registered consecutively.
+	r := stats.New()
+	r.Counter("jobs.accepted", "Jobs admitted to the queue.", &m.accepted)
+	r.Counter("jobs.rejected", "Jobs refused with 429 because the queue was full.", &m.rejected)
+	stateHelp := "Jobs currently in each lifecycle state (queued, running) and cumulative terminal counts (done, failed)."
+	r.GaugeL("jobs.state", `state="queued"`, stateHelp, &m.queued)
+	r.GaugeL("jobs.state", `state="running"`, stateHelp, &m.running)
+	r.GaugeL("jobs.state", `state="done"`, stateHelp, &m.done)
+	r.GaugeL("jobs.state", `state="failed"`, stateHelp, &m.failed)
+	r.Counter("job.panics", "Jobs failed by a recovered panic.", &m.panicked)
+	r.Gauge("queue.depth", "Jobs waiting in the bounded queue.", &m.queueDepth)
+	r.Gauge("queue.capacity", "Bound of the job queue.", &m.queueCap)
+	r.Counter("trace.cache.hits", "Trace cache hits (replays and coalesced captures) across all jobs.", &m.traceHits)
+	r.Counter("trace.cache.misses", "Trace cache misses (each one paid a capture).", &m.traceMisses)
+	r.Gauge("trace.cache.bytes", "Bytes of trace data currently cached.", &m.traceBytes)
+	r.Gauge("trace.cache.entries", "Traces currently cached.", &m.traceEntries)
+	m.reg = r
+	return m
 }
 
 func (m *metrics) jobAccepted() {
@@ -85,49 +121,20 @@ func (m *metrics) jobFinished(ok bool, runDur time.Duration) {
 	m.runDur.observe(runDur.Seconds())
 }
 
-// render writes the Prometheus text exposition. traceHits/… come from the
-// shared trace cache; queueDepth/queueCap from the job queue channel.
+// render writes the Prometheus text exposition: the registry-backed scalars
+// first (generated — see newMetrics), then the histograms. traceHits/… come
+// from the shared trace cache; queueDepth/queueCap from the job queue
+// channel.
 func (m *metrics) render(w io.Writer, queueDepth, queueCap int, traceHits, traceMisses uint64, traceBytes int64, traceEntries int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.queueDepth, m.queueCap = int64(queueDepth), int64(queueCap)
+	m.traceHits, m.traceMisses = traceHits, traceMisses
+	m.traceBytes, m.traceEntries = traceBytes, int64(traceEntries)
+	stats.WritePrometheus(w, m.reg.Snapshot(), "vcfrd")
 
-	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-	p("# HELP vcfrd_jobs_accepted_total Jobs admitted to the queue.")
-	p("# TYPE vcfrd_jobs_accepted_total counter")
-	p("vcfrd_jobs_accepted_total %d", m.accepted)
-	p("# HELP vcfrd_jobs_rejected_total Jobs refused with 429 because the queue was full.")
-	p("# TYPE vcfrd_jobs_rejected_total counter")
-	p("vcfrd_jobs_rejected_total %d", m.rejected)
-	p("# HELP vcfrd_jobs_state Jobs currently in each lifecycle state (queued, running) and cumulative terminal counts (done, failed).")
-	p("# TYPE vcfrd_jobs_state gauge")
-	p(`vcfrd_jobs_state{state="queued"} %d`, m.queued)
-	p(`vcfrd_jobs_state{state="running"} %d`, m.running)
-	p(`vcfrd_jobs_state{state="done"} %d`, m.done)
-	p(`vcfrd_jobs_state{state="failed"} %d`, m.failed)
-	p("# HELP vcfrd_job_panics_total Jobs failed by a recovered panic.")
-	p("# TYPE vcfrd_job_panics_total counter")
-	p("vcfrd_job_panics_total %d", m.panicked)
-	p("# HELP vcfrd_queue_depth Jobs waiting in the bounded queue.")
-	p("# TYPE vcfrd_queue_depth gauge")
-	p("vcfrd_queue_depth %d", queueDepth)
-	p("# HELP vcfrd_queue_capacity Bound of the job queue.")
-	p("# TYPE vcfrd_queue_capacity gauge")
-	p("vcfrd_queue_capacity %d", queueCap)
-	p("# HELP vcfrd_trace_cache_hits_total Trace cache hits (replays and coalesced captures) across all jobs.")
-	p("# TYPE vcfrd_trace_cache_hits_total counter")
-	p("vcfrd_trace_cache_hits_total %d", traceHits)
-	p("# HELP vcfrd_trace_cache_misses_total Trace cache misses (each one paid a capture).")
-	p("# TYPE vcfrd_trace_cache_misses_total counter")
-	p("vcfrd_trace_cache_misses_total %d", traceMisses)
-	p("# HELP vcfrd_trace_cache_bytes Bytes of trace data currently cached.")
-	p("# TYPE vcfrd_trace_cache_bytes gauge")
-	p("vcfrd_trace_cache_bytes %d", traceBytes)
-	p("# HELP vcfrd_trace_cache_entries Traces currently cached.")
-	p("# TYPE vcfrd_trace_cache_entries gauge")
-	p("vcfrd_trace_cache_entries %d", traceEntries)
-
-	p("# HELP vcfrd_stage_seconds Per-stage job latency: queue = acceptance to execution start, run = execution wall clock.")
-	p("# TYPE vcfrd_stage_seconds histogram")
+	fmt.Fprintln(w, "# HELP vcfrd_stage_seconds Per-stage job latency: queue = acceptance to execution start, run = execution wall clock.")
+	fmt.Fprintln(w, "# TYPE vcfrd_stage_seconds histogram")
 	m.queueWait.render(w, "vcfrd_stage_seconds", "queue")
 	m.runDur.render(w, "vcfrd_stage_seconds", "run")
 }

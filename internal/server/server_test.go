@@ -319,13 +319,26 @@ func TestFinishedJobRetention(t *testing.T) {
 // CLI `-seed 0` etc. would), while absent fields take the per-kind defaults.
 func TestNormalizeExplicitZero(t *testing.T) {
 	zero64, zero := int64(0), 0
-	r := SimRequest{Workload: "lbm", Seed: &zero64, Spread: &zero, Scale: &zero, DRC: &zero, Width: &zero}
+	r := SimRequest{Workload: "lbm", Seed: &zero64, Spread: &zero, Scale: &zero}
 	if err := r.normalize(JobRun); err != nil {
 		t.Fatal(err)
 	}
-	if *r.Seed != 0 || *r.Spread != 0 || *r.Scale != 0 || *r.DRC != 0 || *r.Width != 0 {
-		t.Errorf("explicit zeros rewritten: seed=%d spread=%d scale=%d drc=%d width=%d, want all 0",
-			*r.Seed, *r.Spread, *r.Scale, *r.DRC, *r.Width)
+	if *r.Seed != 0 || *r.Spread != 0 || *r.Scale != 0 {
+		t.Errorf("explicit zeros rewritten: seed=%d spread=%d scale=%d, want all 0",
+			*r.Seed, *r.Spread, *r.Scale)
+	}
+
+	// The machine knobs keep the same zero-vs-unset distinction, but an
+	// explicit zero is an invalid machine config, and normalize now rejects
+	// it up front via cpu.Config.Validate — with the exact message the CLI
+	// produces for the equivalent bad flag, because it is the same check.
+	badWidth := SimRequest{Workload: "lbm", Width: &zero}
+	if err := badWidth.normalize(JobRun); err == nil || err.Error() != "cpu: issue width 0 out of range [1,4]" {
+		t.Errorf("width 0: err = %v, want cpu.Config.Validate's message", err)
+	}
+	badDRC := SimRequest{Workload: "lbm", DRC: &zero}
+	if err := badDRC.normalize(JobRun); err == nil || !strings.Contains(err.Error(), "cpu: DRC 0 entries") {
+		t.Errorf("drc 0: err = %v, want cpu.Config.Validate's message", err)
 	}
 
 	run := SimRequest{Workload: "lbm"}
@@ -429,5 +442,48 @@ func TestJobEndpointLifecycle(t *testing.T) {
 	}
 	if env.Kind != results.KindSweep || len(env.Sweep.Rows) != 3 {
 		t.Errorf("sweep result: kind=%s rows=%d, want sweep with 3 rows (1 workload x 3 modes)", env.Kind, len(env.Sweep.Rows))
+	}
+	// The sweep reported live progress through the spine; the final view
+	// retains the last report: all cells done, instructions accumulated.
+	if v.Progress == nil {
+		t.Fatal("finished sweep has no progress")
+	}
+	if v.Progress.CellsDone != 1 || v.Progress.CellsTotal != 1 || v.Progress.Instructions == 0 {
+		t.Errorf("final progress = %+v, want 1/1 cells with nonzero instructions", *v.Progress)
+	}
+}
+
+// TestSimulateInterval drives the spine's interval sampling end to end over
+// HTTP: a simulate request with "interval" set must produce rows whose
+// per-window series covers the whole run.
+func TestSimulateInterval(t *testing.T) {
+	s := startServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, body := post(t, s, "/v1/simulate",
+		`{"workload": "lbm", "mode": "vcfr", "instructions": 30000, "interval": 10000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d: %s", resp.StatusCode, body)
+	}
+	env, err := results.Unmarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Run) != 1 {
+		t.Fatalf("rows = %d, want 1", len(env.Run))
+	}
+	row := env.Run[0]
+	if len(row.Intervals) < 3 {
+		t.Fatalf("intervals = %d, want >= 3 (30000 instructions / 10000 window)", len(row.Intervals))
+	}
+	last := row.Intervals[len(row.Intervals)-1]
+	if last.Instructions != row.Result.Stats.Instructions {
+		t.Errorf("last interval cumulative instructions = %d, want the run total %d",
+			last.Instructions, row.Result.Stats.Instructions)
+	}
+	var winSum uint64
+	for _, iv := range row.Intervals {
+		winSum += iv.WindowInstructions
+	}
+	if winSum != last.Instructions {
+		t.Errorf("sum of window instructions = %d, want cumulative %d", winSum, last.Instructions)
 	}
 }

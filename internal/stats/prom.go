@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName converts a registry name into its Prometheus series name:
+// namespace prefix, dots to underscores, and the conventional `_total`
+// suffix on counters. jobs.accepted under namespace vcfrd becomes
+// vcfrd_jobs_accepted_total.
+func PromName(ns string, d Desc) string {
+	name := strings.ReplaceAll(d.Name, ".", "_")
+	if ns != "" {
+		name = ns + "_" + name
+	}
+	if d.Kind == KindCounter {
+		name += "_total"
+	}
+	return name
+}
+
+func promType(k Kind) string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format. Entries sharing one metric name (labelled series) must be
+// registered consecutively with identical help and kind; HELP and TYPE are
+// emitted once per metric name, then one sample line per series. The output
+// order is registration order — generated /metrics stay byte-stable run to
+// run.
+func WritePrometheus(w io.Writer, s Snapshot, ns string) {
+	prev := ""
+	s.Each(func(d Desc, v Value) {
+		name := PromName(ns, d)
+		if name != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, d.Help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(d.Kind))
+			prev = name
+		}
+		series := name
+		if d.Labels != "" {
+			series += "{" + d.Labels + "}"
+		}
+		switch d.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%s %d\n", series, v.U)
+		case KindGauge:
+			fmt.Fprintf(w, "%s %d\n", series, v.G)
+		case KindFloat:
+			fmt.Fprintf(w, "%s %g\n", series, v.F)
+		}
+	})
+}

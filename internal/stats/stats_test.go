@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	var (
+		cycles uint64 = 100
+		misses uint64 = 7
+		depth  int64  = 3
+		total         = 4.5
+	)
+	r := New()
+	r.Counter("cpu.cycles", "Total cycles.", &cycles)
+	sc := r.Scope("mem.il1")
+	sc.Counter("misses", "Demand misses.", &misses)
+	r.Gauge("queue.depth", "Jobs waiting.", &depth)
+	r.Float("power.total", "Total dynamic energy (pJ).", &total)
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	s := r.Snapshot()
+	if v, ok := s.Uint("cpu.cycles"); !ok || v != 100 {
+		t.Errorf("cpu.cycles = %d,%v", v, ok)
+	}
+	if v, ok := s.Uint("mem.il1.misses"); !ok || v != 7 {
+		t.Errorf("mem.il1.misses = %d,%v (scope prefixing broken)", v, ok)
+	}
+	if v, ok := s.Float("queue.depth"); !ok || v != 3 {
+		t.Errorf("queue.depth = %g,%v", v, ok)
+	}
+	if v, ok := s.Float("power.total"); !ok || v != 4.5 {
+		t.Errorf("power.total = %g,%v", v, ok)
+	}
+	if _, ok := s.Uint("no.such"); ok {
+		t.Error("lookup of unregistered name succeeded")
+	}
+
+	// Snapshots are value copies: later increments must not leak in.
+	cycles += 50
+	if v, _ := s.Uint("cpu.cycles"); v != 100 {
+		t.Errorf("snapshot mutated by later increment: %d", v)
+	}
+	s2 := r.Snapshot()
+	d, err := s2.Delta(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Uint("cpu.cycles"); v != 50 {
+		t.Errorf("delta cpu.cycles = %d, want 50", v)
+	}
+	if v, _ := d.Uint("mem.il1.misses"); v != 0 {
+		t.Errorf("delta mem.il1.misses = %d, want 0", v)
+	}
+	// Gauges and floats carry the newer reading, not a difference.
+	depth = 9
+	s3 := r.Snapshot()
+	d, err = s3.Delta(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Float("queue.depth"); v != 9 {
+		t.Errorf("delta gauge = %g, want 9 (latest value)", v)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	var a, b uint64
+	r := New()
+	r.Counter("cpu.cycles", "h", &a)
+	r.Counter("cpu.cycles", "h", &b)
+}
+
+func TestCounterDecreaseDetected(t *testing.T) {
+	var c uint64 = 10
+	r := New()
+	r.Counter("c", "h", &c)
+	before := r.Snapshot()
+	c = 5
+	after := r.Snapshot()
+	if _, err := after.Delta(before); err == nil {
+		t.Fatal("Delta accepted a decreasing counter")
+	}
+	if err := after.Monotonic(before); err == nil {
+		t.Fatal("Monotonic accepted a decreasing counter")
+	}
+	c = 10
+	if err := r.Snapshot().Monotonic(before); err != nil {
+		t.Fatalf("Monotonic rejected an unchanged counter: %v", err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	var hits uint64 = 2
+	r := NewLabeled("core", "1")
+	r.Counter("drc.hits", "DRC hits.", &hits)
+	s := r.Snapshot()
+	if got := s.Desc(0).Labels; got != `core="1"` {
+		t.Errorf("labels = %q", got)
+	}
+	if _, ok := s.Uint(`drc.hits{core="1"}`); !ok {
+		t.Error("labelled key lookup failed")
+	}
+
+	// Entry-level labels: several series under one metric name.
+	var q, run uint64
+	m := New()
+	m.CounterL("jobs.state", `state="queued"`, "h", &q)
+	m.CounterL("jobs.state", `state="running"`, "h", &run)
+	if m.Len() != 2 {
+		t.Fatalf("labelled series collapsed: %d", m.Len())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var (
+		acc   uint64 = 12
+		q     int64  = 3
+		run   int64  = 1
+		bytes int64  = 4096
+	)
+	r := New()
+	r.Counter("jobs.accepted", "Jobs admitted to the queue.", &acc)
+	r.GaugeL("jobs.state", `state="queued"`, "Jobs in each state.", &q)
+	r.GaugeL("jobs.state", `state="running"`, "Jobs in each state.", &run)
+	r.Gauge("trace.cache.bytes", "Bytes cached.", &bytes)
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot(), "vcfrd")
+	got := b.String()
+	want := `# HELP vcfrd_jobs_accepted_total Jobs admitted to the queue.
+# TYPE vcfrd_jobs_accepted_total counter
+vcfrd_jobs_accepted_total 12
+# HELP vcfrd_jobs_state Jobs in each state.
+# TYPE vcfrd_jobs_state gauge
+vcfrd_jobs_state{state="queued"} 3
+vcfrd_jobs_state{state="running"} 1
+# HELP vcfrd_trace_cache_bytes Bytes cached.
+# TYPE vcfrd_trace_cache_bytes gauge
+vcfrd_trace_cache_bytes 4096
+`
+	if got != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDeltaShapeMismatch(t *testing.T) {
+	var a, b uint64
+	r1 := New()
+	r1.Counter("a", "h", &a)
+	r2 := New()
+	r2.Counter("a", "h", &a)
+	r2.Counter("b", "h", &b)
+	if _, err := r2.Snapshot().Delta(r1.Snapshot()); err == nil {
+		t.Fatal("Delta accepted mismatched shapes")
+	}
+}
