@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke
+.PHONY: all build test test-short bench bench-pipeline bench-fault experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke
 
 all: build test
 
@@ -17,9 +17,10 @@ test-short:
 
 # The concurrency-heavy packages under the race detector: the parallel
 # experiment runner, the pipeline it drives, the shared trace cache, the
-# versioned wire format, and the vcfrd job queue / worker pool.
+# versioned wire format, the vcfrd job queue / worker pool, and the
+# sharded fault-injection campaign runner.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace ./internal/results ./internal/server
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace ./internal/results ./internal/server ./internal/fault
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -48,6 +49,10 @@ bench: bench-pipeline
 bench-pipeline:
 	./scripts/bench_pipeline.sh
 
+# Campaign throughput (injections/s), archived as BENCH_fault.json.
+bench-fault:
+	./scripts/bench_fault.sh
+
 # Every table and figure, as readable text tables.
 experiments:
 	$(GO) run ./cmd/experiments -experiment all
@@ -72,6 +77,15 @@ serve:
 # byte-identical to vcfrsim -stats-json, and drain on SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# The canonical fault-injection campaign as a text coverage table.
+faults:
+	$(GO) run ./cmd/faultsim
+
+# Boot vcfrd, run a campaign through POST /v1/faults, prove the stored
+# envelope is byte-identical to faultsim -json, and drain on SIGTERM.
+fault-smoke:
+	./scripts/fault_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

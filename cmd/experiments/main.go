@@ -7,6 +7,14 @@
 //	experiments -experiment all -scale 2 -workers 8
 //	experiments -experiment fig13 -workloads h264ref,lbm -instructions 2000000
 //	experiments -experiment all -cache .vcfr-cache.json
+//	experiments -mode faults
+//	experiments -mode faults -injections 200 -stats-json
+//
+// -mode faults runs the dependability fault-injection campaign instead of
+// the timing tables: the same campaign `faultsim` runs, across all three
+// architecture modes, printing the detection-coverage table (or, with
+// -stats-json, the campaign results envelope byte-identical to
+// `faultsim -json`).
 //
 // Each experiment prints an aligned text table with the same rows/series the
 // paper reports, plus the paper's headline number for comparison.
@@ -30,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"vcfr/internal/fault"
 	"vcfr/internal/harness"
 	"vcfr/internal/results"
 	"vcfr/internal/trace"
@@ -44,6 +53,7 @@ func main() {
 
 func run() error {
 	var (
+		mode       = flag.String("mode", "tables", "what to run: tables (the paper's timing tables) | faults (the dependability fault campaign)")
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 		workloadsF = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own set)")
 		scale      = flag.Int("scale", 1, "workload iteration scale")
@@ -56,7 +66,10 @@ func run() error {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		format     = flag.String("format", "text", "output format: text | json")
 		traceCache = flag.Int("trace-cache", 256, "in-memory trace cache budget in MiB for record-once/replay-many execution (0 disables)")
-		statsJSON  = flag.Bool("stats-json", false, "instead of table experiments, run every workload under all three modes and emit full per-run Results as JSON")
+		statsJSON  = flag.Bool("stats-json", false, "instead of table experiments, run every workload under all three modes and emit full per-run Results as JSON (with -mode faults: emit the campaign envelope)")
+		injections = flag.Int("injections", 0, "with -mode faults: injections per workload x mode cell (0 = default 120)")
+		faultsF    = flag.String("faults", "", "with -mode faults: comma-separated fault kinds (default: the full fault model)")
+		bits       = flag.Int("bits", 1, "with -mode faults: bits flipped per injection")
 	)
 	flag.Parse()
 
@@ -99,6 +112,44 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	switch *mode {
+	case "tables":
+	case "faults":
+		fcfg := fault.Config{
+			Workloads:  cfg.Workloads,
+			Injections: *injections,
+			Seed:       *seed,
+			Scale:      *scale,
+			Spread:     *spread,
+			MaxInsts:   *maxInsts,
+			Bits:       *bits,
+		}
+		if *faultsF != "" {
+			kinds, err := fault.ParseKinds(strings.Split(*faultsF, ","))
+			if err != nil {
+				return err
+			}
+			fcfg.Kinds = kinds
+		}
+		rep, err := fault.RunCampaign(ctx, r, fcfg, nil)
+		if err != nil {
+			return err
+		}
+		if *statsJSON {
+			if err := results.Write(os.Stdout, rep.Envelope()); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(rep.Table().Render())
+		}
+		if rep.Partial {
+			return fmt.Errorf("campaign incomplete: some injections were not executed")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q (want tables or faults)", *mode)
+	}
 
 	if *statsJSON {
 		rows, err := harness.StatsSweep(ctx, r, cfg)

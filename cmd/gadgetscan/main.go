@@ -8,6 +8,10 @@
 //	gadgetscan app.img
 //	gadgetscan -workload xalan -randomize -seed 7
 //	gadgetscan -print -max 3 app.img
+//	gadgetscan -workload xalan -json
+//
+// -json emits the scan as a versioned results envelope (the same wire
+// format every other tool in the repo speaks) instead of the text report.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"vcfr/internal/gadget"
 	"vcfr/internal/ilr"
 	"vcfr/internal/program"
+	"vcfr/internal/results"
 	"vcfr/internal/workloads"
 )
 
@@ -36,6 +41,7 @@ func run() error {
 		randomize = flag.Bool("randomize", false, "also report the post-randomization surviving pool")
 		seed      = flag.Int64("seed", 1, "randomization seed (with -randomize)")
 		print     = flag.Bool("print", false, "print every unique gadget")
+		jsonOut   = flag.Bool("json", false, "emit the scan as a versioned results envelope instead of text")
 	)
 	flag.Parse()
 
@@ -58,6 +64,14 @@ func run() error {
 		}
 	default:
 		return fmt.Errorf("need -workload or an image file; see -h")
+	}
+
+	if *jsonOut {
+		env, err := scanEnvelope(img, *maxInsts, *randomize, *seed)
+		if err != nil {
+			return err
+		}
+		return results.Write(os.Stdout, env)
 	}
 
 	pool := gadget.Scan(img, *maxInsts)
@@ -88,6 +102,46 @@ func run() error {
 		reportTemplates("payloads after", surv)
 	}
 	return nil
+}
+
+// scanEnvelope builds the -json results envelope: pool size, census, and
+// payload feasibility, plus the surviving pool under one randomized layout
+// when randomize is set.
+func scanEnvelope(img *program.Image, maxInsts int, randomize bool, seed int64) (results.Envelope, error) {
+	pool := gadget.Scan(img, maxInsts)
+	rep := results.GadgetReport{
+		Image:    img.Name,
+		MaxInsts: maxInsts,
+		Total:    len(pool),
+		Unique:   len(gadget.Unique(pool)),
+		Census:   censusMap(pool),
+		Payloads: gadget.TryAllTemplates(pool),
+	}
+	if randomize {
+		res, err := ilr.Rewrite(img, ilr.Options{Seed: seed})
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		surv := gadget.Survivors(pool, res.Tables)
+		rep.Randomized = &results.GadgetRandomized{
+			Seed:        seed,
+			Survivors:   len(surv),
+			RemovalRate: gadget.RemovalRate(pool, surv),
+			Payloads:    gadget.TryAllTemplates(surv),
+		}
+	}
+	return results.NewGadget(rep), nil
+}
+
+// censusMap converts the kind census to the string-keyed map the results
+// schema carries (encoding/json sorts the keys on the wire).
+func censusMap(pool []gadget.Gadget) map[string]int {
+	census := gadget.KindCensus(pool)
+	out := make(map[string]int, len(census))
+	for k, n := range census {
+		out[string(k)] = n
+	}
+	return out
 }
 
 func reportCensus(pool []gadget.Gadget) {

@@ -122,6 +122,13 @@ type Pipeline struct {
 	issue  issueState
 	tracer func(TraceEvent)
 
+	// inject, when non-nil, is the fault-injection hook set (see inject.go);
+	// injectSeq latches the executing instruction's sequence number at the
+	// top of Step for hooks that fire after the commit counter advances
+	// (Translated runs inside control-flow resolution).
+	inject    *InjectHooks
+	injectSeq uint64
+
 	// recorder captures each executed instruction's functional outcome
 	// (trace capture); replay, when non-nil, substitutes a recorded stream
 	// for FetchDecode+Exec (trace replay). replayRecs/replayPos are the
@@ -483,7 +490,16 @@ func (p *Pipeline) Step() (bool, error) {
 	}
 	sAddr := p.storageAddr(p.pc)
 	if !replaying {
-		in, err = emu.FetchDecode(p.mem, sAddr)
+		if p.inject != nil {
+			p.injectSeq = p.stats.Instructions
+			if p.inject.FetchBytes != nil {
+				in, err = p.fetchDecodeInjected(sAddr)
+			} else {
+				in, err = emu.FetchDecode(p.mem, sAddr)
+			}
+		} else {
+			in, err = emu.FetchDecode(p.mem, sAddr)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -510,6 +526,9 @@ func (p *Pipeline) Step() (bool, error) {
 		out, err = emu.Exec(p.state, in)
 		if err != nil {
 			return false, err
+		}
+		if p.inject != nil && p.inject.Outcome != nil {
+			p.inject.Outcome(p.stats.Instructions, in, &out)
 		}
 		if p.recorder != nil {
 			p.recorder(ExecRecord{
@@ -610,6 +629,9 @@ func (p *Pipeline) resolveTarget(target uint32) (uint32, error) {
 		return target, nil
 	}
 	if orig, ok := p.trans.ToOrig(target); ok {
+		if p.inject != nil && p.inject.Translated != nil {
+			p.inject.Translated(p.injectSeq, target, &orig)
+		}
 		p.inRand = true
 		return orig, nil
 	}

@@ -116,15 +116,24 @@ func faultf(addr uint32, format string, args ...any) error {
 	return &Fault{Addr: addr, Msg: fmt.Sprintf(format, args...)}
 }
 
+// DecodeBytes decodes the instruction encoded in buf as if it had been
+// fetched from addr, reporting failure as the same fetch Fault FetchDecode
+// produces. Callers that mutate fetched bytes before decode (fault
+// injection) go through here so a corrupted fetch takes exactly the error
+// path a genuinely corrupt image would.
+func DecodeBytes(buf []byte, addr uint32) (isa.Inst, error) {
+	in, err := isa.Decode(buf, addr)
+	if err != nil {
+		return isa.Inst{}, faultf(addr, "fetch: %v", err)
+	}
+	return in, nil
+}
+
 // FetchDecode reads and decodes the instruction stored at addr.
 func FetchDecode(mem Memory, addr uint32) (isa.Inst, error) {
 	var buf [isa.MaxLength]byte
 	for i := range buf {
 		buf[i] = mem.ByteAt(addr + uint32(i))
 	}
-	in, err := isa.Decode(buf[:], addr)
-	if err != nil {
-		return isa.Inst{}, faultf(addr, "fetch: %v", err)
-	}
-	return in, nil
+	return DecodeBytes(buf[:], addr)
 }

@@ -1,0 +1,554 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+	"vcfr/internal/trace"
+	"vcfr/internal/workloads"
+)
+
+// Config scopes one fault-injection campaign. The zero value (after
+// withDefaults) is the canonical campaign every surface runs: three
+// workloads under all three modes, the full fault model, Injections
+// injections per (workload, mode) cell — all drawn deterministically from
+// Seed, so the same Config always yields the same coverage table.
+type Config struct {
+	// Workloads to inject into; empty means DefaultWorkloads.
+	Workloads []string
+	// Modes to evaluate; empty means all three architectures.
+	Modes []cpu.Mode
+	// Kinds is the fault model subset; empty means AllKinds. Kinds that
+	// need VCFR (drc-entry) are skipped in non-VCFR cells.
+	Kinds []Kind
+	// Injections per (workload, mode) cell, split evenly across that
+	// cell's applicable kinds. <= 0 means 120 (with the default three
+	// workloads and three modes: 1080 injections).
+	Injections int
+	// Seed drives everything: the per-workload layout seed and every
+	// injection's site choice and flip mask derive from it. 0 means 42.
+	Seed int64
+	// Scale multiplies workload iteration counts. <= 0 means 1.
+	Scale int
+	// Spread is the ILR scatter factor. <= 0 means 8.
+	Spread int
+	// MaxInsts caps the clean reference run (and thereby the injection
+	// budget, see Reference.Budget). 0 means 25000 — long enough to cover
+	// every fault kind's sites, short enough that a thousand injections
+	// finish in seconds.
+	MaxInsts uint64
+	// Bits flipped per injection. <= 0 means 1 (the classic single-event
+	// upset).
+	Bits int
+}
+
+// DefaultWorkloads is the canonical campaign's workload set: three small,
+// behaviorally distinct SPEC analogs, chosen so every fault kind has live
+// sites in the reference window (xalan is the one analog that executes
+// register-indirect transfers early; sjeng adds deep call/return activity;
+// bzip2 is the branchy sequential case).
+func DefaultWorkloads() []string { return []string{"bzip2", "sjeng", "xalan"} }
+
+// AllModes returns the three architecture modes in report order.
+func AllModes() []cpu.Mode {
+	return []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
+}
+
+// ParseModes maps a CLI/request mode string onto the campaign's mode list.
+func ParseModes(s string) ([]cpu.Mode, error) {
+	switch s {
+	case "", "all":
+		return AllModes(), nil
+	case "baseline":
+		return []cpu.Mode{cpu.ModeBaseline}, nil
+	case "naive":
+		return []cpu.Mode{cpu.ModeNaiveILR}, nil
+	case "vcfr":
+		return []cpu.Mode{cpu.ModeVCFR}, nil
+	}
+	return nil, fmt.Errorf("fault: unknown mode %q (want baseline, naive, vcfr, or all)", s)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = DefaultWorkloads()
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = AllModes()
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllKinds()
+	}
+	if c.Injections <= 0 {
+		c.Injections = 120
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Spread <= 0 {
+		c.Spread = 8
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 25000
+	}
+	if c.Bits <= 0 {
+		c.Bits = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	for _, w := range c.Workloads {
+		if _, err := workloads.ByName(w, 1); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Modes {
+		switch m {
+		case cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR:
+		default:
+			return fmt.Errorf("fault: unknown mode %v", m)
+		}
+	}
+	for _, k := range c.Kinds {
+		if !k.valid() {
+			return fmt.Errorf("fault: unknown fault kind %q", k)
+		}
+	}
+	return nil
+}
+
+// Row is one (workload, mode, fault kind) line of the coverage table.
+type Row struct {
+	Workload string
+	Mode     cpu.Mode
+	Kind     Kind
+	Stats    Stats
+	// Error marks the row's injections as not (fully) executed: workload
+	// preparation or reference capture failed, or the campaign was
+	// cancelled mid-flight.
+	Error string
+}
+
+// Report is one campaign's full result.
+type Report struct {
+	Config Config
+	Rows   []Row
+	Totals Stats
+	// Partial is true when any row carries an error.
+	Partial bool
+}
+
+// kindsFor filters the configured kinds down to the ones meaningful in a
+// mode.
+func kindsFor(kinds []Kind, mode cpu.Mode) []Kind {
+	out := make([]Kind, 0, len(kinds))
+	for _, k := range kinds {
+		if k.NeedsVCFR() && mode != cpu.ModeVCFR {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// splitInjections splits total across n kinds, remainder to the first ones.
+func splitInjections(total, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+		if i < total%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// candidates lists the dynamic instruction indices of the reference trace
+// the kind can fire on.
+func candidates(t *trace.Trace, k Kind) []uint64 {
+	var out []uint64
+	it := t.Iter()
+	for i := uint64(0); ; i++ {
+		rec, ok := it.Next()
+		if !ok {
+			return out
+		}
+		if k.matches(rec.Inst.Class(), rec.Taken) {
+			out = append(out, i)
+		}
+	}
+}
+
+// injectionSeed derives one injection's PRNG seed from the campaign seed
+// and the injection's coordinates, so neither worker count nor scheduling
+// order changes any injection.
+func injectionSeed(base int64, workload string, mode cpu.Mode, kind Kind, j int) int64 {
+	return harness.CellSeed(base, "faults",
+		fmt.Sprintf("%s|%s|%s|%d", workload, mode, kind, j))
+}
+
+// cell is one (workload, mode) pair's shared state: the prepared app and
+// the clean reference its injections are judged against.
+type cell struct {
+	workload string
+	mode     cpu.Mode
+	app      *harness.App
+	ref      Reference
+	trace    *trace.Trace
+	kinds    []Kind
+	err      error
+}
+
+// reference captures the cell's clean run, through the runner's trace
+// cache when one is present (record once, judge many).
+func (c *cell) reference(ctx context.Context, r *harness.Runner, maxInsts uint64) error {
+	p, _, err := c.app.Pipeline(c.mode, nil)
+	if err != nil {
+		return err
+	}
+	meta := trace.Meta{
+		Workload:   c.app.W.Name,
+		Mode:       c.mode,
+		LayoutSeed: c.app.R.Opts.Seed,
+		Spread:     c.app.R.Opts.Spread,
+		MaxInsts:   maxInsts,
+	}
+	var t *trace.Trace
+	if r.Traces == nil {
+		t, _, err = trace.CaptureContext(ctx, p, maxInsts, meta)
+	} else {
+		key := harness.TraceKey(c.app, c.mode, maxInsts)
+		meta.ImageHash = key.ImageHash
+		t, _, err = r.Traces.Do(ctx, key, func() (*trace.Trace, error) {
+			tt, _, cerr := trace.CaptureContext(ctx, p, maxInsts, meta)
+			return tt, cerr
+		})
+	}
+	if err != nil {
+		return err
+	}
+	c.trace = t
+	c.ref = Reference{Insts: uint64(t.Len()), Halted: t.Halted, ExitCode: t.ExitCode, Out: t.Out}
+	return nil
+}
+
+// task is one planned injection.
+type task struct {
+	cell  *cell
+	row   int // index into Report.Rows
+	fault Fault
+}
+
+// RunCampaign executes the configured campaign on the runner's worker pool
+// and returns the coverage table. Rows come back in the fixed (workload,
+// mode, kind) order of the config regardless of worker count, so identical
+// configs produce byte-identical reports. onProgress, if non-nil, receives
+// live completion state (CellsDone/CellsTotal count injections).
+//
+// Cancellation returns the partial report, not an error: finished
+// injections keep their counts and unexecuted rows carry the context's
+// error, mirroring how sweeps report partial results.
+func RunCampaign(ctx context.Context, r *harness.Runner, cfg Config, onProgress func(harness.Progress)) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		r = harness.NewRunner(0)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Prepare each workload once; every mode cell shares the layout. The
+	// layout seed derives from the campaign seed and the workload name, so
+	// layouts differ across workloads but never across surfaces.
+	apps := make(map[string]*harness.App, len(cfg.Workloads))
+	appErr := make(map[string]error, len(cfg.Workloads))
+	for _, w := range cfg.Workloads {
+		hcfg := harness.Config{
+			Scale:  cfg.Scale,
+			Spread: cfg.Spread,
+			Seed:   harness.CellSeed(cfg.Seed, "faults", w),
+		}
+		if app, err := harness.Prepare(w, hcfg); err != nil {
+			appErr[w] = err
+		} else {
+			apps[w] = app
+		}
+	}
+
+	cells := make([]*cell, 0, len(cfg.Workloads)*len(cfg.Modes))
+	for _, w := range cfg.Workloads {
+		for _, m := range cfg.Modes {
+			cells = append(cells, &cell{
+				workload: w,
+				mode:     m,
+				app:      apps[w],
+				kinds:    kindsFor(cfg.Kinds, m),
+				err:      appErr[w],
+			})
+		}
+	}
+
+	// Phase 1: clean references, sharded across the pool.
+	r.Shard(ctx, len(cells), func(ctx context.Context, i int) {
+		c := cells[i]
+		if c.err != nil {
+			return
+		}
+		if err := c.reference(ctx, r, cfg.MaxInsts); err != nil {
+			c.err = err
+		}
+	})
+	for _, c := range cells {
+		if c.err == nil && c.trace == nil {
+			c.err = notExecuted(ctx)
+		}
+	}
+
+	// Phase 2: plan every injection up front, in fixed order. The plan is
+	// fully deterministic: injection j of a (workload, mode, kind) row
+	// picks its site and flip mask from a seed derived from exactly those
+	// coordinates.
+	var rows []Row
+	var tasks []task
+	for _, c := range cells {
+		counts := splitInjections(cfg.Injections, len(c.kinds))
+		for ki, k := range c.kinds {
+			rowIdx := len(rows)
+			rows = append(rows, Row{Workload: c.workload, Mode: c.mode, Kind: k})
+			if c.err != nil {
+				rows[rowIdx].Error = firstLine(c.err.Error())
+				continue
+			}
+			cands := candidates(c.trace, k)
+			if len(cands) == 0 {
+				// No site in the reference window can host this kind; the
+				// row reports zero injections rather than an error.
+				continue
+			}
+			for j := 0; j < counts[ki]; j++ {
+				rng := rand.New(rand.NewSource(injectionSeed(cfg.Seed, c.workload, c.mode, k, j)))
+				tasks = append(tasks, task{
+					cell: c,
+					row:  rowIdx,
+					fault: Fault{
+						Kind:  k,
+						Index: cands[rng.Intn(len(cands))],
+						Bits:  cfg.Bits,
+						Seed:  rng.Int63(),
+					},
+				})
+			}
+		}
+	}
+
+	// Phase 3: execute the injections, sharded across the pool. Outcomes
+	// land in a per-task slot, so aggregation order (phase 4) is fixed no
+	// matter which worker ran what.
+	outcomes := make([]Outcome, len(tasks))
+	var (
+		progMu    sync.Mutex
+		doneCount int
+		instTotal uint64
+	)
+	r.Shard(ctx, len(tasks), func(ctx context.Context, i int) {
+		t := tasks[i]
+		o, insts := runInjection(ctx, t.cell, t.fault)
+		outcomes[i] = o
+		if o == "" || onProgress == nil {
+			return
+		}
+		progMu.Lock()
+		doneCount++
+		instTotal += insts
+		p := harness.Progress{CellsDone: doneCount, CellsTotal: len(tasks), Instructions: instTotal}
+		progMu.Unlock()
+		onProgress(p)
+	})
+
+	// Phase 4: aggregate in plan order.
+	rep := &Report{Config: cfg, Rows: rows}
+	for i, t := range tasks {
+		if o := outcomes[i]; o != "" {
+			rep.Rows[t.row].Stats.Add(o)
+		} else if rep.Rows[t.row].Error == "" {
+			rep.Rows[t.row].Error = firstLine(notExecuted(ctx).Error())
+		}
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i].Error != "" {
+			rep.Partial = true
+		}
+		rep.Totals.Merge(rep.Rows[i].Stats)
+	}
+	return rep, nil
+}
+
+// notExecuted names why planned work never ran: the context's error when it
+// was cancelled, a generic marker otherwise.
+func notExecuted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errors.New("injection not executed")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// runInjection executes one injected run and classifies it. A cancelled run
+// returns the empty outcome (not executed); a simulator panic classifies as
+// crash — from the fault model's point of view the machine died.
+func runInjection(ctx context.Context, c *cell, f Fault) (o Outcome, insts uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = OutcomeCrash
+		}
+	}()
+	p, _, err := c.app.Pipeline(c.mode, nil)
+	if err != nil {
+		return OutcomeCrash, 0
+	}
+	p.SetInjector(NewInjector(f).Hooks())
+	res, err := p.RunContext(ctx, c.ref.Budget())
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return "", res.Stats.Instructions
+	}
+	return Classify(res, err, c.ref), res.Stats.Instructions
+}
+
+// Envelope renders the report as the versioned wire document every surface
+// emits (results schema v3, kind "campaign").
+func (rep *Report) Envelope() results.Envelope {
+	modes := make([]string, len(rep.Config.Modes))
+	for i, m := range rep.Config.Modes {
+		modes[i] = m.String()
+	}
+	kinds := make([]string, len(rep.Config.Kinds))
+	for i, k := range rep.Config.Kinds {
+		kinds[i] = string(k)
+	}
+	c := results.Campaign{
+		Seed:       rep.Config.Seed,
+		Scale:      rep.Config.Scale,
+		Spread:     rep.Config.Spread,
+		MaxInsts:   rep.Config.MaxInsts,
+		Injections: rep.Config.Injections,
+		Bits:       rep.Config.Bits,
+		Workloads:  rep.Config.Workloads,
+		Modes:      modes,
+		Faults:     kinds,
+		Rows:       make([]results.CampaignRow, 0, len(rep.Rows)),
+	}
+	for _, r := range rep.Rows {
+		c.Rows = append(c.Rows, results.CampaignRow{
+			Workload:      r.Workload,
+			Mode:          r.Mode.String(),
+			Fault:         string(r.Kind),
+			Outcomes:      counts(r.Stats),
+			DetectionRate: r.Stats.DetectionRate(),
+			Error:         r.Error,
+		})
+	}
+	c.Totals = counts(rep.Totals)
+	return results.NewCampaign(c)
+}
+
+func counts(s Stats) results.CampaignCounts {
+	return results.CampaignCounts{
+		Injected:            s.Injected,
+		DetectedUnmappedRPC: s.DetectedUnmappedR,
+		DetectedIllegal:     s.DetectedIllegal,
+		Crashes:             s.Crashes,
+		SDC:                 s.SilentCorruptions,
+		Masked:              s.Masked,
+		Hangs:               s.Hangs,
+	}
+}
+
+// Table renders the report as the human-readable coverage table faultsim
+// and experiments print: one row per (workload, mode, fault kind), then a
+// per-mode aggregate over the control-flow kinds — the paper's headline
+// comparison.
+func (rep *Report) Table() *harness.Table {
+	t := &harness.Table{
+		ID:    "faults",
+		Title: "fault-injection detection coverage (baseline vs naive-ILR vs VCFR)",
+		Columns: []string{"workload", "mode", "fault", "inj", "det-rpc", "det-illegal",
+			"crash", "sdc", "masked", "hang", "detected"},
+		Note: fmt.Sprintf("seed %d, %d injections per workload x mode cell, %d-bit flips, reference cap %d insts",
+			rep.Config.Seed, rep.Config.Injections, rep.Config.Bits, rep.Config.MaxInsts),
+	}
+	u := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	for _, r := range rep.Rows {
+		if r.Error != "" {
+			t.Rows = append(t.Rows, []string{r.Workload, r.Mode.String(), string(r.Kind),
+				"error: " + r.Error})
+			continue
+		}
+		s := r.Stats
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Mode.String(), string(r.Kind),
+			u(s.Injected), u(s.DetectedUnmappedR), u(s.DetectedIllegal),
+			u(s.Crashes), u(s.SilentCorruptions), u(s.Masked), u(s.Hangs),
+			fmt.Sprintf("%.1f%%", 100*s.DetectionRate()),
+		})
+	}
+	for _, agg := range rep.ControlAggregates() {
+		s := agg.Stats
+		t.Rows = append(t.Rows, []string{
+			"(all)", agg.Mode.String(), "(control-flow)",
+			u(s.Injected), u(s.DetectedUnmappedR), u(s.DetectedIllegal),
+			u(s.Crashes), u(s.SilentCorruptions), u(s.Masked), u(s.Hangs),
+			fmt.Sprintf("%.1f%%", 100*s.DetectionRate()),
+		})
+	}
+	return t
+}
+
+// ModeAggregate is one mode's merged statistics over the control-flow
+// fault kinds.
+type ModeAggregate struct {
+	Mode  cpu.Mode
+	Stats Stats
+}
+
+// ControlAggregates merges each mode's rows over the control-flow fault
+// kinds (branch/indirect/return targets and DRC entries — everything but
+// opcode flips, which any decoder catches). This is the quantity the
+// paper's dependability argument ranks: VCFR must detect strictly more of
+// these than the baseline.
+func (rep *Report) ControlAggregates() []ModeAggregate {
+	control := make(map[Kind]bool)
+	for _, k := range ControlKinds() {
+		control[k] = true
+	}
+	out := make([]ModeAggregate, 0, len(rep.Config.Modes))
+	for _, m := range rep.Config.Modes {
+		agg := ModeAggregate{Mode: m}
+		for _, r := range rep.Rows {
+			if r.Mode == m && control[r.Kind] && r.Error == "" {
+				agg.Stats.Merge(r.Stats)
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}

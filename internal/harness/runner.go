@@ -105,6 +105,36 @@ func (r *Runner) slots() chan struct{} {
 	return r.sem
 }
 
+// Shard runs fn(ctx, i) for every i in [0, n) on the runner's bounded
+// worker pool and returns once all of them finished or the context was
+// cancelled. Indices whose slot acquisition loses to cancellation are
+// simply never invoked — callers detect skipped work by the absence of a
+// result for that index, which is how the fault-injection campaign reports
+// partial coverage. fn runs with panic capture; a panicking index does not
+// take down its worker or the sweep (the panic value is discarded, so fn
+// should capture its own failure state before returning).
+func (r *Runner) Shard(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case r.slots() <- struct{}{}:
+				defer func() { <-r.sem }()
+			case <-ctx.Done():
+				return
+			}
+			defer func() { _ = recover() }()
+			fn(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // Sweep returns the execution context for invoking one experiment function
 // directly. Production callers go through Run/RunAll; tests and benchmarks
 // use Sweep to call a specific experiment function by name.

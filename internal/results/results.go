@@ -32,7 +32,12 @@ import (
 //	    emulation counters, set by emulated-ILR runs); cpu.Config gained
 //	    SampleEvery. Purely additive: every v1 document is a valid v2
 //	    document with those fields absent, and Unmarshal accepts both.
-const SchemaVersion = 2
+//	3 — two new envelope kinds: `campaign` (fault-injection detection
+//	    coverage, internal/fault) and `gadget` (the gadgetscan report,
+//	    previously unversioned text-only output). Purely additive: run,
+//	    sweep, and trace documents are unchanged, and Unmarshal accepts
+//	    1..3.
+const SchemaVersion = 3
 
 // minSchemaVersion is the oldest version Unmarshal still accepts; every
 // version in [minSchemaVersion, SchemaVersion] is additive-compatible.
@@ -51,16 +56,24 @@ const (
 	KindSweep Kind = "sweep"
 	// KindTrace describes a captured execution trace file.
 	KindTrace Kind = "trace"
+	// KindCampaign is a fault-injection campaign's detection-coverage
+	// table (schema v3; see internal/fault).
+	KindCampaign Kind = "campaign"
+	// KindGadget is a gadget-pool scan report (schema v3; the versioned
+	// form of cmd/gadgetscan's output).
+	KindGadget Kind = "gadget"
 )
 
 // Envelope is the single top-level object every producer emits. Exactly one
-// of Run, Sweep, Trace is populated, selected by Kind.
+// of Run, Sweep, Trace, Campaign, Gadget is populated, selected by Kind.
 type Envelope struct {
-	SchemaVersion int    `json:"schema_version"`
-	Kind          Kind   `json:"kind"`
-	Run           []Run  `json:"run,omitempty"`
-	Sweep         *Sweep `json:"sweep,omitempty"`
-	Trace         *Trace `json:"trace,omitempty"`
+	SchemaVersion int           `json:"schema_version"`
+	Kind          Kind          `json:"kind"`
+	Run           []Run         `json:"run,omitempty"`
+	Sweep         *Sweep        `json:"sweep,omitempty"`
+	Trace         *Trace        `json:"trace,omitempty"`
+	Campaign      *Campaign     `json:"campaign,omitempty"`
+	Gadget        *GadgetReport `json:"gadget,omitempty"`
 }
 
 // Run is one (workload, mode) simulation's complete output: the exact
@@ -136,6 +149,92 @@ func NewSweep(rows []Run) Envelope {
 // NewTrace wraps a trace description in a versioned envelope.
 func NewTrace(t Trace) Envelope {
 	return Envelope{SchemaVersion: SchemaVersion, Kind: KindTrace, Trace: &t}
+}
+
+// Campaign is one fault-injection campaign's detection-coverage table
+// (schema v3). The header pins every input that shaped the campaign, so a
+// consumer can re-run it bit-identically; Rows come in the fixed
+// (workload, mode, fault) order the campaign planner emits.
+type Campaign struct {
+	Seed       int64    `json:"seed"`
+	Scale      int      `json:"scale"`
+	Spread     int      `json:"spread"`
+	MaxInsts   uint64   `json:"max_insts"`  // reference-run instruction cap
+	Injections int      `json:"injections"` // per (workload, mode) cell
+	Bits       int      `json:"bits"`       // bits flipped per injection
+	Workloads  []string `json:"workloads"`
+	Modes      []string `json:"modes"`
+	Faults     []string `json:"faults"` // fault-model kinds injected
+
+	Rows   []CampaignRow  `json:"rows"`
+	Totals CampaignCounts `json:"totals"`
+	// Partial is set when any row failed or the campaign was cancelled
+	// mid-flight; finished rows keep their counts.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// CampaignRow is one (workload, mode, fault kind) line of the coverage
+// table.
+type CampaignRow struct {
+	Workload      string         `json:"workload"`
+	Mode          string         `json:"mode"`
+	Fault         string         `json:"fault"`
+	Outcomes      CampaignCounts `json:"outcomes"`
+	DetectionRate float64        `json:"detection_rate"`
+	Error         string         `json:"error,omitempty"`
+}
+
+// CampaignCounts is the outcome-taxonomy histogram of a row (or of the
+// whole campaign, in Campaign.Totals).
+type CampaignCounts struct {
+	Injected            uint64 `json:"injected"`
+	DetectedUnmappedRPC uint64 `json:"detected_unmapped_rpc"`
+	DetectedIllegal     uint64 `json:"detected_illegal_instruction"`
+	Crashes             uint64 `json:"crashes"`
+	SDC                 uint64 `json:"silent_data_corruption"`
+	Masked              uint64 `json:"masked"`
+	Hangs               uint64 `json:"hangs"`
+}
+
+// NewCampaign wraps a coverage table in a versioned envelope. Partial is
+// derived from the rows: any error row marks the campaign partial.
+func NewCampaign(c Campaign) Envelope {
+	for _, r := range c.Rows {
+		if r.Error != "" {
+			c.Partial = true
+			break
+		}
+	}
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindCampaign, Campaign: &c}
+}
+
+// GadgetReport is a gadget-pool scan (schema v3): the pool census of one
+// image and which payload templates it supports, plus — when the scan also
+// randomized — the surviving pool.
+type GadgetReport struct {
+	Image    string `json:"image"`
+	MaxInsts int    `json:"max_insts"` // max gadget body length scanned for
+	Total    int    `json:"total"`
+	Unique   int    `json:"unique"`
+	// Census counts gadgets per capability kind; Payloads reports which
+	// attack templates assemble from the pool. Both marshal with sorted
+	// keys (encoding/json), keeping the wire form deterministic.
+	Census     map[string]int    `json:"census"`
+	Payloads   map[string]bool   `json:"payloads"`
+	Randomized *GadgetRandomized `json:"randomized,omitempty"`
+}
+
+// GadgetRandomized describes the pool surviving one randomized layout.
+type GadgetRandomized struct {
+	Seed        int64           `json:"seed"`
+	Survivors   int             `json:"survivors"`
+	RemovalRate float64         `json:"removal_rate"`
+	Payloads    map[string]bool `json:"payloads"`
+}
+
+// NewGadget wraps a gadget scan in a versioned envelope.
+func NewGadget(g GadgetReport) Envelope {
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindGadget, Gadget: &g}
 }
 
 // Marshal is the one serialization path: two-space-indented JSON with a

@@ -73,9 +73,49 @@ func fixtures() map[string]Envelope {
 	}
 	failed := Run{Workload: "lbm", Mode: "", Seed: 42, Error: "context deadline exceeded"}
 
+	campaign := Campaign{
+		Seed:       42,
+		Scale:      1,
+		Spread:     8,
+		MaxInsts:   25000,
+		Injections: 120,
+		Bits:       1,
+		Workloads:  []string{"bzip2", "sjeng"},
+		Modes:      []string{"baseline", "vcfr"},
+		Faults:     []string{"branch-target", "opcode"},
+		Rows: []CampaignRow{
+			{Workload: "bzip2", Mode: "baseline", Fault: "branch-target",
+				Outcomes: CampaignCounts{Injected: 60, DetectedIllegal: 41, Crashes: 9,
+					SDC: 6, Masked: 3, Hangs: 1}, DetectionRate: 0.6833},
+			{Workload: "bzip2", Mode: "vcfr", Fault: "branch-target",
+				Outcomes: CampaignCounts{Injected: 60, DetectedUnmappedRPC: 52,
+					DetectedIllegal: 5, Crashes: 2, Masked: 1}, DetectionRate: 0.95},
+			{Workload: "sjeng", Mode: "vcfr", Fault: "opcode",
+				Error: "context deadline exceeded"},
+		},
+		Totals: CampaignCounts{Injected: 120, DetectedUnmappedRPC: 52,
+			DetectedIllegal: 46, Crashes: 11, SDC: 6, Masked: 4, Hangs: 1},
+	}
+	gadgetRep := GadgetReport{
+		Image:    "xalan",
+		MaxInsts: 5,
+		Total:    2801,
+		Unique:   211,
+		Census:   map[string]int{"arith": 1357, "bare-ret": 603, "jop": 1314},
+		Payloads: map[string]bool{"exfiltrate": true, "print-and-exit": true},
+		Randomized: &GadgetRandomized{
+			Seed:        7,
+			Survivors:   141,
+			RemovalRate: 0.9497,
+			Payloads:    map[string]bool{"exfiltrate": false, "print-and-exit": false},
+		},
+	}
+
 	return map[string]Envelope{
-		"run":   NewRun(run, emulated),
-		"sweep": NewSweep([]Run{run, failed}),
+		"run":      NewRun(run, emulated),
+		"sweep":    NewSweep([]Run{run, failed}),
+		"campaign": NewCampaign(campaign),
+		"gadget":   NewGadget(gadgetRep),
 		"trace": NewTrace(Trace{
 			Workload:     "h264ref",
 			Mode:         "vcfr",
@@ -158,5 +198,17 @@ func TestSweepPartial(t *testing.T) {
 	bad := NewSweep([]Run{{Workload: "a"}, {Workload: "b", Error: "boom"}})
 	if !bad.Sweep.Partial {
 		t.Error("sweep with error row not marked partial")
+	}
+}
+
+// TestCampaignPartial locks the same derivation rule for campaigns.
+func TestCampaignPartial(t *testing.T) {
+	ok := NewCampaign(Campaign{Rows: []CampaignRow{{Workload: "a"}}})
+	if ok.Campaign.Partial {
+		t.Error("clean campaign marked partial")
+	}
+	bad := NewCampaign(Campaign{Rows: []CampaignRow{{Workload: "a"}, {Workload: "b", Error: "boom"}}})
+	if !bad.Campaign.Partial {
+		t.Error("campaign with error row not marked partial")
 	}
 }

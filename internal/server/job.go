@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vcfr/internal/cpu"
+	"vcfr/internal/fault"
 	"vcfr/internal/harness"
 	"vcfr/internal/results"
 	"vcfr/internal/workloads"
@@ -25,6 +26,9 @@ const (
 	// JobSweep is a full stats sweep with per-cell derived seeds — the
 	// service twin of `experiments -stats-json`.
 	JobSweep JobKind = "sweep"
+	// JobFaults is a fault-injection campaign — the service twin of
+	// `faultsim -json` and `experiments -mode faults`.
+	JobFaults JobKind = "faults"
 )
 
 // JobState is a job's position in its lifecycle. Transitions are strictly
@@ -75,6 +79,15 @@ type SimRequest struct {
 	// adding the per-window `intervals` series to every result row (the
 	// service twin of vcfrsim -interval). Default 0 (off).
 	Interval uint64 `json:"interval,omitempty"`
+	// Injections per (workload, mode) cell of a fault campaign. Default
+	// 120 (faultsim's default). Ignored by simulate and sweep.
+	Injections int `json:"injections,omitempty"`
+	// Faults restricts a campaign to a subset of the fault model (kind
+	// names as in internal/fault). Default: the full model. Ignored by
+	// simulate and sweep.
+	Faults []string `json:"faults,omitempty"`
+	// Bits flipped per injection. Default 1. Ignored by simulate and sweep.
+	Bits int `json:"bits,omitempty"`
 	// TimeoutMS bounds the job's execution wall clock, refining the
 	// server's default job timeout. 0 = server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -86,9 +99,25 @@ type SimRequest struct {
 func (r *SimRequest) normalize(kind JobKind) error {
 	if r.Mode == "" {
 		r.Mode = "vcfr"
+		if kind == JobFaults {
+			// A campaign's point is the cross-mode comparison; default to
+			// all three architectures (faultsim's -mode default).
+			r.Mode = "all"
+		}
 	}
 	if _, err := parseModes(r.Mode); err != nil {
 		return err
+	}
+	if kind == JobFaults {
+		if _, err := fault.ParseKinds(r.Faults); err != nil {
+			return err
+		}
+		if r.Injections < 0 {
+			return fmt.Errorf("injections must be >= 0")
+		}
+		if r.Bits < 0 {
+			return fmt.Errorf("bits must be >= 0")
+		}
 	}
 	if r.Seed == nil {
 		seed := int64(1)
@@ -176,6 +205,26 @@ func (r *SimRequest) config() harness.Config {
 	}
 }
 
+// faultConfig maps the request onto a fault campaign config. Call only
+// after normalize has filled the pointer fields. The campaign runs the
+// default machine configuration per mode (like faultsim), so the machine
+// tuning knobs (drc, width, ctxswitch, interval) do not apply here.
+func (r *SimRequest) faultConfig() fault.Config {
+	modes, _ := fault.ParseModes(r.Mode)
+	kinds, _ := fault.ParseKinds(r.Faults)
+	return fault.Config{
+		Workloads:  r.Workloads,
+		Modes:      modes,
+		Kinds:      kinds,
+		Injections: r.Injections,
+		Seed:       *r.Seed,
+		Scale:      *r.Scale,
+		Spread:     *r.Spread,
+		MaxInsts:   r.Instructions,
+		Bits:       r.Bits,
+	}
+}
+
 func parseModes(s string) ([]cpu.Mode, error) {
 	switch s {
 	case "baseline":
@@ -240,8 +289,9 @@ func (j *Job) Envelope() (body []byte, errMsg string) {
 	return j.envelope, j.err
 }
 
-// setProgress records the sweep's live completion state; it is the
-// harness.StatsSweepProgress callback, invoked from worker goroutines.
+// setProgress records the job's live completion state; it is the progress
+// callback of harness.StatsSweepProgress and fault.RunCampaign, invoked
+// from worker goroutines.
 func (j *Job) setProgress(p harness.Progress) {
 	j.mu.Lock()
 	j.progress = &p
@@ -257,9 +307,9 @@ type jobView struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
-	// Progress is the sweep's live completion state (cells finished, cells
-	// total, simulated instructions so far), populated while a sweep runs
-	// and retained on its final view.
+	// Progress is the job's live completion state (cells or injections
+	// finished, total, simulated instructions so far), populated while a
+	// sweep or fault campaign runs and retained on its final view.
 	Progress *harness.Progress `json:"progress,omitempty"`
 	Result   json.RawMessage   `json:"result,omitempty"`
 }
@@ -371,6 +421,13 @@ func (s *Server) execute(ctx context.Context, j *Job) (results.Envelope, error) 
 			return results.Envelope{}, err
 		}
 		return results.NewSweep(rows), nil
+	case JobFaults:
+		rep, err := fault.RunCampaign(ctx, s.runner, j.Req.faultConfig(), j.setProgress)
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		s.metrics.campaignFinished(rep.Totals)
+		return rep.Envelope(), nil
 	default:
 		return results.Envelope{}, fmt.Errorf("unknown job kind %q", j.Kind)
 	}

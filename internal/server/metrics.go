@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vcfr/internal/fault"
 	"vcfr/internal/stats"
 )
 
@@ -40,6 +41,11 @@ type metrics struct {
 	traceBytes   int64
 	traceEntries int64
 
+	// Fault-campaign outcome totals, merged in as each campaign job
+	// finishes, plus the count of finished campaigns.
+	faults    fault.Stats
+	campaigns uint64
+
 	queueWait *histogram
 	runDur    *histogram
 }
@@ -69,6 +75,8 @@ func newMetrics() *metrics {
 	r.Counter("trace.cache.misses", "Trace cache misses (each one paid a capture).", &m.traceMisses)
 	r.Gauge("trace.cache.bytes", "Bytes of trace data currently cached.", &m.traceBytes)
 	r.Gauge("trace.cache.entries", "Traces currently cached.", &m.traceEntries)
+	r.Counter("fault.campaigns", "Fault-injection campaigns finished.", &m.campaigns)
+	m.faults.Register(r)
 	m.reg = r
 	return m
 }
@@ -101,6 +109,15 @@ func (m *metrics) jobStarted(queueWait time.Duration) {
 	m.queued--
 	m.running++
 	m.queueWait.observe(queueWait.Seconds())
+}
+
+// campaignFinished folds one finished campaign's outcome totals into the
+// cumulative fault.* counters.
+func (m *metrics) campaignFinished(st fault.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.campaigns++
+	m.faults.Merge(st)
 }
 
 func (m *metrics) jobPanicked() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vcfr/internal/fault"
 	"vcfr/internal/stats"
 )
 
@@ -19,6 +20,7 @@ func TestMetricsRegistryExactlyOnce(t *testing.T) {
 	m.jobAccepted()
 	m.jobStarted(5 * time.Millisecond)
 	m.jobFinished(true, 80*time.Millisecond)
+	m.campaignFinished(fault.Stats{Injected: 4, DetectedUnmappedR: 3, Masked: 1})
 
 	var b strings.Builder
 	m.render(&b, 3, 16, 7, 2, 4096, 5)
@@ -71,6 +73,8 @@ func TestMetricsRenderFormat(t *testing.T) {
 	m.jobFinished(false, 200*time.Millisecond)
 	m.jobPanicked()
 	m.jobRejected()
+	m.campaignFinished(fault.Stats{Injected: 10, DetectedUnmappedR: 6,
+		DetectedIllegal: 2, Crashes: 1, SilentCorruptions: 1})
 
 	var b strings.Builder
 	m.render(&b, 1, 8, 3, 1, 1024, 2)
@@ -93,6 +97,14 @@ func TestMetricsRenderFormat(t *testing.T) {
 		"vcfrd_trace_cache_misses_total 1\n",
 		"vcfrd_trace_cache_bytes 1024\n",
 		"vcfrd_trace_cache_entries 2\n",
+		"vcfrd_fault_campaigns_total 1\n",
+		"vcfrd_fault_injected_total 10\n",
+		"vcfrd_fault_detected_unmapped_rpc_total 6\n",
+		"vcfrd_fault_detected_illegal_instruction_total 2\n",
+		"vcfrd_fault_crashes_total 1\n",
+		"vcfrd_fault_sdc_total 1\n",
+		"vcfrd_fault_masked_total 0\n",
+		"vcfrd_fault_hangs_total 0\n",
 		"# TYPE vcfrd_stage_seconds histogram\n",
 	}
 	pos := 0

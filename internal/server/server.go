@@ -1,5 +1,6 @@
 // Package server implements vcfrd, the long-running HTTP/JSON simulation
-// service: it accepts simulation and sweep jobs, runs them on a shared
+// service: it accepts simulation, sweep, and fault-campaign jobs, runs them
+// on a shared
 // harness.Runner whose trace cache turns repeated timing-only queries into
 // replays, and answers every request in the one versioned wire format of
 // internal/results.
@@ -11,7 +12,14 @@
 //	                    `vcfrsim -stats-json` invocation
 //	POST /v1/sweep      full stats sweep — asynchronous; returns 202 and a
 //	                    job id to poll
+//	POST /v1/faults     fault-injection campaign — asynchronous; returns 202
+//	                    and a job id to poll; the finished result is
+//	                    byte-identical to `faultsim -json`
 //	GET  /v1/jobs/{id}  job state, timings, error, and (when done) result
+//	GET  /v1/jobs/{id}/result
+//	                    the finished job's result envelope, streamed exactly
+//	                    as results.Marshal produced it (byte-identical to
+//	                    the equivalent CLI invocation)
 //	GET  /v1/workloads  the built-in workload catalog
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text: jobs by state, queue pressure,
@@ -128,7 +136,9 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/faults", s.handleFaults)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -343,6 +353,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFaults enqueues an asynchronous fault-injection campaign and answers
+// 202 with the job id to poll, exactly like handleSweep; the finished job's
+// result is the campaign envelope faultsim -json emits.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, JobFaults)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.newJob(JobFaults, req)
+	if err := s.enqueue(j); err != nil {
+		writeRefusal(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"id":     j.ID,
+		"state":  string(j.State()),
+		"status": "/v1/jobs/" + j.ID,
+	})
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.jobMu.Lock()
@@ -356,6 +390,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(j.view())
+}
+
+// handleJobResult streams a finished job's envelope bytes untouched — the
+// polling view (handleJob) re-indents the embedded result, so this is the
+// endpoint that preserves byte-identity with the CLIs for async jobs.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	j, ok := s.jobs[id]
+	s.jobMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch j.State() {
+	case JobDone:
+		body, _ := j.Envelope()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	case JobFailed:
+		_, errMsg := j.Envelope()
+		writeError(w, http.StatusInternalServerError, "%s", errMsg)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s still %s", id, j.State())
+	}
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

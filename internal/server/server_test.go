@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vcfr/internal/cpu"
+	"vcfr/internal/fault"
 	"vcfr/internal/harness"
 	"vcfr/internal/results"
 	"vcfr/internal/trace"
@@ -450,6 +451,192 @@ func TestJobEndpointLifecycle(t *testing.T) {
 	}
 	if v.Progress.CellsDone != 1 || v.Progress.CellsTotal != 1 || v.Progress.Instructions == 0 {
 		t.Errorf("final progress = %+v, want 1/1 cells with nonzero instructions", *v.Progress)
+	}
+}
+
+// pollJob waits for a job to leave the running states and returns its final
+// view.
+func pollJob(t *testing.T, s *Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var v jobView
+	for {
+		_, b := get(t, s, "/v1/jobs/"+id)
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == JobDone || v.State == JobFailed {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFaultsEndpointLifecycle follows a fault campaign from 202 through done
+// and pins the acceptance criterion for the service surface: the finished
+// result must be byte-identical to what fault.RunCampaign emits for the same
+// config (which is what `faultsim -json` prints).
+func TestFaultsEndpointLifecycle(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, body := post(t, s, "/v1/faults",
+		`{"workloads": ["bzip2"], "mode": "vcfr", "injections": 10, "instructions": 5000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("faults: %d: %s", resp.StatusCode, body)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Errorf("Location = %q", loc)
+	}
+	var accepted struct{ ID string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	v := pollJob(t, s, accepted.ID)
+	if v.State != JobDone {
+		t.Fatalf("campaign job failed: %s", v.Error)
+	}
+	if v.Progress == nil || v.Progress.CellsDone != v.Progress.CellsTotal || v.Progress.CellsDone == 0 {
+		t.Errorf("final progress = %+v, want all injections done", v.Progress)
+	}
+
+	// The CLI equivalent: faultsim -workloads bzip2 -mode vcfr
+	// -injections 10 -instructions 5000 (defaults: seed 42, spread 8).
+	rep, err := fault.RunCampaign(context.Background(), harness.NewRunner(1), fault.Config{
+		Workloads:  []string{"bzip2"},
+		Modes:      []cpu.Mode{cpu.ModeVCFR},
+		Injections: 10,
+		MaxInsts:   5000,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := results.Marshal(rep.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The polling view re-indents its embedded result; the /result endpoint
+	// is the byte-exact surface.
+	resultResp, resultBody := get(t, s, "/v1/jobs/"+accepted.ID+"/result")
+	if resultResp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: %d: %s", resultResp.StatusCode, resultBody)
+	}
+	if !bytes.Equal(resultBody, want) {
+		t.Errorf("service campaign differs from CLI bytes:\n--- service ---\n%.600s\n--- cli ---\n%.600s", resultBody, want)
+	}
+	// The view's embedded result must agree semantically.
+	if env, err := results.Unmarshal(v.Result); err != nil || env.Kind != results.KindCampaign {
+		t.Errorf("job view result: kind=%v err=%v, want campaign", env.Kind, err)
+	}
+
+	// The finished campaign feeds the fault.* spine counters on /metrics.
+	_, metricsBody := get(t, s, "/metrics")
+	for _, wantLine := range []string{
+		"vcfrd_fault_campaigns_total 1",
+		fmt.Sprintf("vcfrd_fault_injected_total %d", rep.Totals.Injected),
+	} {
+		if !strings.Contains(string(metricsBody), wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestFaultsBackpressureAndCancellation exercises the campaign endpoint's
+// two failure surfaces: a full queue refuses with 429, and a job deadline
+// mid-campaign yields a done job whose envelope is the partial coverage
+// table (full row plan, unexecuted rows marked), not an error.
+func TestFaultsBackpressureAndCancellation(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	realExec := s.exec
+	s.exec = blockingExec(started, release)
+
+	if resp, b := post(t, s, "/v1/faults", `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: %d: %s", resp.StatusCode, b)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job 1 never started")
+	}
+	if resp, b := post(t, s, "/v1/faults", `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: %d: %s", resp.StatusCode, b)
+	}
+	resp, body := post(t, s, "/v1/faults", `{}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(release)
+	<-started // job 2 reaches the worker, then finishes immediately
+
+	// Queue drained; restore the real executor and run a campaign under a
+	// deadline too short to execute anything.
+	s.exec = realExec
+	deadline := time.Now().Add(5 * time.Second)
+	var accepted struct{ ID string }
+	for {
+		resp, body = post(t, s, "/v1/faults",
+			`{"workloads": ["bzip2"], "mode": "vcfr", "injections": 10, "timeout_ms": 1}`)
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never recovered: %d: %s", resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	v := pollJob(t, s, accepted.ID)
+	if v.State != JobDone {
+		t.Fatalf("deadline-bounded campaign failed instead of returning partial rows: %s", v.Error)
+	}
+	env, err := results.Unmarshal(v.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != results.KindCampaign || env.Campaign == nil {
+		t.Fatalf("result kind = %s, want campaign", env.Kind)
+	}
+	if !env.Campaign.Partial {
+		t.Error("deadline-bounded campaign not marked partial")
+	}
+	if len(env.Campaign.Rows) == 0 {
+		t.Fatal("partial campaign carries no rows")
+	}
+	errored := 0
+	for _, r := range env.Campaign.Rows {
+		if r.Error != "" {
+			errored++
+		}
+	}
+	if errored == 0 {
+		t.Error("partial campaign has no error-marked rows")
+	}
+}
+
+// TestFaultsRequestValidation locks the 400 surface of the campaign
+// endpoint.
+func TestFaultsRequestValidation(t *testing.T) {
+	s := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	for _, tc := range []struct{ name, body string }{
+		{"unknown fault kind", `{"faults": ["cosmic-ray"]}`},
+		{"unknown workload", `{"workloads": ["doom"]}`},
+		{"unknown mode", `{"mode": "quantum"}`},
+		{"negative injections", `{"injections": -1}`},
+		{"negative bits", `{"bits": -2}`},
+		{"unknown field", `{"turbo": true}`},
+	} {
+		if resp, b := post(t, s, "/v1/faults", tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d (%s), want 400", tc.name, resp.StatusCode, b)
+		}
 	}
 }
 

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Run the fault-injection campaign benchmark and archive its numbers —
+# ns/op and injections per second — as JSON in BENCH_fault.json. The
+# injections/s figure bounds how large a dependability study the
+# simulator can host; refactors of the injector or campaign runner are
+# checked against a previously recorded file.
+#
+# Usage: scripts/bench_fault.sh [output.json]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_fault.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "== bench (benchtime 3x, count $COUNT)"
+"$GO" test ./internal/fault -run '^$' -bench 'BenchmarkCampaign' \
+    -benchtime 3x -count "$COUNT" | tee "$TMP"
+
+# Benchmark lines look like:
+#   BenchmarkCampaign-8  3  205000000 ns/op  878 injections/s
+# Average ns/op and injections/s over the -count repetitions.
+awk -v out="$OUT" '
+/^BenchmarkCampaign/ {
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")        { nsop += $i; n++ }
+        if ($(i+1) == "injections/s") { ips += $i }
+    }
+}
+END {
+    if (!n) {
+        print "bench_fault: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkCampaign\",\n" >> out
+    printf "  \"config\": \"bzip2, vcfr, 60 injections, 10000-instruction references, benchtime 3x\",\n" >> out
+    printf "  \"count\": %d,\n", n >> out
+    printf "  \"ns_per_op\": %.0f,\n", nsop / n >> out
+    printf "  \"injections_per_sec\": %.1f\n", ips / n >> out
+    printf "}\n" >> out
+}
+' "$TMP"
+
+echo "== wrote $OUT"
+cat "$OUT"
