@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline bench-fault experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke
+.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke
 
 all: build test
 
@@ -16,11 +16,13 @@ test-short:
 	$(GO) test -short ./...
 
 # The concurrency-heavy packages under the race detector: the parallel
-# experiment runner, the pipeline it drives, the shared trace cache, the
-# versioned wire format, the vcfrd job queue / worker pool, and the
-# sharded fault-injection campaign runner.
+# experiment runner, the pipeline it drives (including the block-cache
+# differential and fuzz-corpus tests), the functional core the block
+# executor calls into, the shared trace cache, the versioned wire format,
+# the vcfrd job queue / worker pool, and the sharded fault-injection
+# campaign runner.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/trace ./internal/results ./internal/server ./internal/fault
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -44,9 +46,17 @@ cover:
 bench: bench-pipeline
 	$(GO) test -bench=. -benchmem ./...
 
-# The fig13+fig14 DRC-sweep acceptance benchmark, archived as JSON
-# (ns/op and ns per simulated instruction) for before/after comparison.
-bench-pipeline:
+# The fig13+fig14 DRC-sweep acceptance benchmark, guarded against the
+# budget archived in BENCH_pipeline.json: fail on a >15% ns/instr
+# regression, re-pin the file when the fresh numbers are faster.
+bench-pipeline: bench-check
+
+bench-check:
+	./scripts/bench_check.sh
+
+# Unconditionally re-record BENCH_pipeline.json (first pin on a new
+# machine, or after an accepted regression).
+bench-pipeline-record:
 	./scripts/bench_pipeline.sh
 
 # Campaign throughput (injections/s), archived as BENCH_fault.json.

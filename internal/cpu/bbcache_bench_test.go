@@ -1,0 +1,48 @@
+package cpu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/ilr"
+	"vcfr/internal/workloads"
+)
+
+// BenchmarkPipelineExecute is the block cache's direct A/B: one pipeline,
+// one workload, execute-driven, with the cache enabled (the default) and
+// with Config.NoBlockCache forcing the per-instruction decode path. The
+// ns/instr gap between the two variants is the cache's whole effect — the
+// numbers quoted in EXPERIMENTS.md's "Simulator throughput" table.
+//
+//	go test ./internal/cpu -bench PipelineExecute -benchtime 3x
+func BenchmarkPipelineExecute(b *testing.B) {
+	const cap = 60_000
+	w := workloads.MustByName("h264ref", 1)
+	res, err := ilr.Rewrite(w.Img, ilr.Options{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR} {
+		for _, noCache := range []bool{false, true} {
+			variant := "cached"
+			if noCache {
+				variant = "direct"
+			}
+			b.Run(fmt.Sprintf("%v/%s", mode, variant), func(b *testing.B) {
+				var insts uint64
+				for i := 0; i < b.N; i++ {
+					p := pipeFor(b, res, mode, w.Input, func(c *cpu.Config) {
+						c.NoBlockCache = noCache
+					})
+					r, err := p.Run(cap)
+					if err != nil {
+						b.Fatal(err)
+					}
+					insts += r.Stats.Instructions
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/instr")
+			})
+		}
+	}
+}

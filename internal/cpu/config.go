@@ -108,6 +108,14 @@ type Config struct {
 	// compare per instruction.
 	SampleEvery uint64
 
+	// NoBlockCache disables the basic-block cache of pre-decoded
+	// instructions (bbcache.go) and forces the per-instruction decode path
+	// everywhere. The cache is a pure memoization — results are bit-identical
+	// either way — so this knob exists for the differential tests that prove
+	// exactly that, and as an escape hatch. Excluded from the JSON shape:
+	// it cannot change any result, so it is not part of a run's identity.
+	NoBlockCache bool `json:"-"`
+
 	// PredictOnRPC indexes the branch predictor with randomized addresses
 	// instead of de-randomized ones — the ablation showing why VCFR keeps
 	// prediction in the original space (Sec. IV-D).

@@ -38,7 +38,15 @@ type InjectHooks struct {
 // SetInjector installs fault-injection hooks (nil removes them). The
 // injected pipeline stays deterministic: with the same hooks the same run
 // replays bit-identically.
-func (p *Pipeline) SetInjector(h *InjectHooks) { p.inject = h }
+//
+// Arming an injector invalidates the basic-block cache and forces the
+// per-instruction fetch path for as long as the hooks stay installed: a
+// FetchBytes hook must observe every raw fetch, which a pre-decoded block
+// would skip.
+func (p *Pipeline) SetInjector(h *InjectHooks) {
+	p.inject = h
+	p.InvalidateBlocks()
+}
 
 // fetchDecodeInjected is emu.FetchDecode with the FetchBytes hook spliced
 // between the storage read and the decoder.

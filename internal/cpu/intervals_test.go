@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"vcfr/internal/ilr"
 	"vcfr/internal/stats"
 )
 
@@ -15,65 +16,133 @@ import (
 func TestIntervalDeltasSumToTotals(t *testing.T) {
 	res := rewriteSrc(t, "callheavy", callHeavySrc)
 	for _, mode := range []Mode{ModeBaseline, ModeNaiveILR, ModeVCFR} {
+		for _, noCache := range []bool{false, true} {
+			mode, noCache := mode, noCache
+			name := mode.String() + "/block-cached"
+			if noCache {
+				name = mode.String() + "/per-instruction"
+			}
+			t.Run(name, func(t *testing.T) {
+				checkIntervalConservation(t, res, mode, noCache)
+			})
+		}
+	}
+}
+
+func checkIntervalConservation(t *testing.T, res *ilr.Result, mode Mode, noCache bool) {
+	const every = 1000
+	out := runPipe(t, res, mode, func(c *Config) {
+		c.SampleEvery = every
+		c.NoBlockCache = noCache
+	})
+	snaps := out.Intervals
+	if len(snaps) < 2 {
+		t.Fatalf("got %d snapshots, want >= 2 (run is %d instructions, window %d)",
+			len(snaps), out.Stats.Instructions, every)
+	}
+
+	for i := 1; i < len(snaps); i++ {
+		if err := snaps[i].Monotonic(snaps[i-1]); err != nil {
+			t.Fatalf("snapshot %d not monotonic over %d: %v", i, i-1, err)
+		}
+	}
+
+	// No snapshot may observe an unflushed partial block: every mid-run
+	// snapshot must land exactly on a sample edge (a multiple of the
+	// window), and consecutive edges must be exactly one window apart. Only
+	// the final snapshot — the run-end close of the last partial window —
+	// may fall off-edge. This is the property the block executor's batched
+	// counter flush has to preserve.
+	for i, s := range snaps[:len(snaps)-1] {
+		n := snapshotInsts(s)
+		if n%every != 0 {
+			t.Errorf("snapshot %d taken at %d instructions: mid-block observation (window %d)",
+				i, n, every)
+		}
+		if want := uint64(every) * uint64(i+1); n != want {
+			t.Errorf("snapshot %d at %d instructions, want edge %d", i, n, want)
+		}
+	}
+
+	// Accumulate the window increments counter by counter.
+	sums := make(map[string]uint64)
+	var prev stats.Snapshot
+	for i, s := range snaps {
+		win := s
+		if i > 0 {
+			d, err := s.Delta(prev)
+			if err != nil {
+				t.Fatalf("Delta(%d, %d): %v", i, i-1, err)
+			}
+			win = d
+		}
+		win.Each(func(d stats.Desc, v stats.Value) {
+			if d.Kind == stats.KindCounter {
+				sums[d.Name] += v.U
+			}
+		})
+		prev = s
+	}
+
+	// The sums must equal the finished run's totals. Result.Registry
+	// registers drc.* unconditionally while the live registry only has
+	// them under VCFR; a name the live run never sampled must total 0.
+	final := out.Registry().Snapshot()
+	checked := 0
+	final.Each(func(d stats.Desc, v stats.Value) {
+		if d.Kind != stats.KindCounter {
+			return
+		}
+		checked++
+		got, sampled := sums[d.Name]
+		if !sampled && v.U != 0 {
+			t.Errorf("%s: final total %d but counter never sampled", d.Name, v.U)
+			return
+		}
+		if got != v.U {
+			t.Errorf("%s: interval deltas sum to %d, final total %d", d.Name, got, v.U)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("final registry exposed no counters")
+	}
+	if sums["cpu.instructions"] != out.Stats.Instructions {
+		t.Errorf("cpu.instructions deltas sum to %d, Result says %d",
+			sums["cpu.instructions"], out.Stats.Instructions)
+	}
+}
+
+// TestIntervalSnapshotsCacheInvariant pins the sampled series itself: the
+// block-cached run's snapshots must equal the per-instruction path's
+// value-for-value, including the final partial window. A batched flush that
+// lands a single counter increment in the wrong window fails this even if
+// conservation (sums-to-totals) still holds.
+func TestIntervalSnapshotsCacheInvariant(t *testing.T) {
+	res := rewriteSrc(t, "callheavy", callHeavySrc)
+	for _, mode := range []Mode{ModeBaseline, ModeNaiveILR, ModeVCFR} {
 		t.Run(mode.String(), func(t *testing.T) {
-			out := runPipe(t, res, mode, func(c *Config) { c.SampleEvery = 1000 })
-			snaps := out.Intervals
-			if len(snaps) < 2 {
-				t.Fatalf("got %d snapshots, want >= 2 (run is %d instructions, window 1000)",
-					len(snaps), out.Stats.Instructions)
+			run := func(noCache bool) []stats.Snapshot {
+				// 997 is prime: no block boundary alignment with edges.
+				return runPipe(t, res, mode, func(c *Config) {
+					c.SampleEvery = 997
+					c.NoBlockCache = noCache
+				}).Intervals
 			}
-
-			for i := 1; i < len(snaps); i++ {
-				if err := snaps[i].Monotonic(snaps[i-1]); err != nil {
-					t.Fatalf("snapshot %d not monotonic over %d: %v", i, i-1, err)
-				}
+			cached, direct := run(false), run(true)
+			if len(cached) != len(direct) {
+				t.Fatalf("snapshot counts diverge: cached %d, direct %d", len(cached), len(direct))
 			}
-
-			// Accumulate the window increments counter by counter.
-			sums := make(map[string]uint64)
-			var prev stats.Snapshot
-			for i, s := range snaps {
-				win := s
-				if i > 0 {
-					d, err := s.Delta(prev)
-					if err != nil {
-						t.Fatalf("Delta(%d, %d): %v", i, i-1, err)
-					}
-					win = d
+			for i := range cached {
+				d, err := cached[i].Delta(direct[i])
+				if err != nil {
+					t.Fatalf("snapshot %d: %v", i, err)
 				}
-				win.Each(func(d stats.Desc, v stats.Value) {
-					if d.Kind == stats.KindCounter {
-						sums[d.Name] += v.U
+				d.Each(func(desc stats.Desc, v stats.Value) {
+					if v.U != 0 || v.G != 0 || v.F != 0 {
+						t.Errorf("snapshot %d: %s diverges by %d/%d/%g between cached and direct",
+							i, desc.Name, v.U, v.G, v.F)
 					}
 				})
-				prev = s
-			}
-
-			// The sums must equal the finished run's totals. Result.Registry
-			// registers drc.* unconditionally while the live registry only has
-			// them under VCFR; a name the live run never sampled must total 0.
-			final := out.Registry().Snapshot()
-			checked := 0
-			final.Each(func(d stats.Desc, v stats.Value) {
-				if d.Kind != stats.KindCounter {
-					return
-				}
-				checked++
-				got, sampled := sums[d.Name]
-				if !sampled && v.U != 0 {
-					t.Errorf("%s: final total %d but counter never sampled", d.Name, v.U)
-					return
-				}
-				if got != v.U {
-					t.Errorf("%s: interval deltas sum to %d, final total %d", d.Name, got, v.U)
-				}
-			})
-			if checked == 0 {
-				t.Fatal("final registry exposed no counters")
-			}
-			if sums["cpu.instructions"] != out.Stats.Instructions {
-				t.Errorf("cpu.instructions deltas sum to %d, Result says %d",
-					sums["cpu.instructions"], out.Stats.Instructions)
 			}
 		})
 	}

@@ -106,6 +106,7 @@ type Pipeline struct {
 	inRand     bool
 	curLine    uint32
 	tableSlots uint32
+	tableEnd   uint32 // TableBase + tableSlots*8, hoisted out of stepTail
 	itlb       *itlb
 	stats      Stats
 
@@ -125,9 +126,17 @@ type Pipeline struct {
 	// inject, when non-nil, is the fault-injection hook set (see inject.go);
 	// injectSeq latches the executing instruction's sequence number at the
 	// top of Step for hooks that fire after the commit counter advances
-	// (Translated runs inside control-flow resolution).
+	// (Translated runs inside control-flow resolution). injectOut is the
+	// scratch Outcome handed to the Outcome hook: passing a pointer to a
+	// struct field instead of a stack variable keeps the hot loop's Outcome
+	// from escaping to the heap on every Step.
 	inject    *InjectHooks
 	injectSeq uint64
+	injectOut emu.Outcome
+
+	// bb is the basic-block cache of pre-decoded instructions (bbcache.go);
+	// nil when Config.NoBlockCache disabled it.
+	bb *blockCache
 
 	// recorder captures each executed instruction's functional outcome
 	// (trace capture); replay, when non-nil, substitutes a recorded stream
@@ -176,6 +185,9 @@ func New(img *program.Image, cfg Config, trans emu.Translator, randRA map[uint32
 		curLine: noLine,
 		itlb:    newITLB(cfg.ITLBEntries),
 	}
+	if !cfg.NoBlockCache {
+		p.bb = newBlockCache()
+	}
 	switch cfg.Mode {
 	case ModeVCFR:
 		p.drc = newDRC(cfg.DRCEntries, cfg.DRCAssoc, cfg.DRCSplit, trans)
@@ -189,6 +201,7 @@ func New(img *program.Image, cfg Config, trans emu.Translator, randRA map[uint32
 			StoredWord: p.vcfrStoredWord,
 		}
 		p.tableSlots = nextPow2(uint32(translatorLen(trans)))
+		p.tableEnd = cfg.TableBase + p.tableSlots*8
 	case ModeNaiveILR:
 		if orig, ok := trans.ToOrig(img.Entry); ok {
 			p.pc = orig
@@ -528,7 +541,9 @@ func (p *Pipeline) Step() (bool, error) {
 			return false, err
 		}
 		if p.inject != nil && p.inject.Outcome != nil {
-			p.inject.Outcome(p.stats.Instructions, in, &out)
+			p.injectOut = out
+			p.inject.Outcome(p.stats.Instructions, in, &p.injectOut)
+			out = p.injectOut
 		}
 		if p.recorder != nil {
 			p.recorder(ExecRecord{
@@ -546,15 +561,42 @@ func (p *Pipeline) Step() (bool, error) {
 	if p.cfg.Mode == ModeVCFR && !p.inRand {
 		p.stats.Unrand++
 	}
+	cls := in.Class()
+	tail, err := p.stepTail(&in, &out, cls.IsControl() && cls != isa.ClassHalt)
+	if err != nil {
+		return false, err
+	}
+	cost += tail
+
+	// Multi-issue: a simple, hazard-free ALU instruction that incurred no
+	// stalls joins the current issue group for free. At width 1 coIssues is
+	// always false and its state is never consulted, so skip it entirely.
+	if p.cfg.IssueWidth > 1 && p.issue.coIssues(p.cfg.IssueWidth, in, out, cost != 1) {
+		cost = 0
+	}
+	p.stats.Cycles += cost
+	return !p.state.Halted, nil
+}
+
+// stepTail is the shared back half of one executed instruction — identical
+// for the per-instruction Step path and the block-cached executor
+// (runBlocks): page-visibility enforcement, the self-modification watch,
+// execute-stage stalls, auto-de-randomization charges, and control-flow
+// resolution (which advances the pc). The returned cost excludes the base
+// cycle and the fetch bubble, which the caller owns.
+func (p *Pipeline) stepTail(in *isa.Inst, out *emu.Outcome, isCtl bool) (uint64, error) {
 	// Page-visibility enforcement: the translation tables are invisible to
 	// user-space data accesses.
 	if p.cfg.Mode == ModeVCFR && out.MemKind != emu.MemNone &&
-		out.MemAddr >= p.cfg.TableBase && out.MemAddr < p.cfg.TableBase+p.tableSlots*8 {
-		return false, fmt.Errorf("%w: %#x", ErrTablePageAccess, out.MemAddr)
+		out.MemAddr >= p.cfg.TableBase && out.MemAddr < p.tableEnd {
+		return 0, fmt.Errorf("%w: %#x", ErrTablePageAccess, out.MemAddr)
+	}
+	if p.bb != nil && out.MemKind == emu.MemStore {
+		p.bb.noteStore(out.MemAddr)
 	}
 
 	// Execution-stage stalls.
-	cost += p.execStall(in, out)
+	cost := p.execStall(in, out)
 
 	// Auto-de-randomized stack loads each pay a standalone DRC lookup.
 	for i := 0; i < p.pendingDerands; i++ {
@@ -569,29 +611,21 @@ func (p *Pipeline) Step() (bool, error) {
 	}
 
 	// Control flow.
-	if in.Class().IsControl() && in.Class() != isa.ClassHalt {
-		ctl, err := p.control(in, out)
+	if isCtl {
+		ctl, err := p.control(*in, *out)
 		if err != nil {
-			return false, err
+			return 0, err
 		}
 		cost += ctl
 	} else {
 		p.pc = in.NextAddr()
 	}
-
-	// Multi-issue: a simple, hazard-free ALU instruction that incurred no
-	// stalls joins the current issue group for free. At width 1 coIssues is
-	// always false and its state is never consulted, so skip it entirely.
-	if p.cfg.IssueWidth > 1 && p.issue.coIssues(p.cfg.IssueWidth, in, out, cost != 1) {
-		cost = 0
-	}
-	p.stats.Cycles += cost
-	return !p.state.Halted, nil
+	return cost, nil
 }
 
 // execStall accounts execute-stage stalls: data-cache misses, long-latency
 // arithmetic, and syscalls.
-func (p *Pipeline) execStall(in isa.Inst, out emu.Outcome) uint64 {
+func (p *Pipeline) execStall(in *isa.Inst, out *emu.Outcome) uint64 {
 	var stall uint64
 	switch out.MemKind {
 	case emu.MemLoad:
@@ -912,6 +946,14 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 		p.Registry() // build p.reg before the loop
 		nextSample = p.stats.Instructions + sampleEvery
 	}
+	// The block-cached fast path executes whole pre-decoded blocks per call,
+	// so every count-triggered event (cancellation check, sample edge,
+	// context-switch boundary) is folded into the per-call instruction limit
+	// and lands exactly where the per-instruction path would put it. Replayed,
+	// injected, and traced runs take the per-instruction Step path: replay
+	// substitutes recorded outcomes for fetch/decode, injection must observe
+	// every raw fetch, and the tracer reads live cumulative counters.
+	useBlocks := p.bb != nil && p.replay == nil
 	for p.stats.Instructions < maxInsts {
 		if p.stats.Instructions >= next {
 			next = p.stats.Instructions + cancelCheckEvery
@@ -923,7 +965,27 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 			p.intervals = append(p.intervals, p.reg.Snapshot())
 			nextSample = p.stats.Instructions + sampleEvery
 		}
-		running, err := p.Step()
+		var (
+			running bool
+			err     error
+		)
+		if useBlocks && p.inject == nil && p.tracer == nil {
+			limit := maxInsts
+			if next < limit {
+				limit = next
+			}
+			if nextSample < limit {
+				limit = nextSample
+			}
+			if every := p.cfg.ContextSwitchEvery; every > 0 {
+				if nb := (p.stats.Instructions/every + 1) * every; nb < limit {
+					limit = nb
+				}
+			}
+			running, err = p.runBlocks(limit)
+		} else {
+			running, err = p.Step()
+		}
 		if err != nil {
 			return p.result(), err
 		}

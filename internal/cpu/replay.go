@@ -55,6 +55,10 @@ func (p *Pipeline) SetRecorder(fn func(ExecRecord)) { p.recorder = fn }
 func (p *Pipeline) SetReplay(src ReplaySource) {
 	p.replay = src
 	p.replayRecs, p.replayPos = nil, 0
+	// Replayed instructions do not execute stores against memory, so cached
+	// decodes could silently go stale across a replay segment; drop them on
+	// any transition into or out of replay.
+	p.InvalidateBlocks()
 	if src == nil {
 		return
 	}

@@ -41,68 +41,90 @@ type Outcome struct {
 // via the ReturnAddr hook.
 func Exec(s *State, in isa.Inst) (Outcome, error) {
 	var out Outcome
-	r := &s.R
+	err := ExecInto(s, &in, &out)
+	return out, err
+}
 
-	setZN := func(v uint32) {
-		s.Z = v == 0
-		s.N = int32(v) < 0
+// Flag helpers. Package-level (capture-free) so ExecInto constructs no
+// closures on its hot path; each is small enough to inline.
+
+func setZN(s *State, v uint32) {
+	s.Z = v == 0
+	s.N = int32(v) < 0
+}
+
+func logicFlags(s *State, v uint32) {
+	setZN(s, v)
+	s.C, s.V = false, false
+}
+
+func addFlags(s *State, a, b, res uint32) {
+	setZN(s, res)
+	s.C = res < a
+	s.V = (a^b^0x8000_0000)&(a^res)&0x8000_0000 != 0
+}
+
+func subFlags(s *State, a, b, res uint32) {
+	setZN(s, res)
+	s.C = a < b // unsigned borrow
+	s.V = (a^b)&(a^res)&0x8000_0000 != 0
+}
+
+func loadWord(s *State, out *Outcome, addr uint32) uint32 {
+	v := s.Mem.ReadWord(addr)
+	if s.Hooks.LoadedWord != nil {
+		v = s.Hooks.LoadedWord(addr, v)
 	}
-	logic := func(v uint32) {
-		setZN(v)
-		s.C, s.V = false, false
+	out.MemKind, out.MemAddr = MemLoad, addr
+	return v
+}
+
+func storeWord(s *State, out *Outcome, addr, v uint32, isCallPush bool) {
+	s.Mem.WriteWord(addr, v)
+	if s.Hooks.StoredWord != nil {
+		s.Hooks.StoredWord(addr, v, isCallPush)
 	}
-	addFlags := func(a, b, res uint32) {
-		setZN(res)
-		s.C = res < a
-		s.V = (a^b^0x8000_0000)&(a^res)&0x8000_0000 != 0
+	out.MemKind, out.MemAddr = MemStore, addr
+}
+
+func pushWord(s *State, out *Outcome, v uint32, isCallPush bool) {
+	sp := s.R[isa.RegSP] - 4
+	s.R[isa.RegSP] = sp
+	storeWord(s, out, sp, v, isCallPush)
+}
+
+func popWord(s *State, out *Outcome) uint32 {
+	sp := s.R[isa.RegSP]
+	v := loadWord(s, out, sp)
+	s.R[isa.RegSP] = sp + 4
+	return v
+}
+
+// popRawWord bypasses the LoadedWord hook: a ret consumes the randomized
+// return address as-is (the fetch unit de-randomizes it), whereas an
+// explicit pop/load of a marked slot must observe the de-randomized
+// value (PIC and exception-unwind compatibility, Sec. IV-C).
+func popRawWord(s *State, out *Outcome) uint32 {
+	sp := s.R[isa.RegSP]
+	v := s.Mem.ReadWord(sp)
+	out.MemKind, out.MemAddr = MemLoad, sp
+	s.R[isa.RegSP] = sp + 4
+	return v
+}
+
+func branchTo(out *Outcome, cond bool, target uint32) {
+	if cond {
+		out.Taken, out.Target = true, target
 	}
-	subFlags := func(a, b, res uint32) {
-		setZN(res)
-		s.C = a < b // unsigned borrow
-		s.V = (a^b)&(a^res)&0x8000_0000 != 0
-	}
-	loadWord := func(addr uint32) uint32 {
-		v := s.Mem.ReadWord(addr)
-		if s.Hooks.LoadedWord != nil {
-			v = s.Hooks.LoadedWord(addr, v)
-		}
-		out.MemKind, out.MemAddr = MemLoad, addr
-		return v
-	}
-	storeWord := func(addr, v uint32, isCallPush bool) {
-		s.Mem.WriteWord(addr, v)
-		if s.Hooks.StoredWord != nil {
-			s.Hooks.StoredWord(addr, v, isCallPush)
-		}
-		out.MemKind, out.MemAddr = MemStore, addr
-	}
-	push := func(v uint32, isCallPush bool) {
-		sp := r[isa.RegSP] - 4
-		r[isa.RegSP] = sp
-		storeWord(sp, v, isCallPush)
-	}
-	pop := func() uint32 {
-		sp := r[isa.RegSP]
-		v := loadWord(sp)
-		r[isa.RegSP] = sp + 4
-		return v
-	}
-	// popRaw bypasses the LoadedWord hook: a ret consumes the randomized
-	// return address as-is (the fetch unit de-randomizes it), whereas an
-	// explicit pop/load of a marked slot must observe the de-randomized
-	// value (PIC and exception-unwind compatibility, Sec. IV-C).
-	popRaw := func() uint32 {
-		sp := r[isa.RegSP]
-		v := s.Mem.ReadWord(sp)
-		out.MemKind, out.MemAddr = MemLoad, sp
-		r[isa.RegSP] = sp + 4
-		return v
-	}
-	branch := func(cond bool) {
-		if cond {
-			out.Taken, out.Target = true, in.Target
-		}
-	}
+}
+
+// ExecInto is Exec without the value-copy boundaries: in and out are passed
+// by pointer so the block-cache hot loop (internal/cpu) executes straight
+// from its pre-decoded form. *out must be the zero Outcome on entry; it is
+// filled in place. Semantics are identical to Exec by construction — Exec
+// delegates here.
+func ExecInto(s *State, in *isa.Inst, out *Outcome) error {
+	r := &s.R
 
 	switch in.Op {
 	case isa.OpNop:
@@ -120,7 +142,7 @@ func Exec(s *State, in isa.Inst) (Outcome, error) {
 		case isa.SysWriteInt:
 			s.Out = appendInt(s.Out, int32(r[1]))
 		default:
-			return out, faultf(in.Addr, "unknown syscall %d", in.Imm)
+			return faultf(in.Addr, "unknown syscall %d", in.Imm)
 		}
 	case isa.OpMovRR:
 		r[in.Rd] = r[in.Rs]
@@ -129,88 +151,88 @@ func Exec(s *State, in isa.Inst) (Outcome, error) {
 	case isa.OpAdd:
 		a, b := r[in.Rd], r[in.Rs]
 		r[in.Rd] = a + b
-		addFlags(a, b, r[in.Rd])
+		addFlags(s, a, b, r[in.Rd])
 	case isa.OpSub:
 		a, b := r[in.Rd], r[in.Rs]
 		r[in.Rd] = a - b
-		subFlags(a, b, r[in.Rd])
+		subFlags(s, a, b, r[in.Rd])
 	case isa.OpAnd:
 		r[in.Rd] &= r[in.Rs]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpOr:
 		r[in.Rd] |= r[in.Rs]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpXor:
 		r[in.Rd] ^= r[in.Rs]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpShl:
 		r[in.Rd] <<= r[in.Rs] & 31
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpShr:
 		r[in.Rd] >>= r[in.Rs] & 31
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpSar:
 		r[in.Rd] = uint32(int32(r[in.Rd]) >> (r[in.Rs] & 31))
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpMul:
 		r[in.Rd] *= r[in.Rs]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpDiv:
 		if r[in.Rs] == 0 {
-			return out, faultf(in.Addr, "divide by zero")
+			return faultf(in.Addr, "divide by zero")
 		}
 		r[in.Rd] = uint32(int32(r[in.Rd]) / int32(r[in.Rs]))
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpMod:
 		if r[in.Rs] == 0 {
-			return out, faultf(in.Addr, "modulo by zero")
+			return faultf(in.Addr, "modulo by zero")
 		}
 		r[in.Rd] = uint32(int32(r[in.Rd]) % int32(r[in.Rs]))
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpNeg:
 		r[in.Rd] = -r[in.Rd]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpNot:
 		r[in.Rd] = ^r[in.Rd]
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpAddI:
 		a, b := r[in.Rd], uint32(in.Imm)
 		r[in.Rd] = a + b
-		addFlags(a, b, r[in.Rd])
+		addFlags(s, a, b, r[in.Rd])
 	case isa.OpSubI:
 		a, b := r[in.Rd], uint32(in.Imm)
 		r[in.Rd] = a - b
-		subFlags(a, b, r[in.Rd])
+		subFlags(s, a, b, r[in.Rd])
 	case isa.OpAndI:
 		r[in.Rd] &= uint32(in.Imm)
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpOrI:
 		r[in.Rd] |= uint32(in.Imm)
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpXorI:
 		r[in.Rd] ^= uint32(in.Imm)
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpShlI:
 		r[in.Rd] <<= uint32(in.Imm) & 31
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpShrI:
 		r[in.Rd] >>= uint32(in.Imm) & 31
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpSarI:
 		r[in.Rd] = uint32(int32(r[in.Rd]) >> (uint32(in.Imm) & 31))
-		logic(r[in.Rd])
+		logicFlags(s, r[in.Rd])
 	case isa.OpCmp:
 		a, b := r[in.Rd], r[in.Rs]
-		subFlags(a, b, a-b)
+		subFlags(s, a, b, a-b)
 	case isa.OpCmpI:
 		a, b := r[in.Rd], uint32(in.Imm)
-		subFlags(a, b, a-b)
+		subFlags(s, a, b, a-b)
 	case isa.OpTest:
-		logic(r[in.Rd] & r[in.Rs])
+		logicFlags(s, r[in.Rd]&r[in.Rs])
 	case isa.OpLoad:
-		r[in.Rd] = loadWord(r[in.Rs] + uint32(in.Imm))
+		r[in.Rd] = loadWord(s, out, r[in.Rs]+uint32(in.Imm))
 	case isa.OpStore:
-		storeWord(r[in.Rd]+uint32(in.Imm), r[in.Rs], false)
+		storeWord(s, out, r[in.Rd]+uint32(in.Imm), r[in.Rs], false)
 	case isa.OpLoadB:
 		addr := r[in.Rs] + uint32(in.Imm)
 		r[in.Rd] = uint32(s.Mem.ByteAt(addr))
@@ -225,37 +247,37 @@ func Exec(s *State, in isa.Inst) (Outcome, error) {
 	case isa.OpLea:
 		r[in.Rd] = r[in.Rs] + uint32(in.Imm)
 	case isa.OpLoadR:
-		r[in.Rd] = loadWord(r[in.Rs] + r[in.Rt])
+		r[in.Rd] = loadWord(s, out, r[in.Rs]+r[in.Rt])
 	case isa.OpStoreR:
-		storeWord(r[in.Rd]+r[in.Rt], r[in.Rs], false)
+		storeWord(s, out, r[in.Rd]+r[in.Rt], r[in.Rs], false)
 	case isa.OpPush:
-		push(r[in.Rd], false)
+		pushWord(s, out, r[in.Rd], false)
 	case isa.OpPop:
-		r[in.Rd] = pop()
+		r[in.Rd] = popWord(s, out)
 	case isa.OpJmp:
 		out.Taken, out.Target = true, in.Target
 	case isa.OpJe:
-		branch(s.Z)
+		branchTo(out, s.Z, in.Target)
 	case isa.OpJne:
-		branch(!s.Z)
+		branchTo(out, !s.Z, in.Target)
 	case isa.OpJl:
-		branch(s.N != s.V)
+		branchTo(out, s.N != s.V, in.Target)
 	case isa.OpJge:
-		branch(s.N == s.V)
+		branchTo(out, s.N == s.V, in.Target)
 	case isa.OpJg:
-		branch(!s.Z && s.N == s.V)
+		branchTo(out, !s.Z && s.N == s.V, in.Target)
 	case isa.OpJle:
-		branch(s.Z || s.N != s.V)
+		branchTo(out, s.Z || s.N != s.V, in.Target)
 	case isa.OpJb:
-		branch(s.C)
+		branchTo(out, s.C, in.Target)
 	case isa.OpJae:
-		branch(!s.C)
+		branchTo(out, !s.C, in.Target)
 	case isa.OpCall:
 		ra := in.NextAddr()
 		if s.Hooks.ReturnAddr != nil {
 			ra = s.Hooks.ReturnAddr(ra)
 		}
-		push(ra, true)
+		pushWord(s, out, ra, true)
 		out.Taken, out.Target, out.IsCall = true, in.Target, true
 	case isa.OpCallR:
 		ra := in.NextAddr()
@@ -263,16 +285,16 @@ func Exec(s *State, in isa.Inst) (Outcome, error) {
 			ra = s.Hooks.ReturnAddr(ra)
 		}
 		target := r[in.Rd] // read before the push: call through sp is legal
-		push(ra, true)
+		pushWord(s, out, ra, true)
 		out.Taken, out.Target, out.IsCall = true, target, true
 	case isa.OpJmpR:
 		out.Taken, out.Target = true, r[in.Rd]
 	case isa.OpRet:
-		out.Taken, out.Target, out.IsRet = true, popRaw(), true
+		out.Taken, out.Target, out.IsRet = true, popRawWord(s, out), true
 	default:
-		return out, faultf(in.Addr, "invalid opcode %v", in.Op)
+		return faultf(in.Addr, "invalid opcode %v", in.Op)
 	}
-	return out, nil
+	return nil
 }
 
 // appendInt appends the decimal representation of v.

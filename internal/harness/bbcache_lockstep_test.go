@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/results"
+	"vcfr/internal/workloads"
+)
+
+// TestBlockCacheLockstepEnvelopes is the block-cache's end-to-end
+// differential proof: every SPEC-analog workload, under all three
+// architecture modes, produces a byte-identical serialized results.Envelope
+// with the basic-block cache enabled and disabled — including the sampled
+// Intervals rows, which is what catches a batched-stats flush landing on
+// the wrong side of a sample edge.
+//
+// SampleEvery deliberately does not divide MaxInsts (and is prime), so
+// sample edges fall mid-block and the final interval is a partial window.
+func TestBlockCacheLockstepEnvelopes(t *testing.T) {
+	modes := []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
+	for _, name := range workloads.SpecNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{MaxInsts: 60_000, Scale: 1, Seed: 42, Spread: 8}
+			run := func(noCache bool) []byte {
+				rows, err := SimulateRuns(context.Background(), NewRunner(1), name, modes, cfg,
+					func(c *cpu.Config) {
+						c.SampleEvery = 7013 // prime: edges land mid-block
+						c.ContextSwitchEvery = 9001
+						c.NoBlockCache = noCache
+					})
+				if err != nil {
+					t.Fatalf("noCache=%v: %v", noCache, err)
+				}
+				raw, err := results.Marshal(results.NewRun(rows...))
+				if err != nil {
+					t.Fatalf("noCache=%v: marshal: %v", noCache, err)
+				}
+				return raw
+			}
+			cached, direct := run(false), run(true)
+			if !bytes.Equal(cached, direct) {
+				t.Errorf("envelopes diverge between block-cached and direct execution:\n%s",
+					firstDiff(cached, direct))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first byte position where two JSON documents differ,
+// with surrounding context from both, so a lockstep failure points at the
+// diverging field instead of dumping two full envelopes.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	end := func(s []byte) int {
+		if e := i + 120; e < len(s) {
+			return e
+		}
+		return len(s)
+	}
+	return fmt.Sprintf("first divergence at byte %d\ncached: …%s…\ndirect: …%s…",
+		i, a[lo:end(a)], b[lo:end(b)])
+}
