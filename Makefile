@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke
+.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke attacks attack-smoke
 
 all: build test
 
@@ -20,9 +20,9 @@ test-short:
 # differential and fuzz-corpus tests), the functional core the block
 # executor calls into, the shared trace cache, the versioned wire format,
 # the vcfrd job queue / worker pool, and the sharded fault-injection
-# campaign runner.
+# campaign runner, and the sharded adversary-in-the-loop attack campaign.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -63,6 +63,11 @@ bench-pipeline-record:
 bench-fault:
 	./scripts/bench_fault.sh
 
+# Attack-evaluation throughput (chains/s, fires/s), archived as
+# BENCH_attack.json.
+bench-attack:
+	./scripts/bench_attack.sh
+
 # Every table and figure, as readable text tables.
 experiments:
 	$(GO) run ./cmd/experiments -experiment all
@@ -96,6 +101,15 @@ faults:
 # envelope is byte-identical to faultsim -json, and drain on SIGTERM.
 fault-smoke:
 	./scripts/fault_smoke.sh
+
+# The canonical adversary-in-the-loop campaign as a text work-factor table.
+attacks:
+	$(GO) run ./cmd/attacksim
+
+# Boot vcfrd, run a campaign through POST /v1/attacks, prove the stored
+# envelope is byte-identical to attacksim -json, and drain on SIGTERM.
+attack-smoke:
+	./scripts/attack_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

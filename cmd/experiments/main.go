@@ -9,12 +9,18 @@
 //	experiments -experiment all -cache .vcfr-cache.json
 //	experiments -mode faults
 //	experiments -mode faults -injections 200 -stats-json
+//	experiments -mode attacks
+//	experiments -mode attacks -payloads exfiltrate -stats-json
 //
 // -mode faults runs the dependability fault-injection campaign instead of
 // the timing tables: the same campaign `faultsim` runs, across all three
 // architecture modes, printing the detection-coverage table (or, with
 // -stats-json, the campaign results envelope byte-identical to
 // `faultsim -json`).
+//
+// -mode attacks runs the adversary-in-the-loop security evaluation: the same
+// campaign `attacksim` runs, printing the work-factor table (or, with
+// -stats-json, the envelope byte-identical to `attacksim -json`).
 //
 // Each experiment prints an aligned text table with the same rows/series the
 // paper reports, plus the paper's headline number for comparison.
@@ -38,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"vcfr/internal/attack"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
 	"vcfr/internal/results"
@@ -53,7 +60,7 @@ func main() {
 
 func run() error {
 	var (
-		mode       = flag.String("mode", "tables", "what to run: tables (the paper's timing tables) | faults (the dependability fault campaign)")
+		mode       = flag.String("mode", "tables", "what to run: tables (the paper's timing tables) | faults (the dependability fault campaign) | attacks (the adversary-in-the-loop security evaluation)")
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 		workloadsF = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own set)")
 		scale      = flag.Int("scale", 1, "workload iteration scale")
@@ -66,10 +73,13 @@ func run() error {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		format     = flag.String("format", "text", "output format: text | json")
 		traceCache = flag.Int("trace-cache", 256, "in-memory trace cache budget in MiB for record-once/replay-many execution (0 disables)")
-		statsJSON  = flag.Bool("stats-json", false, "instead of table experiments, run every workload under all three modes and emit full per-run Results as JSON (with -mode faults: emit the campaign envelope)")
+		statsJSON  = flag.Bool("stats-json", false, "instead of table experiments, run every workload under all three modes and emit full per-run Results as JSON (with -mode faults/attacks: emit the campaign envelope)")
 		injections = flag.Int("injections", 0, "with -mode faults: injections per workload x mode cell (0 = default 120)")
 		faultsF    = flag.String("faults", "", "with -mode faults: comma-separated fault kinds (default: the full fault model)")
 		bits       = flag.Int("bits", 1, "with -mode faults: bits flipped per injection")
+		payloadsF  = flag.String("payloads", "", "with -mode attacks: comma-separated payload templates (default: all three)")
+		budget     = flag.Int("budget", 0, "with -mode attacks: leak budget B0 (0 = default 16)")
+		rerandN    = flag.Int("rerand-every", 0, "with -mode attacks: re-randomization period in leak ops (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -147,8 +157,40 @@ func run() error {
 			return fmt.Errorf("campaign incomplete: some injections were not executed")
 		}
 		return nil
+	case "attacks":
+		acfg := attack.Config{
+			Workloads:   cfg.Workloads,
+			Seed:        *seed,
+			Scale:       *scale,
+			Spread:      *spread,
+			MaxInsts:    *maxInsts,
+			LeakBudget:  *budget,
+			RerandEvery: *rerandN,
+		}
+		if *payloadsF != "" {
+			payloads, err := attack.ParsePayloads(strings.Split(*payloadsF, ","))
+			if err != nil {
+				return err
+			}
+			acfg.Payloads = payloads
+		}
+		rep, err := attack.RunCampaign(ctx, r, acfg, nil)
+		if err != nil {
+			return err
+		}
+		if *statsJSON {
+			if err := results.Write(os.Stdout, rep.Envelope()); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(rep.Table().Render())
+		}
+		if rep.Partial {
+			return fmt.Errorf("campaign incomplete: some cells were not executed")
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown -mode %q (want tables or faults)", *mode)
+		return fmt.Errorf("unknown -mode %q (want tables, faults, or attacks)", *mode)
 	}
 
 	if *statsJSON {

@@ -1,0 +1,326 @@
+package attack
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// canonicalReport runs the canonical campaign (the default Config every
+// surface runs) exactly once per test binary and shares the report.
+var canonicalReport = sync.OnceValues(func() (*Report, error) {
+	return RunCampaign(context.Background(), harness.NewRunner(0), Config{}, nil)
+})
+
+// TestCampaignGolden pins the canonical campaign's results envelope byte for
+// byte: same layouts, same leak serve orders, same chains, same work-factor
+// numbers, on every machine and Go version. Regenerate with -update after a
+// deliberate change to the attacker, the defense, or the wire shape (and bump
+// the results schema when the latter changes).
+func TestCampaignGolden(t *testing.T) {
+	rep, err := canonicalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := results.Marshal(rep.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "campaign.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("campaign envelope drifted from %s\n--- got ---\n%.2000s", path, got)
+	}
+}
+
+// TestAttackOrdering is the security acceptance criterion: under the
+// canonical leak budget the plain-disclosure success rate must rank
+//
+//	baseline > naive ILR >= VCFR,
+//
+// with VCFR admitting no success through any phase — not full-knowledge
+// static chains, not plain disclosure, not disclosure against
+// re-randomization — because every compiled chain names untagged addresses
+// and default-deny turns the fire into a detection.
+func TestAttackOrdering(t *testing.T) {
+	rep, err := canonicalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial {
+		t.Fatal("canonical campaign reported partial")
+	}
+	rates := make(map[cpu.Mode]ModeSummary)
+	for _, s := range rep.Summaries() {
+		if s.Cells == 0 {
+			t.Fatalf("mode %s summarized zero cells", s.Mode)
+		}
+		rates[s.Mode] = s
+	}
+	b, n, v := rates[cpu.ModeBaseline], rates[cpu.ModeNaiveILR], rates[cpu.ModeVCFR]
+	if !(b.SuccessRate > n.SuccessRate && n.SuccessRate >= v.SuccessRate) {
+		t.Errorf("success rates not ordered: baseline %.3f > naive %.3f >= vcfr %.3f",
+			b.SuccessRate, n.SuccessRate, v.SuccessRate)
+	}
+	if b.SuccessRate != 1 {
+		t.Errorf("baseline in-budget success rate %.3f, want 1.0 (every cell falls in a page or two)", b.SuccessRate)
+	}
+	if v.StaticSuccesses != 0 || v.Successes != 0 || v.RerandSuccesses != 0 {
+		t.Errorf("VCFR admitted successes (static %d, plain %d, rerand %d), want none",
+			v.StaticSuccesses, v.Successes, v.RerandSuccesses)
+	}
+	// Naive ILR's characteristic hole: the un-randomized space stays live, so
+	// full-knowledge static chains at original addresses still work.
+	if n.StaticSuccesses != n.Cells {
+		t.Errorf("naive ILR static successes %d/%d, want the un-randomized-space hole on every cell",
+			n.StaticSuccesses, n.Cells)
+	}
+	if b.StaticSuccesses != b.Cells {
+		t.Errorf("baseline static successes %d/%d, want all", b.StaticSuccesses, b.Cells)
+	}
+	// And the mechanism, specifically: every VCFR fire must be detected as an
+	// unmapped/prohibited randomized-space transfer, never a silent no-effect.
+	for _, r := range rep.Rows {
+		if r.Mode != cpu.ModeVCFR {
+			continue
+		}
+		if r.Stats.ChainsFired == 0 {
+			t.Errorf("vcfr/%s/%s fired no chains; the disclosure attacker should at least try", r.Workload, r.Payload)
+		}
+		if r.Stats.ChainsFired != r.Stats.BlockedRPC {
+			t.Errorf("vcfr/%s/%s: %d fires but %d unmapped-RPC detections; every fire must trip default-deny",
+				r.Workload, r.Payload, r.Stats.ChainsFired, r.Stats.BlockedRPC)
+		}
+	}
+}
+
+// TestRerandomizationRaisesWorkFactor locks the re-randomization claim: for
+// every cell whose plain attacker succeeded, racing the same attacker against
+// periodic layout swaps must either strictly raise the leaks needed or defeat
+// it outright — and neither side of that disjunction may be vacuous over the
+// canonical campaign.
+func TestRerandomizationRaisesWorkFactor(t *testing.T) {
+	rep, err := canonicalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strictlyMore, defeated int
+	for _, r := range rep.Rows {
+		if !r.Plain.Success || r.Rerand == nil {
+			continue
+		}
+		switch {
+		case !r.Rerand.Success:
+			defeated++
+		case r.Rerand.Leaks > r.Plain.Leaks:
+			strictlyMore++
+		default:
+			t.Errorf("%s/%s/%s: re-randomization did not raise the work factor (plain %d leaks, rerand %d, success %v)",
+				r.Workload, r.Mode, r.Payload, r.Plain.Leaks, r.Rerand.Leaks, r.Rerand.Success)
+		}
+		if r.Rerand.Epochs == 0 {
+			t.Errorf("%s/%s/%s: rerand arm swapped zero epochs", r.Workload, r.Mode, r.Payload)
+		}
+	}
+	if strictlyMore == 0 {
+		t.Error("no cell where re-randomization strictly raised the leak count; the claim is vacuous")
+	}
+	if defeated == 0 {
+		t.Error("no cell where re-randomization defeated the attacker outright; the claim is vacuous")
+	}
+	if rep.Totals.Rerandomizations == 0 {
+		t.Error("campaign performed zero re-randomizations")
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers locks worker-count independence: the
+// same seed must yield byte-identical work-factor tables whether the cells
+// run serially or spread over eight workers.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Workloads: []string{"bzip2", "sjeng"},
+		Seed:      7,
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		rep, err := RunCampaign(context.Background(), harness.NewRunner(workers), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := results.Marshal(rep.Envelope())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("work-factor table depends on worker count:\n--- workers=1 ---\n%.1500s\n--- workers=8 ---\n%.1500s",
+			serial, parallel)
+	}
+}
+
+// TestCampaignCancellation proves a cancelled campaign returns the partial
+// report instead of an error: the full cell plan comes back, unexecuted
+// cells are marked, and Partial is set — on the report and on the wire.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunCampaign(ctx, harness.NewRunner(1), Config{Workloads: []string{"bzip2"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Error("cancelled campaign not marked partial")
+	}
+	wantRows := len(AllModes()) * len(AllPayloads())
+	if len(rep.Rows) != wantRows {
+		t.Errorf("cancelled campaign has %d rows, want the full plan of %d", len(rep.Rows), wantRows)
+	}
+	for _, r := range rep.Rows {
+		if r.Error == "" {
+			t.Errorf("row %s/%s/%s executed under a cancelled context", r.Workload, r.Mode, r.Payload)
+		}
+	}
+	env := rep.Envelope()
+	if !env.Attack.Partial {
+		t.Error("envelope of cancelled campaign not marked partial")
+	}
+}
+
+// TestCampaignProgress checks the live progress feed: monotone cell counts
+// ending at the plan total with victim instructions attributed.
+func TestCampaignProgress(t *testing.T) {
+	var mu sync.Mutex
+	var last harness.Progress
+	var calls int
+	rep, err := RunCampaign(context.Background(), harness.NewRunner(2), Config{
+		Workloads: []string{"bzip2"}, Modes: []cpu.Mode{cpu.ModeVCFR},
+	}, func(p harness.Progress) {
+		// Callbacks from different workers may arrive out of order; keep the
+		// furthest point seen.
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if p.CellsDone > last.CellsDone {
+			last = p
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial {
+		t.Fatal("campaign partial")
+	}
+	if calls == 0 || last.CellsDone != last.CellsTotal || last.Instructions == 0 {
+		t.Errorf("final progress %+v after %d calls, want all cells done with nonzero instructions", last, calls)
+	}
+}
+
+// TestParseModes and TestParsePayloads pin the CLI/request vocabularies.
+func TestParseModes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []cpu.Mode
+	}{
+		{"", AllModes()},
+		{"all", AllModes()},
+		{"baseline", []cpu.Mode{cpu.ModeBaseline}},
+		{"naive", []cpu.Mode{cpu.ModeNaiveILR}},
+		{"vcfr", []cpu.Mode{cpu.ModeVCFR}},
+	} {
+		got, err := ParseModes(tc.in)
+		if err != nil || len(got) != len(tc.want) {
+			t.Fatalf("ParseModes(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseModes(%q)[%d] = %v, want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+	if _, err := ParseModes("bogus"); err == nil {
+		t.Error("ParseModes(bogus) accepted")
+	}
+}
+
+func TestParsePayloads(t *testing.T) {
+	got, err := ParsePayloads([]string{"print-and-exit", " exfiltrate"})
+	if err != nil || len(got) != 2 || got[0] != PayloadPrint || got[1] != PayloadExfil {
+		t.Fatalf("ParsePayloads = %v, %v", got, err)
+	}
+	if _, err := ParsePayloads([]string{"rootkit"}); err == nil {
+		t.Error("ParsePayloads(rootkit) accepted")
+	}
+	if err := (Config{Payloads: []Payload{"rootkit"}}).withDefaults().validate(); err == nil {
+		t.Error("validate accepted an unknown payload")
+	}
+	if err := (Config{Workloads: []string{"no-such-workload"}}).withDefaults().validate(); err == nil {
+		t.Error("validate accepted an unknown workload")
+	}
+}
+
+// BenchmarkChainBuild measures the chain builder alone: payload templates
+// compiled per second against a full-knowledge baseline gadget pool.
+// scripts/bench_attack.sh records this as chains evaluated per second.
+func BenchmarkChainBuild(b *testing.B) {
+	app, err := harness.Prepare("sjeng", harness.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := staticPool(app.R, cpu.ModeBaseline)
+	payloads := AllPayloads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range payloads {
+			if _, err := buildChain(pool, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(payloads)*b.N)/b.Elapsed().Seconds(), "chains/s")
+}
+
+// BenchmarkFire measures the full hijack round trip: build the victim, smash
+// the first return with a compiled chain, classify the architectural outcome.
+func BenchmarkFire(b *testing.B) {
+	app, err := harness.Prepare("sjeng", harness.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := buildChain(staticPool(app.R, cpu.ModeBaseline), PayloadPrint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o := fire(ctx, app, cpu.ModeBaseline, app.R, ch, PayloadPrint, 25000); o != OutcomeSuccess {
+			b.Fatalf("fire = %v, want success", o)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "fires/s")
+}

@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/emu"
+	"vcfr/internal/gadget"
+	"vcfr/internal/harness"
+	"vcfr/internal/ilr"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// epochPipeline builds a fresh victim from one epoch's artifacts — the
+// deployment the attacker's chain is fired against. (app.Pipeline always
+// uses the first epoch; re-randomized cells need the current one.)
+func epochPipeline(app *harness.App, mode cpu.Mode, res *ilr.Result) (*cpu.Pipeline, error) {
+	ccfg := cpu.DefaultConfig(mode)
+	var (
+		img    *program.Image
+		trans  emu.Translator
+		randRA map[uint32]uint32
+	)
+	switch mode {
+	case cpu.ModeNaiveILR:
+		img, trans = res.Scattered, res.Tables
+	case cpu.ModeVCFR:
+		img, trans, randRA = res.VCFR, res.Tables, res.RandRA
+	default:
+		img = res.Orig
+	}
+	p, err := cpu.New(img, ccfg, trans, randRA)
+	if err != nil {
+		return nil, err
+	}
+	p.SetInput(app.W.Input)
+	return p, nil
+}
+
+// fire launches the chain through the canonical memory-corruption entry
+// point: the victim runs normally until its first return, whose popped
+// return address is replaced by the chain's first gadget and whose stack
+// slot is overflowed with the remaining words — a classic stack smash,
+// expressed as injector hooks so every mode's machine reacts exactly as its
+// hardware would. The empty outcome means the context was cancelled before
+// a verdict. A simulator panic classifies as a crash: the machine died with
+// the attack in flight.
+func fire(ctx context.Context, app *harness.App, mode cpu.Mode, res *ilr.Result,
+	ch gadget.Chain, payload Payload, maxInsts uint64) (o Outcome) {
+	defer func() {
+		if recover() != nil {
+			o = OutcomeCrash
+		}
+	}()
+	p, err := epochPipeline(app, mode, res)
+	if err != nil {
+		return OutcomeCrash
+	}
+	mem := p.State().Mem
+	if payload == PayloadExfil {
+		for i, b := range secret {
+			mem.SetByte(SecretAddr+uint32(i), b)
+		}
+	}
+	fired := false
+	p.SetInjector(&cpu.InjectHooks{
+		Outcome: func(seq uint64, in isa.Inst, out *emu.Outcome) {
+			if fired || in.Class() != isa.ClassRet {
+				return
+			}
+			fired = true
+			out.Target = ch.Words[0]
+			for i, w := range ch.Words[1:] {
+				mem.WriteWord(out.MemAddr+4+uint32(i)*4, w)
+			}
+		},
+	})
+	res2, err := p.RunContext(ctx, maxInsts)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return ""
+	}
+	return classify(p, res2, err, payload, fired)
+}
+
+// classify maps one hijacked run onto the outcome taxonomy. Success is
+// judged purely architecturally, against the payload's intended effect.
+func classify(p *cpu.Pipeline, res cpu.Result, err error, payload Payload, fired bool) Outcome {
+	if err != nil {
+		if errors.Is(err, cpu.ErrControlViolation) {
+			return OutcomeBlockedRPC
+		}
+		var f *emu.Fault
+		if errors.As(err, &f) &&
+			(strings.HasPrefix(f.Msg, "fetch:") || strings.HasPrefix(f.Msg, "invalid opcode")) {
+			return OutcomeBlockedIllegal
+		}
+		return OutcomeCrash
+	}
+	if !fired {
+		return OutcomeNoEffect
+	}
+	switch payload {
+	case PayloadWrite:
+		if p.State().Mem.ReadWord(WriteAddr) == WriteValue {
+			return OutcomeSuccess
+		}
+	case PayloadExfil:
+		if bytes.Contains(res.Out, secret) {
+			return OutcomeSuccess
+		}
+	default:
+		if bytes.Contains(res.Out, []byte(marker)) {
+			return OutcomeSuccess
+		}
+	}
+	return OutcomeNoEffect
+}

@@ -1,0 +1,289 @@
+package attack
+
+import (
+	"math/rand"
+
+	"vcfr/internal/cpu"
+	"vcfr/internal/gadget"
+	"vcfr/internal/harness"
+	"vcfr/internal/ilr"
+	"vcfr/internal/isa"
+	"vcfr/internal/program"
+)
+
+// pageSize is the leak oracle's disclosure unit.
+const pageSize = 1 << gadget.PageBits
+
+// mapEntryBytes is one naive-ILR location-map entry as it sits in kernel
+// memory — an (original, randomized) address pair. VCFR has no leakable
+// counterpart: its tables live in processor-protected pages.
+const mapEntryBytes = 8
+
+// executedImage returns the image a pipeline in the given mode fetches from.
+func executedImage(res *ilr.Result, mode cpu.Mode) *program.Image {
+	switch mode {
+	case cpu.ModeNaiveILR:
+		return res.Scattered
+	case cpu.ModeVCFR:
+		return res.VCFR
+	}
+	return res.Orig
+}
+
+// viewImage wraps the attacker's reconstructed bytes as a scannable image.
+// Unknown bytes are zero, which the decoder rejects, so the scanners only
+// ever walk bytes the attacker has actually seen.
+func viewImage(name string, addr uint32, data []byte) *program.Image {
+	return &program.Image{
+		Name: name + "+attacker-view",
+		Segments: []program.Segment{
+			{Name: "text", Addr: addr, Data: data, Perm: program.PermR | program.PermX},
+		},
+	}
+}
+
+// oracle is the JIT-ROP disclosure attacker's knowledge state against one
+// victim. Each leak op serves one page; what a page reveals depends on the
+// mode (see the package comment's threat-model table). The victim pipeline
+// keeps executing between leaks and is swapped onto fresh layouts by the
+// re-randomization arm, so knowledge is split into what survives an epoch
+// (original-space facts) and what dies with it (randomized-space facts).
+type oracle struct {
+	mode   cpu.Mode
+	res    *ilr.Result // current epoch's artifacts
+	victim *cpu.Pipeline
+	rng    *rand.Rand
+	st     *Stats
+
+	// The attacker's reconstructed text: the original layout under baseline
+	// and naive ILR, the VCFR image under VCFR. Unknown bytes are zero.
+	viewAddr uint32
+	viewData []byte
+	grew     bool // view changed since the last pool build
+
+	served          int // leak ops actually served (drives channel alternation)
+	codePagesServed int
+	mapPagesServed  int
+
+	// Per-epoch code-page channel: the executed image's text pages in a
+	// seed-shuffled serve order.
+	disclosedCode map[uint32]bool
+	codeOrder     []uint32
+	codeNext      int
+
+	// Naive ILR's second channel: the in-memory location map. pairs are the
+	// (orig -> rand) entries leaked THIS epoch; intended marks original
+	// instruction starts whose bytes made it into viewData (those survive
+	// re-randomization — the chain targets original addresses).
+	origAddrs []uint32
+	mapPages  int
+	mapOrder  []int
+	mapNext   int
+	pairs     map[uint32]uint32
+	intended  map[uint32]bool
+}
+
+// newOracle builds the attacker's zero-knowledge state and its live victim.
+func newOracle(app *harness.App, mode cpu.Mode, rng *rand.Rand, st *Stats) (*oracle, error) {
+	victim, _, err := app.Pipeline(mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	o := &oracle{mode: mode, res: app.R, victim: victim, rng: rng, st: st}
+	switch mode {
+	case cpu.ModeNaiveILR:
+		// The view reconstructs the ORIGINAL layout: that is the space naive
+		// ILR leaves live and the space the attacker's chain will target.
+		text := app.R.Orig.Text()
+		o.viewAddr, o.viewData = text.Addr, make([]byte, len(text.Data))
+		o.origAddrs = app.R.Tables.OrigAddrs()
+		o.mapPages = (len(o.origAddrs)*mapEntryBytes + pageSize - 1) / pageSize
+		o.intended = make(map[uint32]bool, len(o.origAddrs))
+	default:
+		text := executedImage(app.R, mode).Text()
+		o.viewAddr, o.viewData = text.Addr, make([]byte, len(text.Data))
+	}
+	o.resetEpoch()
+	return o, nil
+}
+
+// resetEpoch clears the epoch-scoped channels and draws fresh serve orders.
+func (o *oracle) resetEpoch() {
+	pages := gadget.TextPages(executedImage(o.res, o.mode))
+	o.codeOrder = append([]uint32(nil), pages...)
+	o.rng.Shuffle(len(o.codeOrder), func(i, j int) {
+		o.codeOrder[i], o.codeOrder[j] = o.codeOrder[j], o.codeOrder[i]
+	})
+	o.codeNext = 0
+	o.disclosedCode = make(map[uint32]bool, len(o.codeOrder))
+	if o.mode == cpu.ModeNaiveILR {
+		o.mapOrder = o.rng.Perm(o.mapPages)
+		o.mapNext = 0
+		o.pairs = make(map[uint32]uint32)
+	}
+}
+
+// applyEpoch swaps the live victim onto the next layout and expires the
+// attacker's epoch-scoped knowledge: disclosed code pages and map entries
+// name the old randomized space and are dead. Under VCFR the whole view
+// dies (it described the old image's randomized immediates); under naive
+// ILR the original-space bytes already paired stay good.
+func (o *oracle) applyEpoch(next *ilr.Result) error {
+	if err := o.victim.Rerandomize(executedImage(next, o.mode), next.Tables, next.RandRA); err != nil {
+		return err
+	}
+	o.res = next
+	if o.mode == cpu.ModeVCFR {
+		for i := range o.viewData {
+			o.viewData[i] = 0
+		}
+		o.grew = false
+	}
+	o.resetEpoch()
+	o.st.Rerandomizations++
+	return nil
+}
+
+// universe is the number of distinct pages one epoch exposes — the
+// denominator of the work-factor curve and the basis of the leak cap.
+func (o *oracle) universe() int {
+	n := len(o.codeOrder)
+	if o.mode == cpu.ModeNaiveILR {
+		n += o.mapPages
+	}
+	return n
+}
+
+// leak serves one disclosure op. It returns false when the current epoch
+// has nothing left to leak (the attacker idles until the next swap, or is
+// done for good without one).
+func (o *oracle) leak() bool {
+	switch o.mode {
+	case cpu.ModeNaiveILR:
+		mapLeft := o.mapNext < len(o.mapOrder)
+		codeLeft := o.codeNext < len(o.codeOrder)
+		switch {
+		case !mapLeft && !codeLeft:
+			return false
+		case mapLeft && (!codeLeft || o.served%2 == 0):
+			o.leakMapPage()
+		default:
+			o.leakCodePage()
+		}
+		o.pairNew()
+	default:
+		if o.codeNext >= len(o.codeOrder) {
+			return false
+		}
+		o.leakCodePage()
+		o.grew = true
+	}
+	o.served++
+	o.st.Leaks++
+	return true
+}
+
+// leakCodePage discloses the next code page of the serve order, reading the
+// bytes out of the live victim's memory. Under baseline/VCFR the page lands
+// directly in the view (the executed text IS the addressable layout); under
+// naive ILR a scattered page is useless until pairNew matches it with map
+// entries from the same epoch.
+func (o *oracle) leakCodePage() {
+	pg := o.codeOrder[o.codeNext]
+	o.codeNext++
+	o.disclosedCode[pg] = true
+	o.codePagesServed++
+	o.st.CodePages++
+	if o.mode == cpu.ModeNaiveILR {
+		return
+	}
+	text := executedImage(o.res, o.mode).Text()
+	lo, hi := pg<<gadget.PageBits, (pg+1)<<gadget.PageBits
+	if lo < text.Addr {
+		lo = text.Addr
+	}
+	if hi > text.End() {
+		hi = text.End()
+	}
+	mem := o.victim.State().Mem
+	for a := lo; a < hi; a++ {
+		o.viewData[a-o.viewAddr] = mem.ByteAt(a)
+	}
+}
+
+// leakMapPage discloses the next location-map page: every (orig, rand)
+// entry on it. Naive hardware ILR keeps this map in ordinary kernel memory
+// — that is exactly the exposure the paper's protected tables close.
+func (o *oracle) leakMapPage() {
+	m := o.mapOrder[o.mapNext]
+	o.mapNext++
+	o.mapPagesServed++
+	o.st.MapPages++
+	lo, hi := m*(pageSize/mapEntryBytes), (m+1)*(pageSize/mapEntryBytes)
+	if hi > len(o.origAddrs) {
+		hi = len(o.origAddrs)
+	}
+	for _, orig := range o.origAddrs[lo:hi] {
+		if r, ok := o.res.Tables.ToRand(orig); ok {
+			o.pairs[orig] = r
+		}
+	}
+}
+
+// pairNew promotes every instruction whose map entry AND code bytes are
+// both disclosed in the current epoch into the persistent original-space
+// view. This cross-channel join is what periodic re-randomization attacks:
+// a swap expires both channels, so partially assembled knowledge is lost.
+func (o *oracle) pairNew() {
+	mem := o.victim.State().Mem
+	var buf [isa.MaxLength]byte
+	for _, orig := range o.origAddrs {
+		if o.intended[orig] {
+			continue
+		}
+		r, ok := o.pairs[orig]
+		if !ok || !o.disclosedCode[r>>gadget.PageBits] {
+			continue
+		}
+		for i := range buf {
+			buf[i] = mem.ByteAt(r + uint32(i))
+		}
+		in, err := isa.Decode(buf[:], orig)
+		if err != nil {
+			continue
+		}
+		ln := uint32(in.Len())
+		covered := true
+		for pg := r >> gadget.PageBits; pg <= (r+ln-1)>>gadget.PageBits; pg++ {
+			if !o.disclosedCode[pg] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		copy(o.viewData[orig-o.viewAddr:], buf[:ln])
+		o.intended[orig] = true
+		o.grew = true
+	}
+}
+
+// pool compiles the attacker's current gadget view. Under naive ILR only
+// gadgets anchored at learned instruction starts are mountable (a byte-
+// offset gadget's original address is not a map key, so its fetch would
+// fall through to the zeroed original space); under baseline/VCFR the view
+// is scanned page-limited, exactly like the full scanner would.
+func (o *oracle) pool() []gadget.Gadget {
+	img := viewImage(o.res.Orig.Name, o.viewAddr, o.viewData)
+	if o.mode == cpu.ModeNaiveILR {
+		var out []gadget.Gadget
+		for _, g := range gadget.Scan(img, 0) {
+			if o.intended[g.Addr] {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+	return gadget.ScanPages(img, o.disclosedCode, 0)
+}

@@ -7,6 +7,7 @@ import (
 	"vcfr/internal/emu"
 	"vcfr/internal/ilr"
 	"vcfr/internal/isa"
+	"vcfr/internal/program"
 	"vcfr/internal/workloads"
 )
 
@@ -21,16 +22,24 @@ import (
 //
 // The script is interpreted as 4-byte records [action, a, b, c]:
 //
-//	action%4 == 0  run a segment of 1 + (a|b<<8)%6000 instructions
-//	action%4 == 1  rewrite the text byte at offset (a|b<<8)%len(text) to c
+//	action%5 == 0  run a segment of 1 + (a|b<<8)%6000 instructions
+//	action%5 == 1  rewrite the text byte at offset (a|b<<8)%len(text) to c
 //	               on both pipelines, then InvalidateBlocks (a re-rand poke)
-//	action%4 == 2  arm deterministic injector hooks parameterized by a, b
-//	action%4 == 3  disarm the injector
+//	action%5 == 2  arm deterministic injector hooks parameterized by a, b
+//	action%5 == 3  disarm the injector
+//	action%5 == 4  full mid-run re-randomization: rewrite the program with a
+//	               fresh seed derived from a|b<<8 and swap both pipelines
+//	               onto the new layout (no-op under baseline mode)
 func FuzzBlockCacheInvalidation(f *testing.F) {
 	f.Add(uint32(300), []byte{0, 100, 10, 0, 1, 40, 0, byte(isa.OpNop), 0, 200, 20, 0})
 	f.Add(uint32(301), []byte{0, 0, 4, 0, 2, 7, 3, 0, 0, 0, 8, 0, 3, 0, 0, 0, 0, 0, 40, 0})
 	f.Add(uint32(302), []byte{1, 0, 0, 0xff, 0, 50, 0, 0, 1, 1, 0, 0x7f, 0, 50, 0, 0})
 	f.Add(uint32(304), []byte{2, 251, 1, 0, 0, 16, 39, 0, 1, 13, 1, 0x55, 0, 232, 3, 0})
+	// Re-randomization schedules: swap-then-run, run-swap-run under an armed
+	// injector, and a swap racing a text poke.
+	f.Add(uint32(301), []byte{4, 1, 0, 0, 0, 100, 10, 0, 4, 2, 0, 0, 0, 200, 20, 0})
+	f.Add(uint32(305), []byte{0, 16, 1, 0, 2, 9, 4, 0, 4, 77, 0, 0, 0, 100, 30, 0, 3, 0, 0, 0})
+	f.Add(uint32(302), []byte{1, 12, 0, 0x40, 4, 5, 1, 0, 0, 150, 8, 0, 1, 3, 0, 0x11, 0, 90, 2, 0})
 
 	f.Fuzz(func(t *testing.T, seed uint32, script []byte) {
 		seed = 300 + seed%8 // a small stable pool keeps rewrites cheap
@@ -51,14 +60,16 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 
 		// The executed image: pokes must land on the bytes this mode
 		// actually fetches (the scattered/VCFR image, not the original).
-		img := res.Orig
-		switch mode {
-		case cpu.ModeNaiveILR:
-			img = res.Scattered
-		case cpu.ModeVCFR:
-			img = res.VCFR
+		executed := func(r *ilr.Result) *program.Image {
+			switch mode {
+			case cpu.ModeNaiveILR:
+				return r.Scattered
+			case cpu.ModeVCFR:
+				return r.VCFR
+			}
+			return r.Orig
 		}
-		text := img.Seg("text")
+		text := executed(res).Seg("text")
 		if text == nil || len(text.Data) == 0 {
 			t.Skip("no text segment")
 		}
@@ -96,7 +107,7 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 		var ran uint64
 		for rec := 0; rec+4 <= len(script) && ran < 60_000; rec += 4 {
 			action, a, b, c := script[rec], script[rec+1], script[rec+2], script[rec+3]
-			switch action % 4 {
+			switch action % 5 {
 			case 0:
 				ran += 1 + (uint64(a)|uint64(b)<<8)%6000
 				cr, cerr := cached.Run(ran)
@@ -121,6 +132,29 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 			case 3:
 				cached.SetInjector(nil)
 				direct.SetInjector(nil)
+			case 4:
+				if mode == cpu.ModeBaseline {
+					break // baseline has no layout to swap
+				}
+				next, err := res.Rerandomize(int64(seed)*1000 + int64(uint32(a)|uint32(b)<<8))
+				if err != nil {
+					t.Fatal(err) // deterministic rewrite; never fails
+				}
+				img := executed(next)
+				if cerr := cached.Rerandomize(img, next.Tables, next.RandRA); cerr != nil {
+					t.Fatalf("record %d: cached swap: %v", rec, cerr)
+				}
+				if derr := direct.Rerandomize(img, next.Tables, next.RandRA); derr != nil {
+					t.Fatalf("record %d: direct swap: %v", rec, derr)
+				}
+				res = next
+				// Pokes must now land on the new epoch's bytes.
+				if nt := img.Seg("text"); nt != nil && len(nt.Data) > 0 {
+					text = nt
+				}
+				if !compare(rec) {
+					return
+				}
 			}
 		}
 		// Drain to a final common cap so every schedule ends in a compared

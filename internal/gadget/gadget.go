@@ -138,10 +138,7 @@ func SurvivorsInImage(pool []Gadget, img *program.Image) []Gadget {
 	}
 	var out []Gadget
 	for _, g := range pool {
-		size := uint32(g.End.Len())
-		for _, in := range g.Insts {
-			size += uint32(in.Len())
-		}
+		size := g.ByteLen()
 		off := g.Addr - text.Addr
 		if g.Addr < text.Addr || off+size > uint32(len(text.Data)) {
 			continue

@@ -1,0 +1,88 @@
+package gadget
+
+import (
+	"testing"
+
+	"vcfr/internal/ilr"
+	"vcfr/internal/workloads"
+)
+
+// TestScanPagesFullDisclosure pins the satellite contract: disclosing every
+// text page makes ScanPages return exactly the full-image Scan, gadget for
+// gadget, over every stock workload and both the original and scattered
+// layouts.
+func TestScanPagesFullDisclosure(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ilr.Rewrite(w.Img, ilr.Options{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			label string
+		}{{"orig"}, {"scattered"}} {
+			img := res.Orig
+			if tc.label == "scattered" {
+				img = res.Scattered
+			}
+			all := make(map[uint32]bool)
+			for _, pg := range TextPages(img) {
+				all[pg] = true
+			}
+			full := Scan(img, DefaultMaxInsts)
+			part := ScanPages(img, all, DefaultMaxInsts)
+			if len(full) != len(part) {
+				t.Fatalf("%s/%s: full scan %d gadgets, all-pages scan %d",
+					name, tc.label, len(full), len(part))
+			}
+			for i := range full {
+				if full[i].Addr != part[i].Addr || full[i].String() != part[i].String() {
+					t.Fatalf("%s/%s: gadget %d differs: %#x %q vs %#x %q",
+						name, tc.label, i, full[i].Addr, full[i],
+						part[i].Addr, part[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanPagesPartialSubset checks the monotonicity the work-factor curve
+// relies on: every gadget visible under a partial disclosure is in the full
+// set, disclosing nothing yields nothing, and a strictly growing disclosure
+// never loses gadgets.
+func TestScanPagesPartialSubset(t *testing.T) {
+	w, err := workloads.ByName("xalan", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Scan(w.Img, DefaultMaxInsts)
+	inFull := make(map[string]bool, len(full))
+	for _, g := range full {
+		inFull[g.String()+"@"+itoa(g.Addr)] = true
+	}
+	if got := ScanPages(w.Img, nil, DefaultMaxInsts); len(got) != 0 {
+		t.Fatalf("no disclosure yielded %d gadgets", len(got))
+	}
+	pages := TextPages(w.Img)
+	disclosed := make(map[uint32]bool)
+	prev := 0
+	for _, pg := range pages {
+		disclosed[pg] = true
+		got := ScanPages(w.Img, disclosed, DefaultMaxInsts)
+		if len(got) < prev {
+			t.Fatalf("disclosure of page %#x shrank the view: %d -> %d", pg, prev, len(got))
+		}
+		prev = len(got)
+		for _, g := range got {
+			if !inFull[g.String()+"@"+itoa(g.Addr)] {
+				t.Fatalf("partial view invented gadget %q at %#x", g, g.Addr)
+			}
+		}
+	}
+	if prev != len(full) {
+		t.Fatalf("all pages disclosed: %d gadgets, full scan has %d", prev, len(full))
+	}
+}

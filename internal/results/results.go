@@ -37,7 +37,11 @@ import (
 //	    previously unversioned text-only output). Purely additive: run,
 //	    sweep, and trace documents are unchanged, and Unmarshal accepts
 //	    1..3.
-const SchemaVersion = 3
+//	4 — new envelope kind `attack` (the adversary-in-the-loop evaluation,
+//	    internal/attack: static chain building, JIT-ROP disclosure work
+//	    factors, and re-randomization racing). Purely additive: all prior
+//	    kinds are unchanged, and Unmarshal accepts 1..4.
+const SchemaVersion = 4
 
 // minSchemaVersion is the oldest version Unmarshal still accepts; every
 // version in [minSchemaVersion, SchemaVersion] is additive-compatible.
@@ -62,10 +66,14 @@ const (
 	// KindGadget is a gadget-pool scan report (schema v3; the versioned
 	// form of cmd/gadgetscan's output).
 	KindGadget Kind = "gadget"
+	// KindAttack is an attack campaign's work-factor table (schema v4; see
+	// internal/attack).
+	KindAttack Kind = "attack"
 )
 
 // Envelope is the single top-level object every producer emits. Exactly one
-// of Run, Sweep, Trace, Campaign, Gadget is populated, selected by Kind.
+// of Run, Sweep, Trace, Campaign, Gadget, Attack is populated, selected by
+// Kind.
 type Envelope struct {
 	SchemaVersion int           `json:"schema_version"`
 	Kind          Kind          `json:"kind"`
@@ -74,6 +82,7 @@ type Envelope struct {
 	Trace         *Trace        `json:"trace,omitempty"`
 	Campaign      *Campaign     `json:"campaign,omitempty"`
 	Gadget        *GadgetReport `json:"gadget,omitempty"`
+	Attack        *Attack       `json:"attack,omitempty"`
 }
 
 // Run is one (workload, mode) simulation's complete output: the exact
@@ -235,6 +244,109 @@ type GadgetRandomized struct {
 // NewGadget wraps a gadget scan in a versioned envelope.
 func NewGadget(g GadgetReport) Envelope {
 	return Envelope{SchemaVersion: SchemaVersion, Kind: KindGadget, Gadget: &g}
+}
+
+// Attack is one adversary-in-the-loop campaign's work-factor table (schema
+// v4). The header pins every input that shaped the campaign, so a consumer
+// can re-run it bit-identically; Rows come in the fixed (workload, mode,
+// payload) order the campaign planner emits.
+type Attack struct {
+	Seed         int64    `json:"seed"`
+	Scale        int      `json:"scale"`
+	Spread       int      `json:"spread"`
+	MaxInsts     uint64   `json:"max_insts"`     // per-fired-run instruction cap
+	LeakBudget   int      `json:"leak_budget"`   // canonical disclosure allowance B0
+	MaxLeaks     int      `json:"max_leaks"`     // exploration horizon; 0 = per-cell auto
+	RerandEvery  int      `json:"rerand_every"`  // re-randomization period, leak ops
+	AdvanceInsts uint64   `json:"advance_insts"` // victim instructions per leak op
+	Workloads    []string `json:"workloads"`
+	Modes        []string `json:"modes"`
+	Payloads     []string `json:"payloads"`
+
+	Rows      []AttackRow         `json:"rows"`
+	Summaries []AttackModeSummary `json:"summaries"`
+	Totals    AttackCounts        `json:"totals"`
+	// Partial is set when any row failed or the campaign was cancelled
+	// mid-flight; finished rows keep their results.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// AttackRow is one (workload, mode, payload) cell of the work-factor table.
+type AttackRow struct {
+	Workload string           `json:"workload"`
+	Mode     string           `json:"mode"`
+	Payload  string           `json:"payload"`
+	Static   AttackStatic     `json:"static"`
+	Plain    AttackDisclosure `json:"plain"`
+	// Rerand is the disclosure arm raced against periodic re-randomization;
+	// absent under baseline.
+	Rerand *AttackDisclosure `json:"rerand,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// AttackStatic is a cell's full-knowledge phase: the pool an attacker with
+// the program binary compiles against before leaking anything.
+type AttackStatic struct {
+	PoolSize int    `json:"pool_size"`
+	Built    bool   `json:"built"`
+	ChainLen int    `json:"chain_len"`
+	Outcome  string `json:"outcome"`
+}
+
+// AttackDisclosure is one JIT-ROP arm's work factor: the leak ops spent and
+// what they bought.
+type AttackDisclosure struct {
+	Success      bool   `json:"success"`
+	WithinBudget bool   `json:"within_budget"`
+	Leaks        int    `json:"leaks"`
+	CodePages    int    `json:"code_pages"`
+	MapPages     int    `json:"map_pages"`
+	ChainsBuilt  int    `json:"chains_built"`
+	ChainsFired  int    `json:"chains_fired"`
+	Blocked      int    `json:"blocked"`
+	Epochs       int    `json:"epochs"`
+	Outcome      string `json:"outcome"`
+}
+
+// AttackModeSummary is one mode's aggregate over the campaign's cells — the
+// ordering the paper's security claim ranks (baseline > naive-ILR >= VCFR).
+type AttackModeSummary struct {
+	Mode            string  `json:"mode"`
+	Cells           int     `json:"cells"`
+	StaticSuccesses int     `json:"static_successes"`
+	Successes       int     `json:"successes"`
+	WithinBudget    int     `json:"within_budget"`
+	SuccessRate     float64 `json:"success_rate"`
+	MeanLeaks       float64 `json:"mean_leaks"`
+	RerandSuccesses int     `json:"rerand_successes"`
+	MeanRerandLeaks float64 `json:"mean_rerand_leaks"`
+}
+
+// AttackCounts is the attacker-activity histogram of the whole campaign.
+type AttackCounts struct {
+	ChainsBuilt      uint64 `json:"chains_built"`
+	ChainsFired      uint64 `json:"chains_fired"`
+	Successes        uint64 `json:"successes"`
+	BlockedRPC       uint64 `json:"blocked_unmapped_rpc"`
+	BlockedIllegal   uint64 `json:"blocked_illegal_instruction"`
+	Crashes          uint64 `json:"crashes"`
+	NoEffect         uint64 `json:"no_effect"`
+	Leaks            uint64 `json:"leaks"`
+	CodePages        uint64 `json:"code_pages"`
+	MapPages         uint64 `json:"map_pages"`
+	Rerandomizations uint64 `json:"rerandomizations"`
+}
+
+// NewAttack wraps a work-factor table in a versioned envelope. Partial is
+// derived from the rows: any error row marks the campaign partial.
+func NewAttack(a Attack) Envelope {
+	for _, r := range a.Rows {
+		if r.Error != "" {
+			a.Partial = true
+			break
+		}
+	}
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindAttack, Attack: &a}
 }
 
 // Marshal is the one serialization path: two-space-indented JSON with a

@@ -111,11 +111,52 @@ func fixtures() map[string]Envelope {
 		},
 	}
 
+	attackRep := Attack{
+		Seed:         42,
+		Scale:        1,
+		Spread:       8,
+		MaxInsts:     25000,
+		LeakBudget:   16,
+		RerandEvery:  5,
+		AdvanceInsts: 2000,
+		Workloads:    []string{"bzip2"},
+		Modes:        []string{"baseline", "naive-ilr", "vcfr"},
+		Payloads:     []string{"print-and-exit"},
+		Rows: []AttackRow{
+			{Workload: "bzip2", Mode: "baseline", Payload: "print-and-exit",
+				Static: AttackStatic{PoolSize: 44, Built: true, ChainLen: 9, Outcome: "success"},
+				Plain: AttackDisclosure{Success: true, WithinBudget: true, Leaks: 1,
+					CodePages: 1, ChainsBuilt: 1, ChainsFired: 1, Outcome: "success"}},
+			{Workload: "bzip2", Mode: "naive-ilr", Payload: "print-and-exit",
+				Static: AttackStatic{PoolSize: 24, Built: true, ChainLen: 9, Outcome: "success"},
+				Plain: AttackDisclosure{Success: true, WithinBudget: true, Leaks: 12,
+					CodePages: 6, MapPages: 1, ChainsBuilt: 3, ChainsFired: 3, Outcome: "success"},
+				Rerand: &AttackDisclosure{Success: true, Leaks: 77, CodePages: 61,
+					MapPages: 16, ChainsBuilt: 9, ChainsFired: 9, Epochs: 15, Outcome: "success"}},
+			{Workload: "bzip2", Mode: "vcfr", Payload: "print-and-exit",
+				Static: AttackStatic{PoolSize: 41, Built: true, ChainLen: 9, Outcome: "blocked-unmapped-rpc"},
+				Plain: AttackDisclosure{Leaks: 1, CodePages: 1, ChainsBuilt: 1,
+					ChainsFired: 1, Blocked: 1, Outcome: "blocked-unmapped-rpc"},
+				Rerand: &AttackDisclosure{Leaks: 8, CodePages: 8, ChainsBuilt: 1,
+					ChainsFired: 1, Blocked: 1, Epochs: 7, Outcome: "blocked-unmapped-rpc"}},
+		},
+		Summaries: []AttackModeSummary{
+			{Mode: "baseline", Cells: 1, StaticSuccesses: 1, Successes: 1, WithinBudget: 1,
+				SuccessRate: 1, MeanLeaks: 1},
+			{Mode: "naive-ilr", Cells: 1, StaticSuccesses: 1, Successes: 1, WithinBudget: 1,
+				SuccessRate: 1, MeanLeaks: 12, RerandSuccesses: 1, MeanRerandLeaks: 77},
+			{Mode: "vcfr", Cells: 1},
+		},
+		Totals: AttackCounts{ChainsBuilt: 16, ChainsFired: 16, Successes: 8, BlockedRPC: 2,
+			NoEffect: 6, Leaks: 99, CodePages: 77, MapPages: 17, Rerandomizations: 22},
+	}
+
 	return map[string]Envelope{
 		"run":      NewRun(run, emulated),
 		"sweep":    NewSweep([]Run{run, failed}),
 		"campaign": NewCampaign(campaign),
 		"gadget":   NewGadget(gadgetRep),
+		"attack":   NewAttack(attackRep),
 		"trace": NewTrace(Trace{
 			Workload:     "h264ref",
 			Mode:         "vcfr",
@@ -198,6 +239,18 @@ func TestSweepPartial(t *testing.T) {
 	bad := NewSweep([]Run{{Workload: "a"}, {Workload: "b", Error: "boom"}})
 	if !bad.Sweep.Partial {
 		t.Error("sweep with error row not marked partial")
+	}
+}
+
+// TestAttackPartial locks the same derivation rule for attack campaigns.
+func TestAttackPartial(t *testing.T) {
+	ok := NewAttack(Attack{Rows: []AttackRow{{Workload: "a"}}})
+	if ok.Attack.Partial {
+		t.Error("clean attack campaign marked partial")
+	}
+	bad := NewAttack(Attack{Rows: []AttackRow{{Workload: "a"}, {Workload: "b", Error: "boom"}}})
+	if !bad.Attack.Partial {
+		t.Error("attack campaign with error row not marked partial")
 	}
 }
 

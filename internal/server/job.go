@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vcfr/internal/attack"
 	"vcfr/internal/cpu"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
@@ -29,6 +30,9 @@ const (
 	// JobFaults is a fault-injection campaign — the service twin of
 	// `faultsim -json` and `experiments -mode faults`.
 	JobFaults JobKind = "faults"
+	// JobAttacks is an adversary-in-the-loop attack campaign — the service
+	// twin of `attacksim -json` and `experiments -mode attacks`.
+	JobAttacks JobKind = "attacks"
 )
 
 // JobState is a job's position in its lifecycle. Transitions are strictly
@@ -88,6 +92,22 @@ type SimRequest struct {
 	Faults []string `json:"faults,omitempty"`
 	// Bits flipped per injection. Default 1. Ignored by simulate and sweep.
 	Bits int `json:"bits,omitempty"`
+	// Payloads restricts an attack campaign to a subset of the payload
+	// templates (names as in internal/attack). Default: all three. Only
+	// attacks jobs read it.
+	Payloads []string `json:"payloads,omitempty"`
+	// LeakBudget is the attack campaign's canonical disclosure allowance.
+	// Default 16 (attacksim's default). Only attacks jobs read it.
+	LeakBudget int `json:"leak_budget,omitempty"`
+	// MaxLeaks caps each attack arm's leak ops. Default 0 (derive from the
+	// cell's universe). Only attacks jobs read it.
+	MaxLeaks int `json:"max_leaks,omitempty"`
+	// RerandEvery is the re-randomization period in leak ops. Default 5.
+	// Only attacks jobs read it.
+	RerandEvery int `json:"rerand_every,omitempty"`
+	// AdvanceInsts is how many instructions the victim executes between leak
+	// ops. Default 2000. Only attacks jobs read it.
+	AdvanceInsts uint64 `json:"advance_insts,omitempty"`
 	// TimeoutMS bounds the job's execution wall clock, refining the
 	// server's default job timeout. 0 = server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -99,9 +119,9 @@ type SimRequest struct {
 func (r *SimRequest) normalize(kind JobKind) error {
 	if r.Mode == "" {
 		r.Mode = "vcfr"
-		if kind == JobFaults {
+		if kind == JobFaults || kind == JobAttacks {
 			// A campaign's point is the cross-mode comparison; default to
-			// all three architectures (faultsim's -mode default).
+			// all three architectures (faultsim's/attacksim's -mode default).
 			r.Mode = "all"
 		}
 	}
@@ -117,6 +137,20 @@ func (r *SimRequest) normalize(kind JobKind) error {
 		}
 		if r.Bits < 0 {
 			return fmt.Errorf("bits must be >= 0")
+		}
+	}
+	if kind == JobAttacks {
+		if _, err := attack.ParsePayloads(r.Payloads); err != nil {
+			return err
+		}
+		if r.LeakBudget < 0 {
+			return fmt.Errorf("leak_budget must be >= 0")
+		}
+		if r.MaxLeaks < 0 {
+			return fmt.Errorf("max_leaks must be >= 0")
+		}
+		if r.RerandEvery < 0 {
+			return fmt.Errorf("rerand_every must be >= 0")
 		}
 	}
 	if r.Seed == nil {
@@ -222,6 +256,28 @@ func (r *SimRequest) faultConfig() fault.Config {
 		Spread:     *r.Spread,
 		MaxInsts:   r.Instructions,
 		Bits:       r.Bits,
+	}
+}
+
+// attackConfig maps the request onto an attack campaign config. Call only
+// after normalize has filled the pointer fields. Like faultConfig, the
+// campaign runs the default machine configuration per mode, so the machine
+// tuning knobs do not apply here.
+func (r *SimRequest) attackConfig() attack.Config {
+	modes, _ := attack.ParseModes(r.Mode)
+	payloads, _ := attack.ParsePayloads(r.Payloads)
+	return attack.Config{
+		Workloads:    r.Workloads,
+		Modes:        modes,
+		Payloads:     payloads,
+		Seed:         *r.Seed,
+		Scale:        *r.Scale,
+		Spread:       *r.Spread,
+		MaxInsts:     r.Instructions,
+		LeakBudget:   r.LeakBudget,
+		MaxLeaks:     r.MaxLeaks,
+		RerandEvery:  r.RerandEvery,
+		AdvanceInsts: r.AdvanceInsts,
 	}
 }
 
@@ -427,6 +483,13 @@ func (s *Server) execute(ctx context.Context, j *Job) (results.Envelope, error) 
 			return results.Envelope{}, err
 		}
 		s.metrics.campaignFinished(rep.Totals)
+		return rep.Envelope(), nil
+	case JobAttacks:
+		rep, err := attack.RunCampaign(ctx, s.runner, j.Req.attackConfig(), j.setProgress)
+		if err != nil {
+			return results.Envelope{}, err
+		}
+		s.metrics.attackCampaignFinished(rep.Totals)
 		return rep.Envelope(), nil
 	default:
 		return results.Envelope{}, fmt.Errorf("unknown job kind %q", j.Kind)

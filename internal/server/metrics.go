@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vcfr/internal/attack"
 	"vcfr/internal/fault"
 	"vcfr/internal/stats"
 )
@@ -46,6 +47,10 @@ type metrics struct {
 	faults    fault.Stats
 	campaigns uint64
 
+	// Attack-campaign activity totals, merged in the same way.
+	attacks         attack.Stats
+	attackCampaigns uint64
+
 	queueWait *histogram
 	runDur    *histogram
 }
@@ -77,6 +82,8 @@ func newMetrics() *metrics {
 	r.Gauge("trace.cache.entries", "Traces currently cached.", &m.traceEntries)
 	r.Counter("fault.campaigns", "Fault-injection campaigns finished.", &m.campaigns)
 	m.faults.Register(r)
+	r.Counter("attack.campaigns", "Adversary-in-the-loop attack campaigns finished.", &m.attackCampaigns)
+	m.attacks.Register(r)
 	m.reg = r
 	return m
 }
@@ -118,6 +125,15 @@ func (m *metrics) campaignFinished(st fault.Stats) {
 	defer m.mu.Unlock()
 	m.campaigns++
 	m.faults.Merge(st)
+}
+
+// attackCampaignFinished folds one finished attack campaign's activity
+// totals into the cumulative attack.* counters.
+func (m *metrics) attackCampaignFinished(st attack.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attackCampaigns++
+	m.attacks.Merge(st)
 }
 
 func (m *metrics) jobPanicked() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vcfr/internal/attack"
 	"vcfr/internal/fault"
 	"vcfr/internal/stats"
 )
@@ -21,6 +22,8 @@ func TestMetricsRegistryExactlyOnce(t *testing.T) {
 	m.jobStarted(5 * time.Millisecond)
 	m.jobFinished(true, 80*time.Millisecond)
 	m.campaignFinished(fault.Stats{Injected: 4, DetectedUnmappedR: 3, Masked: 1})
+	m.attackCampaignFinished(attack.Stats{ChainsBuilt: 5, ChainsFired: 5,
+		Successes: 2, BlockedRPC: 3, Leaks: 40, Rerandomizations: 8})
 
 	var b strings.Builder
 	m.render(&b, 3, 16, 7, 2, 4096, 5)
@@ -75,6 +78,9 @@ func TestMetricsRenderFormat(t *testing.T) {
 	m.jobRejected()
 	m.campaignFinished(fault.Stats{Injected: 10, DetectedUnmappedR: 6,
 		DetectedIllegal: 2, Crashes: 1, SilentCorruptions: 1})
+	m.attackCampaignFinished(attack.Stats{ChainsBuilt: 7, ChainsFired: 6,
+		Successes: 2, BlockedRPC: 3, BlockedIllegal: 1, Leaks: 55,
+		CodePages: 40, MapPages: 15, Rerandomizations: 9})
 
 	var b strings.Builder
 	m.render(&b, 1, 8, 3, 1, 1024, 2)
@@ -105,6 +111,18 @@ func TestMetricsRenderFormat(t *testing.T) {
 		"vcfrd_fault_sdc_total 1\n",
 		"vcfrd_fault_masked_total 0\n",
 		"vcfrd_fault_hangs_total 0\n",
+		"vcfrd_attack_campaigns_total 1\n",
+		"vcfrd_attack_chains_built_total 7\n",
+		"vcfrd_attack_chains_fired_total 6\n",
+		"vcfrd_attack_success_total 2\n",
+		"vcfrd_attack_blocked_unmapped_rpc_total 3\n",
+		"vcfrd_attack_blocked_illegal_instruction_total 1\n",
+		"vcfrd_attack_crashed_total 0\n",
+		"vcfrd_attack_no_effect_total 0\n",
+		"vcfrd_attack_leaks_total 55\n",
+		"vcfrd_attack_pages_code_total 40\n",
+		"vcfrd_attack_pages_map_total 15\n",
+		"vcfrd_attack_rerandomizations_total 9\n",
 		"# TYPE vcfrd_stage_seconds histogram\n",
 	}
 	pos := 0

@@ -15,6 +15,9 @@
 //	POST /v1/faults     fault-injection campaign — asynchronous; returns 202
 //	                    and a job id to poll; the finished result is
 //	                    byte-identical to `faultsim -json`
+//	POST /v1/attacks    adversary-in-the-loop attack campaign — asynchronous;
+//	                    returns 202 and a job id to poll; the finished result
+//	                    is byte-identical to `attacksim -json`
 //	GET  /v1/jobs/{id}  job state, timings, error, and (when done) result
 //	GET  /v1/jobs/{id}/result
 //	                    the finished job's result envelope, streamed exactly
@@ -137,6 +140,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/faults", s.handleFaults)
+	s.mux.HandleFunc("POST /v1/attacks", s.handleAttacks)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -363,6 +367,30 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJob(JobFaults, req)
+	if err := s.enqueue(j); err != nil {
+		writeRefusal(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"id":     j.ID,
+		"state":  string(j.State()),
+		"status": "/v1/jobs/" + j.ID,
+	})
+}
+
+// handleAttacks enqueues an asynchronous adversary-in-the-loop attack
+// campaign, exactly like handleFaults; the finished job's result is the
+// work-factor envelope attacksim -json emits.
+func (s *Server) handleAttacks(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r, JobAttacks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := s.newJob(JobAttacks, req)
 	if err := s.enqueue(j); err != nil {
 		writeRefusal(w, err)
 		return

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"vcfr/internal/attack"
 	"vcfr/internal/cpu"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
@@ -540,6 +541,79 @@ func TestFaultsEndpointLifecycle(t *testing.T) {
 		if !strings.Contains(string(metricsBody), wantLine) {
 			t.Errorf("/metrics missing %q", wantLine)
 		}
+	}
+}
+
+// TestAttacksEndpointLifecycle follows an attack campaign from 202 through
+// done and pins the same acceptance criterion as the faults surface: the
+// finished result must be byte-identical to what attack.RunCampaign emits for
+// the same config (which is what `attacksim -json` prints).
+func TestAttacksEndpointLifecycle(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, body := post(t, s, "/v1/attacks",
+		`{"workloads": ["bzip2"], "mode": "vcfr", "payloads": ["print-and-exit"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("attacks: %d: %s", resp.StatusCode, body)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Errorf("Location = %q", loc)
+	}
+	var accepted struct{ ID string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	v := pollJob(t, s, accepted.ID)
+	if v.State != JobDone {
+		t.Fatalf("attack job failed: %s", v.Error)
+	}
+	if v.Progress == nil || v.Progress.CellsDone != v.Progress.CellsTotal || v.Progress.CellsDone == 0 {
+		t.Errorf("final progress = %+v, want all cells done", v.Progress)
+	}
+
+	// The CLI equivalent: attacksim -workloads bzip2 -mode vcfr
+	// -payloads print-and-exit (defaults: seed 42, spread 8, budget 16).
+	rep, err := attack.RunCampaign(context.Background(), harness.NewRunner(1), attack.Config{
+		Workloads: []string{"bzip2"},
+		Modes:     []cpu.Mode{cpu.ModeVCFR},
+		Payloads:  []attack.Payload{attack.PayloadPrint},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := results.Marshal(rep.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultResp, resultBody := get(t, s, "/v1/jobs/"+accepted.ID+"/result")
+	if resultResp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: %d: %s", resultResp.StatusCode, resultBody)
+	}
+	if !bytes.Equal(resultBody, want) {
+		t.Errorf("service campaign differs from CLI bytes:\n--- service ---\n%.600s\n--- cli ---\n%.600s", resultBody, want)
+	}
+	if env, err := results.Unmarshal(v.Result); err != nil || env.Kind != results.KindAttack {
+		t.Errorf("job view result: kind=%v err=%v, want attack", env.Kind, err)
+	}
+
+	// The finished campaign feeds the attack.* spine counters on /metrics.
+	_, metricsBody := get(t, s, "/metrics")
+	for _, wantLine := range []string{
+		"vcfrd_attack_campaigns_total 1",
+		fmt.Sprintf("vcfrd_attack_leaks_total %d", rep.Totals.Leaks),
+		fmt.Sprintf("vcfrd_attack_blocked_unmapped_rpc_total %d", rep.Totals.BlockedRPC),
+	} {
+		if !strings.Contains(string(metricsBody), wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+
+	// Request validation rides the same vocabulary as the CLI flags.
+	if resp, _ := post(t, s, "/v1/attacks", `{"payloads": ["rootkit"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad payload accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, s, "/v1/attacks", `{"leak_budget": -1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative leak_budget accepted: %d", resp.StatusCode)
 	}
 }
 

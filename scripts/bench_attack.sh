@@ -1,0 +1,50 @@
+#!/bin/sh
+# Run the attack-evaluation benchmarks and archive their numbers — chains
+# evaluated per second (the ROP builder compiling payload templates against
+# a full-knowledge pool) and hijacked fires per second (the full stack-smash
+# round trip) — as JSON in BENCH_attack.json. These bound how large an
+# adversary-in-the-loop study the simulator can host; refactors of the chain
+# builder, the oracle, or the fire path are checked against a previously
+# recorded file.
+#
+# Usage: scripts/bench_attack.sh [output.json]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_attack.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "== bench (benchtime 100x, count $COUNT)"
+"$GO" test ./internal/attack -run '^$' -bench 'BenchmarkChainBuild|BenchmarkFire' \
+    -benchtime 100x -count "$COUNT" | tee "$TMP"
+
+# Benchmark lines look like:
+#   BenchmarkChainBuild-8  100  41000 ns/op  73000 chains/s
+#   BenchmarkFire-8        100  900000 ns/op  1100 fires/s
+# Average each benchmark's custom metric over the -count repetitions.
+awk -v out="$OUT" '
+/^BenchmarkChainBuild/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "chains/s") { chains += $i; cn++ }
+}
+/^BenchmarkFire/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "fires/s") { fires += $i; fn++ }
+}
+END {
+    if (!cn || !fn) {
+        print "bench_attack: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmarks\": \"BenchmarkChainBuild, BenchmarkFire\",\n" >> out
+    printf "  \"config\": \"sjeng, baseline full-knowledge pool, benchtime 100x\",\n" >> out
+    printf "  \"count\": %d,\n", cn >> out
+    printf "  \"chains_per_sec\": %.1f,\n", chains / cn >> out
+    printf "  \"fires_per_sec\": %.1f\n", fires / fn >> out
+    printf "}\n" >> out
+}
+' "$TMP"
+
+echo "== wrote $OUT"
+cat "$OUT"
