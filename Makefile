@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack experiments results examples vet fmt fmtcheck cover race check trace serve serve-smoke faults fault-smoke attacks attack-smoke
+.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack bench-service experiments results examples vet fmt fmtcheck cover race check trace serve serve-fleet serve-smoke faults fault-smoke attacks attack-smoke
 
 all: build test
 
@@ -20,9 +20,10 @@ test-short:
 # differential and fuzz-corpus tests), the functional core the block
 # executor calls into, the shared trace cache, the versioned wire format,
 # the vcfrd job queue / worker pool, and the sharded fault-injection
-# campaign runner, and the sharded adversary-in-the-loop attack campaign.
+# campaign runner, and the sharded adversary-in-the-loop attack campaign,
+# the fleet coordinator, and the content-addressed artifact store.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack ./internal/fleet ./internal/artifact
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -68,6 +69,11 @@ bench-fault:
 bench-attack:
 	./scripts/bench_attack.sh
 
+# Service-level load benchmark (cmd/vcfrload) against a single vcfrd and a
+# 1-coordinator + 2-worker fleet, archived as BENCH_service.json.
+bench-service:
+	./scripts/bench_service.sh
+
 # Every table and figure, as readable text tables.
 experiments:
 	$(GO) run ./cmd/experiments -experiment all
@@ -87,6 +93,15 @@ trace:
 # Run the simulation service in the foreground (SIGINT/SIGTERM drain).
 serve:
 	$(GO) run ./cmd/vcfrd
+
+# Run a local fleet in the foreground: two workers on fixed ports plus a
+# coordinator on :8080 that shards campaigns across them.
+serve-fleet:
+	$(GO) build -o /tmp/vcfrd ./cmd/vcfrd
+	trap 'kill 0' INT TERM EXIT; \
+	/tmp/vcfrd -addr 127.0.0.1:8081 & \
+	/tmp/vcfrd -addr 127.0.0.1:8082 & \
+	/tmp/vcfrd -addr 127.0.0.1:8080 -coordinator -backends http://127.0.0.1:8081,http://127.0.0.1:8082
 
 # Boot vcfrd, exercise every endpoint, prove simulate output is
 # byte-identical to vcfrsim -stats-json, and drain on SIGTERM.

@@ -1,0 +1,156 @@
+// Package artifact is the fleet's content-addressed blob store: a flat
+// disk-backed namespace/key → bytes map that vcfrd peers share over plain
+// HTTP GET/PUT. Two namespaces matter today:
+//
+//	traces     encoded .vxt traces keyed by the trace cache's
+//	           (image hash, layout seed, mode, cap, aux) identity — the
+//	           same Key that makes cells relocatable makes their traces
+//	           content-addressed, so a fleet records each execution once
+//	envelopes  finished results Envelopes keyed by the normalized job
+//	           request, so an identical campaign resubmitted anywhere in
+//	           the fleet is served from the store instead of re-run
+//
+// The store is an accelerator, never a correctness dependency: every error
+// degrades to "not found" and the caller re-computes. Writes go through a
+// temp file + rename so concurrent writers of the same key (two workers
+// capturing the same trace) race benignly — both write identical bytes,
+// one rename wins.
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"vcfr/internal/trace"
+)
+
+// Store is one disk-backed artifact tree: root/<namespace>/<key>. Safe for
+// concurrent use.
+type Store struct {
+	root string
+
+	gets, hits, puts atomic.Uint64
+}
+
+// Open creates (if needed) and opens the artifact tree rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+// validName reports whether a namespace or key is safe to use as a single
+// path element: no separators, no traversal, nothing hidden.
+func validName(name string) bool {
+	if name == "" || len(name) > 200 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(name, ".")
+}
+
+func (s *Store) path(ns, key string) (string, error) {
+	if !validName(ns) || !validName(key) {
+		return "", fmt.Errorf("invalid artifact name %q/%q", ns, key)
+	}
+	return filepath.Join(s.root, ns, key), nil
+}
+
+// Get returns the stored bytes for ns/key. Any miss or read failure is
+// (nil, false).
+func (s *Store) Get(ns, key string) ([]byte, bool) {
+	s.gets.Add(1)
+	p, err := s.path(ns, key)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put stores data under ns/key atomically (temp file + rename), replacing
+// any previous content.
+func (s *Store) Put(ns, key string, data []byte) error {
+	p, err := s.path(ns, key)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats reports cumulative lookup/hit/store counts.
+func (s *Store) Stats() (gets, hits, puts uint64) {
+	return s.gets.Load(), s.hits.Load(), s.puts.Load()
+}
+
+// TraceNS and EnvelopeNS are the two conventional namespaces.
+const (
+	TraceNS    = "traces"
+	EnvelopeNS = "envelopes"
+)
+
+// TraceKeyName renders a trace-cache key as a stable artifact key: the full
+// content identity, hex-encoded field by field.
+func TraceKeyName(k trace.Key) string {
+	return fmt.Sprintf("%016x-%016x-%d-%d-%016x",
+		k.ImageHash, uint64(k.LayoutSeed), int(k.Mode), k.MaxInsts, k.Aux)
+}
+
+// TraceRemote adapts the local store to the trace cache's second-level
+// interface (trace.Remote): workers on one machine can share a directory
+// instead of a peer URL.
+type TraceRemote struct{ S *Store }
+
+// Fetch implements trace.Remote.
+func (r TraceRemote) Fetch(k trace.Key) ([]byte, bool) {
+	return r.S.Get(TraceNS, TraceKeyName(k))
+}
+
+// Store implements trace.Remote.
+func (r TraceRemote) Store(k trace.Key, data []byte) {
+	_ = r.S.Put(TraceNS, TraceKeyName(k), data)
+}

@@ -1,0 +1,165 @@
+// Package fleet is vcfrd's distributed tier: a Coordinator that splits
+// sweep and campaign jobs into per-workload shards, dispatches them to N
+// worker vcfrd backends over the unified /v1/jobs API, retries failed
+// shards on surviving backends, and merges the shard envelopes back into
+// the exact bytes single-process execution would have produced.
+//
+// Two properties of the existing system make this correct:
+//
+//   - Per-cell derived seeds (harness.CellSeed) are functions of the
+//     campaign seed and the cell's own coordinates, never of which process
+//     runs the cell — so a workload's rows are byte-identical wherever
+//     (and however often) they execute. Shards are relocatable and
+//     re-execution after a worker death is byte-safe.
+//   - Every surface serializes through results.Marshal, so merging at the
+//     envelope level (concatenate rows in canonical order, re-derive the
+//     aggregates with the same arithmetic) reproduces the single-process
+//     document byte for byte. The coordinator returns marshaled bytes, and
+//     the server stores them verbatim.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"vcfr/internal/harness"
+	"vcfr/internal/server"
+)
+
+// Client drives one vcfrd backend through the unified job API: submit,
+// stream progress, fetch the result envelope.
+type Client struct {
+	// Base is the backend's base URL, e.g. "http://127.0.0.1:8643".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient. Give it no
+	// global timeout — the event stream of a long campaign is expected to
+	// stay open; pass deadlines through ctx instead.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Submit posts one job and returns its id. Any non-202 answer is an error
+// carrying the backend's error envelope text.
+func (c *Client) Submit(ctx context.Context, kind server.JobKind, req server.SimRequest) (string, error) {
+	body, err := json.Marshal(server.JobRequest{Kind: string(kind), SimRequest: req})
+	if err != nil {
+		return "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.Base, "/")+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &acc); err != nil || acc.ID == "" {
+		return "", fmt.Errorf("submit: bad 202 body %q", data)
+	}
+	return acc.ID, nil
+}
+
+// Wait follows the job's event stream until it terminates: progress events
+// are forwarded to the sink (when non-nil), "done" returns nil, "failed"
+// returns the job's error, and a broken stream (worker death mid-campaign)
+// returns the transport error so the caller can retry the shard elsewhere.
+func (c *Client) Wait(ctx context.Context, id string, progress func(harness.Progress)) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.Base, "/")+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("events: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event := ""
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			switch event {
+			case "progress":
+				if progress != nil {
+					var p harness.Progress
+					if json.Unmarshal(data, &p) == nil {
+						progress(p)
+					}
+				}
+			case "done":
+				return nil
+			case "failed":
+				var t struct {
+					Error string `json:"error"`
+				}
+				_ = json.Unmarshal(data, &t)
+				if t.Error == "" {
+					t.Error = "job failed"
+				}
+				return fmt.Errorf("backend job %s failed: %s", id, t.Error)
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("event stream broke: %w", err)
+	}
+	return fmt.Errorf("event stream ended without a terminal event")
+}
+
+// Result fetches the finished job's envelope bytes, exactly as the backend
+// stored them.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.Base, "/")+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"vcfr/internal/harness"
+	"vcfr/internal/results"
+)
+
+// This file reassembles per-workload shard envelopes into the document the
+// single process would have emitted. The rules that make the merge
+// byte-exact:
+//
+//   - Rows concatenate in canonical workload order (the order the shards
+//     were planned in), which is exactly the order the single-process
+//     planner emits.
+//   - Headers are position-independent: every shard ran with the same
+//     request, so the first shard's header is the job's header once its
+//     one-workload list is widened back to the full list.
+//   - Campaign totals are summed field-wise from the shard totals. The wire
+//     rows don't carry enough to recompute them (fault rows fold sub-row
+//     state the envelope drops), but totals are themselves field-wise sums
+//     over disjoint row sets, so addition commutes with sharding.
+//   - Attack per-mode summaries are recomputed over the merged rows with
+//     the exact arithmetic attack.Report.Summaries uses; Go's
+//     shortest-representation float formatting makes the re-derived means
+//     marshal to identical bytes.
+//   - The merged body goes back through results.NewSweep / NewCampaign /
+//     NewAttack and results.Marshal — the same single serialization path
+//     every other producer uses.
+
+// mergeSweep concatenates shard sweep rows in shard order. A permanently
+// failed shard degrades to the same shape a failed cell has in a
+// single-process sweep: one error row for the workload, Partial derived by
+// results.NewSweep.
+func mergeSweep(seed int64, shards []shardResult) ([]byte, error) {
+	var rows []results.Run
+	for _, sh := range shards {
+		if sh.err != nil {
+			rows = append(rows, results.Run{
+				Workload: sh.workload,
+				Seed:     harness.CellSeed(seed, "stats", sh.workload),
+				Error:    firstLine(sh.err.Error()),
+			})
+			continue
+		}
+		env, err := results.Unmarshal(sh.body)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", sh.workload, err)
+		}
+		if env.Sweep == nil {
+			return nil, fmt.Errorf("shard %s: envelope kind %q is not a sweep", sh.workload, env.Kind)
+		}
+		rows = append(rows, env.Sweep.Rows...)
+	}
+	return results.Marshal(results.NewSweep(rows))
+}
+
+// mergeCampaign reassembles a fault-injection coverage table. Campaign
+// shards have no graceful per-row degradation (rows are (workload, mode,
+// fault) cells the coordinator can't enumerate without the fault model's
+// planner), so a permanently failed shard fails the job.
+func mergeCampaign(names []string, shards []shardResult) ([]byte, error) {
+	docs := make([]*results.Campaign, len(shards))
+	for i, sh := range shards {
+		if sh.err != nil {
+			return nil, fmt.Errorf("fleet: shard %s failed permanently: %w", sh.workload, sh.err)
+		}
+		env, err := results.Unmarshal(sh.body)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", sh.workload, err)
+		}
+		if env.Campaign == nil {
+			return nil, fmt.Errorf("shard %s: envelope kind %q is not a campaign", sh.workload, env.Kind)
+		}
+		docs[i] = env.Campaign
+	}
+	out := *docs[0]
+	out.Workloads = names
+	out.Rows = nil
+	out.Totals = results.CampaignCounts{}
+	out.Partial = false
+	for _, d := range docs {
+		out.Rows = append(out.Rows, d.Rows...)
+		addCampaignCounts(&out.Totals, d.Totals)
+	}
+	return results.Marshal(results.NewCampaign(out))
+}
+
+func addCampaignCounts(dst *results.CampaignCounts, src results.CampaignCounts) {
+	dst.Injected += src.Injected
+	dst.DetectedUnmappedRPC += src.DetectedUnmappedRPC
+	dst.DetectedIllegal += src.DetectedIllegal
+	dst.Crashes += src.Crashes
+	dst.SDC += src.SDC
+	dst.Masked += src.Masked
+	dst.Hangs += src.Hangs
+}
+
+// mergeAttack reassembles a work-factor table: rows concatenate, totals sum,
+// and the per-mode summaries are recomputed over the merged rows (means
+// don't shard; the underlying integer sums do).
+func mergeAttack(names []string, shards []shardResult) ([]byte, error) {
+	docs := make([]*results.Attack, len(shards))
+	for i, sh := range shards {
+		if sh.err != nil {
+			return nil, fmt.Errorf("fleet: shard %s failed permanently: %w", sh.workload, sh.err)
+		}
+		env, err := results.Unmarshal(sh.body)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", sh.workload, err)
+		}
+		if env.Attack == nil {
+			return nil, fmt.Errorf("shard %s: envelope kind %q is not an attack campaign", sh.workload, env.Kind)
+		}
+		docs[i] = env.Attack
+	}
+	out := *docs[0]
+	out.Workloads = names
+	out.Rows = nil
+	out.Totals = results.AttackCounts{}
+	out.Partial = false
+	for _, d := range docs {
+		out.Rows = append(out.Rows, d.Rows...)
+		addAttackCounts(&out.Totals, d.Totals)
+	}
+	out.Summaries = attackSummaries(out.Modes, out.Rows)
+	return results.Marshal(results.NewAttack(out))
+}
+
+func addAttackCounts(dst *results.AttackCounts, src results.AttackCounts) {
+	dst.ChainsBuilt += src.ChainsBuilt
+	dst.ChainsFired += src.ChainsFired
+	dst.Successes += src.Successes
+	dst.BlockedRPC += src.BlockedRPC
+	dst.BlockedIllegal += src.BlockedIllegal
+	dst.Crashes += src.Crashes
+	dst.NoEffect += src.NoEffect
+	dst.Leaks += src.Leaks
+	dst.CodePages += src.CodePages
+	dst.MapPages += src.MapPages
+	dst.Rerandomizations += src.Rerandomizations
+}
+
+// attackSummaries is attack.Report.Summaries transposed onto the wire types:
+// per mode in header order, aggregated over non-error rows, with the same
+// guarded divisions.
+func attackSummaries(modes []string, rows []results.AttackRow) []results.AttackModeSummary {
+	// Starts nil, like the single-process envelope builder, so an empty
+	// summary list marshals identically.
+	var out []results.AttackModeSummary
+	for _, m := range modes {
+		s := results.AttackModeSummary{Mode: m}
+		var leakSum, rleakSum int
+		for _, r := range rows {
+			if r.Mode != m || r.Error != "" {
+				continue
+			}
+			s.Cells++
+			if r.Static.Outcome == "success" {
+				s.StaticSuccesses++
+			}
+			if r.Plain.Success {
+				s.Successes++
+				leakSum += r.Plain.Leaks
+			}
+			if r.Plain.WithinBudget {
+				s.WithinBudget++
+			}
+			if r.Rerand != nil && r.Rerand.Success {
+				s.RerandSuccesses++
+				rleakSum += r.Rerand.Leaks
+			}
+		}
+		if s.Cells > 0 {
+			s.SuccessRate = float64(s.WithinBudget) / float64(s.Cells)
+		}
+		if s.Successes > 0 {
+			s.MeanLeaks = float64(leakSum) / float64(s.Successes)
+		}
+		if s.RerandSuccesses > 0 {
+			s.MeanRerandLeaks = float64(rleakSum) / float64(s.RerandSuccesses)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// envelopePartial reports whether a shard envelope is marked partial (or,
+// for run envelopes, carries an error row) — a shard the merge must refuse.
+func envelopePartial(body []byte) (bool, error) {
+	env, err := results.Unmarshal(body)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case env.Sweep != nil:
+		return env.Sweep.Partial, nil
+	case env.Campaign != nil:
+		return env.Campaign.Partial, nil
+	case env.Attack != nil:
+		return env.Attack.Partial, nil
+	default:
+		for _, r := range env.Run {
+			if r.Failed() {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// firstLine truncates an error to its first line, matching the error-row
+// convention of the single-process sweep.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

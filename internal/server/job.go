@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"vcfr/internal/artifact"
 	"vcfr/internal/attack"
 	"vcfr/internal/cpu"
 	"vcfr/internal/fault"
@@ -304,23 +307,40 @@ type Job struct {
 	Kind JobKind
 	Req  SimRequest
 
+	// seq is the monotonic submission number embedded in ID, kept numeric
+	// for cursor comparisons (string compare would wrap past job-999999).
+	seq uint64
+	// ctx is cancelled by DELETE /v1/jobs/{id}; the per-job execution
+	// deadline derives from it, so cancellation reaches a running
+	// simulation mid-loop. cancel is safe to call repeatedly.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// idemKey is the Idempotency-Key that created this job ("" if none);
+	// retention eviction uses it to drop the dedupe entry with the job.
+	idemKey string
+
 	mu       sync.Mutex
 	state    JobState
 	created  time.Time
 	started  time.Time
 	finished time.Time
 	err      string
-	envelope []byte            // marshaled results.Envelope, set when state == JobDone
-	progress *harness.Progress // live sweep completion state, set while running
+	envelope []byte                             // marshaled results.Envelope, set when state == JobDone
+	progress *harness.Progress                  // live sweep completion state, set while running
+	subs     map[chan harness.Progress]struct{} // SSE subscribers; buffered(1), coalescing
 
 	done chan struct{}
 }
 
-func newJob(id string, kind JobKind, req SimRequest) *Job {
+func newJob(id string, seq uint64, kind JobKind, req SimRequest) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
 		ID:      id,
 		Kind:    kind,
 		Req:     req,
+		seq:     seq,
+		ctx:     ctx,
+		cancel:  cancel,
 		state:   JobQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
@@ -347,10 +367,48 @@ func (j *Job) Envelope() (body []byte, errMsg string) {
 
 // setProgress records the job's live completion state; it is the progress
 // callback of harness.StatsSweepProgress and fault.RunCampaign, invoked
-// from worker goroutines.
+// from worker goroutines. Subscribers get a coalescing notification: each
+// channel holds at most the latest update, so a slow SSE client never
+// backpressures the simulation.
 func (j *Job) setProgress(p harness.Progress) {
 	j.mu.Lock()
 	j.progress = &p
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a progress listener, primed with the latest update if
+// one exists.
+func (j *Job) subscribe() chan harness.Progress {
+	ch := make(chan harness.Progress, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan harness.Progress]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	if j.progress != nil {
+		ch <- *j.progress
+	}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan harness.Progress) {
+	j.mu.Lock()
+	delete(j.subs, ch)
 	j.mu.Unlock()
 }
 
@@ -419,7 +477,10 @@ func (s *Server) runJob(j *Job) {
 			timeout = t
 		}
 	}
-	ctx := context.Background()
+	// The deadline derives from the job's own cancellable context, so a
+	// DELETE /v1/jobs/{id} reaches a running simulation exactly like an
+	// expired deadline does.
+	ctx := j.ctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -433,11 +494,7 @@ func (s *Server) runJob(j *Job) {
 				err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
 			}
 		}()
-		env, err := s.exec(ctx, j)
-		if err != nil {
-			return nil, err
-		}
-		return results.Marshal(env)
+		return s.executeBytes(ctx, j)
 	}()
 
 	now := time.Now()
@@ -454,6 +511,77 @@ func (s *Server) runJob(j *Job) {
 	s.metrics.jobFinished(err == nil, now.Sub(start))
 	close(j.done)
 	s.retireJob(j)
+}
+
+// executeBytes produces a job's final envelope bytes. Three paths, in
+// precedence order: a configured Executor (the fleet coordinator) returns
+// merged bytes verbatim; a configured artifact store may already hold the
+// envelope for this exact normalized request (an identical campaign
+// finished somewhere in the fleet — serve it without simulating); else the
+// job executes locally and, when it ran to completion, its envelope is
+// stored for peers. Partial results (cancelled or timed-out jobs) are
+// never memoized — a partial envelope is an artifact of this request's
+// deadline, not of the request identity.
+func (s *Server) executeBytes(ctx context.Context, j *Job) ([]byte, error) {
+	if s.cfg.Executor != nil {
+		return s.cfg.Executor(ctx, j.Kind, j.Req, j.setProgress)
+	}
+	key := ""
+	if s.cfg.Artifacts != nil || s.cfg.ArtifactPeer != nil {
+		key = envelopeKey(j.Kind, j.Req)
+		if body, ok := s.envelopeLookup(key); ok {
+			return body, nil
+		}
+	}
+	env, err := s.exec(ctx, j)
+	if err != nil {
+		return nil, err
+	}
+	body, err := results.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" && ctx.Err() == nil {
+		s.envelopeStore(key, body)
+	}
+	return body, nil
+}
+
+// envelopeKey is the content address of a finished result: the job kind
+// plus the normalized request (pointer fields filled, defaults applied),
+// minus the execution deadline — a timeout changes whether a request
+// completes, never what its completed result is.
+func envelopeKey(kind JobKind, req SimRequest) string {
+	req.TimeoutMS = 0
+	b, _ := json.Marshal(req)
+	h := sha256.Sum256(append([]byte(string(kind)+"\x00"), b...))
+	return hex.EncodeToString(h[:])
+}
+
+func (s *Server) envelopeLookup(key string) ([]byte, bool) {
+	if s.cfg.Artifacts != nil {
+		if body, ok := s.cfg.Artifacts.Get(artifact.EnvelopeNS, key); ok {
+			return body, true
+		}
+	}
+	if s.cfg.ArtifactPeer != nil {
+		if body, ok := s.cfg.ArtifactPeer.Get(artifact.EnvelopeNS, key); ok {
+			if s.cfg.Artifacts != nil {
+				_ = s.cfg.Artifacts.Put(artifact.EnvelopeNS, key, body)
+			}
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Server) envelopeStore(key string, body []byte) {
+	if s.cfg.Artifacts != nil {
+		_ = s.cfg.Artifacts.Put(artifact.EnvelopeNS, key, body)
+	}
+	if s.cfg.ArtifactPeer != nil {
+		_ = s.cfg.ArtifactPeer.Put(artifact.EnvelopeNS, key, body)
+	}
 }
 
 // execute is the production job executor (tests substitute s.exec): the

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -134,6 +135,31 @@ func (m *metrics) attackCampaignFinished(st attack.Stats) {
 	defer m.mu.Unlock()
 	m.attackCampaigns++
 	m.attacks.Merge(st)
+}
+
+// retryAfter estimates, in whole seconds, how long a refused client should
+// wait for a queue slot: the queue's current occupancy divided by the
+// observed drain rate (mean job duration over the worker pool, from the
+// same runDur histogram /metrics exports). Before any job has finished
+// there is no observed rate and the old constant 1 stands in.
+func (m *metrics) retryAfter(queueLen, workers int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.runDur.n == 0 {
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	mean := m.runDur.sum / float64(m.runDur.n)
+	secs := int(math.Ceil(mean * float64(queueLen+1) / float64(workers)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 3600 {
+		return 3600
+	}
+	return secs
 }
 
 func (m *metrics) jobPanicked() {

@@ -7,33 +7,55 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate   one workload, one layout seed — synchronous; the
-//	                    response body is byte-identical to the equivalent
-//	                    `vcfrsim -stats-json` invocation
-//	POST /v1/sweep      full stats sweep — asynchronous; returns 202 and a
-//	                    job id to poll
-//	POST /v1/faults     fault-injection campaign — asynchronous; returns 202
-//	                    and a job id to poll; the finished result is
-//	                    byte-identical to `faultsim -json`
-//	POST /v1/attacks    adversary-in-the-loop attack campaign — asynchronous;
-//	                    returns 202 and a job id to poll; the finished result
-//	                    is byte-identical to `attacksim -json`
+//	POST /v1/jobs       unified asynchronous submission: one body with a
+//	                    "kind" discriminator (run | sweep | faults |
+//	                    attacks) plus the kind's parameters; returns 202
+//	                    and a job id. Honors Idempotency-Key: a retried
+//	                    POST with the same key dedupes to the original job.
+//	GET  /v1/jobs       list jobs over the retention window, with ?state=
+//	                    filtering and ?cursor=/?limit= pagination
 //	GET  /v1/jobs/{id}  job state, timings, error, and (when done) result
 //	GET  /v1/jobs/{id}/result
 //	                    the finished job's result envelope, streamed exactly
 //	                    as results.Marshal produced it (byte-identical to
 //	                    the equivalent CLI invocation)
+//	GET  /v1/jobs/{id}/events
+//	                    live job progress as Server-Sent Events (state,
+//	                    then coalesced progress updates, then done/failed)
+//	DELETE /v1/jobs/{id}
+//	                    cancel: the job's context is cancelled mid-run and
+//	                    the partial-rows envelope is returned
+//	POST /v1/simulate   one workload, one layout seed — synchronous; the
+//	                    response body is byte-identical to the equivalent
+//	                    `vcfrsim -stats-json` invocation
+//	POST /v1/sweep      deprecated alias of POST /v1/jobs {"kind":"sweep"}
+//	POST /v1/faults     deprecated alias of POST /v1/jobs {"kind":"faults"}
+//	POST /v1/attacks    deprecated alias of POST /v1/jobs {"kind":"attacks"}
+//	GET/PUT /v1/artifacts/{ns}/{key}
+//	                    the content-addressed artifact store (traces,
+//	                    result envelopes), when one is configured — how
+//	                    fleet peers share captured executions
 //	GET  /v1/workloads  the built-in workload catalog
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text: jobs by state, queue pressure,
 //	                    trace-cache effectiveness, per-stage latency
 //	GET  /debug/pprof/  the standard Go profiler
 //
+// Every error answers the one envelope {"error": {"code", "message"}}.
+//
 // Robustness model: the job queue is bounded and overload answers 429 with
-// Retry-After (backpressure, not collapse); every job runs under a context
-// deadline with real mid-simulation cancellation; a panicking job fails
-// alone; Shutdown stops intake, lets the HTTP layer finish, and drains
-// every accepted job before returning.
+// a Retry-After derived from the observed drain rate (backpressure, not
+// collapse); every job runs under a context deadline with real
+// mid-simulation cancellation; a panicking job fails alone; Shutdown stops
+// intake, lets the HTTP layer finish, and drains every accepted job before
+// returning.
+//
+// A server can also serve as the front of a fleet: Config.Executor
+// replaces local execution with a dispatch function (internal/fleet's
+// coordinator shards campaigns across worker backends and merges their
+// rows byte-identically), and Config.Artifacts/ArtifactPeer connect the
+// content-addressed store that lets workers share traces and finished
+// envelopes.
 package server
 
 import (
@@ -48,6 +70,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vcfr/internal/artifact"
 	"vcfr/internal/harness"
 	"vcfr/internal/results"
 	"vcfr/internal/trace"
@@ -75,6 +98,24 @@ type Config struct {
 	// Runner executes jobs. nil builds a default runner with a 256 MiB
 	// trace cache. Give it a trace.Cache to share captures across requests.
 	Runner *harness.Runner
+	// Executor, when set, replaces local execution of asynchronous jobs:
+	// it receives the job's kind, its normalized request, and a progress
+	// sink, and returns the marshaled results Envelope bytes to serve
+	// verbatim. This is the coordinator hook — internal/fleet supplies a
+	// function that shards the request across worker backends and merges
+	// their rows back byte-identically. Returning the bytes (not a parsed
+	// Envelope) is what keeps the merged result byte-for-byte equal to
+	// single-process execution: nothing re-marshals it.
+	Executor func(ctx context.Context, kind JobKind, req SimRequest, progress func(harness.Progress)) ([]byte, error)
+	// Artifacts, when set, is served at /v1/artifacts/{ns}/{key} and used
+	// to memoize finished result envelopes by normalized request identity.
+	Artifacts *artifact.Store
+	// ArtifactPeer, when set, is a remote peer's artifact endpoint used as
+	// a second level behind Artifacts for envelope memoization (workers
+	// point it at the coordinator). Wiring the peer into the trace cache
+	// is the caller's job (trace.Cache.SetRemote), since the cache may be
+	// shared beyond this server.
+	ArtifactPeer *artifact.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +155,12 @@ type Server struct {
 	intakeMu sync.Mutex     // serializes enqueue vs. shutdown's queue close
 	draining bool           // guarded by intakeMu
 
+	// idem maps Idempotency-Key header values to the job they created, so
+	// a retried POST returns the original job instead of running twice.
+	// Entries die with their job's retention eviction.
+	idemMu sync.Mutex
+	idem   map[string]string
+
 	// exec runs one job's computation. Production is (*Server).execute;
 	// lifecycle tests substitute controllable executors.
 	exec func(context.Context, *Job) (results.Envelope, error)
@@ -129,6 +176,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 	}
 	s.exec = s.execute
 	s.routes()
@@ -137,12 +185,18 @@ func New(cfg Config) *Server {
 }
 
 func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/faults", s.handleFaults)
 	s.mux.HandleFunc("POST /v1/attacks", s.handleAttacks)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/artifacts/{ns}/{key}", s.handleArtifactGet)
+	s.mux.HandleFunc("PUT /v1/artifacts/{ns}/{key}", s.handleArtifactPut)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -216,6 +270,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// Close abruptly stops the server without draining: listeners and in-flight
+// HTTP connections are severed mid-stream and no new work is accepted. It
+// exists as the crash-simulation counterpart of Shutdown — the fleet tests
+// kill one worker of a pair mid-campaign with it to drive the coordinator's
+// shard-retry path — and for emergency teardown. Jobs already dequeued by a
+// worker goroutine keep running to completion in the background.
+func (s *Server) Close() error {
+	s.intakeMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.intakeMu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	return s.http.Close()
+}
+
 // errQueueFull and errDraining distinguish the two refusal modes.
 var (
 	errQueueFull = errors.New("job queue full")
@@ -255,36 +326,78 @@ func (s *Server) enqueue(j *Job) error {
 // the retention bound, so completed envelopes don't accumulate for the life
 // of the process. Waiters holding the *Job (the synchronous simulate path)
 // are unaffected — eviction only drops the map entry that serves polling.
+// An evicted job's idempotency-key entry dies with it (taken out under
+// idemMu after jobMu is released; idemMu is never held inside jobMu).
 func (s *Server) retireJob(j *Job) {
+	var evicted []*Job
 	s.jobMu.Lock()
-	defer s.jobMu.Unlock()
 	s.finished = append(s.finished, j.ID)
 	for len(s.finished) > s.cfg.JobRetention {
+		if old := s.jobs[s.finished[0]]; old != nil && old.idemKey != "" {
+			evicted = append(evicted, old)
+		}
 		delete(s.jobs, s.finished[0])
 		s.finished = s.finished[1:]
+	}
+	s.jobMu.Unlock()
+	if len(evicted) > 0 {
+		s.idemMu.Lock()
+		for _, old := range evicted {
+			if s.idem[old.idemKey] == old.ID {
+				delete(s.idem, old.idemKey)
+			}
+		}
+		s.idemMu.Unlock()
 	}
 }
 
 func (s *Server) newJob(kind JobKind, req SimRequest) *Job {
-	return newJob(fmt.Sprintf("job-%06d", s.jobSeq.Add(1)), kind, req)
+	seq := s.jobSeq.Add(1)
+	return newJob(fmt.Sprintf("job-%06d", seq), seq, kind, req)
 }
 
-// writeError answers with the service's uniform error shape.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// apiError is the uniform error shape of every endpoint:
+// {"error": {"code", "message"}}. Code is a stable machine-readable slug;
+// message is for humans.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError answers with the service's uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(map[string]apiError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
 }
 
 // writeRefusal maps the two intake refusals onto HTTP: queue pressure is
-// 429 with a Retry-After hint, drain is 503.
-func writeRefusal(w http.ResponseWriter, err error) {
+// 429 with a Retry-After derived from the observed drain rate plus the
+// current queue occupancy in the body (so clients can back off
+// proportionally), drain is 503.
+func (s *Server) writeRefusal(w http.ResponseWriter, err error) {
 	if errors.Is(err, errQueueFull) {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		depth, capacity := len(s.queue), cap(s.queue)
+		retry := s.metrics.retryAfter(depth, s.cfg.Workers)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(struct {
+			Error             apiError `json:"error"`
+			QueueDepth        int      `json:"queue_depth"`
+			QueueCapacity     int      `json:"queue_capacity"`
+			RetryAfterSeconds int      `json:"retry_after_seconds"`
+		}{
+			Error:             apiError{Code: "queue_full", Message: err.Error()},
+			QueueDepth:        depth,
+			QueueCapacity:     capacity,
+			RetryAfterSeconds: retry,
+		})
 		return
 	}
-	writeError(w, http.StatusServiceUnavailable, "%v", err)
+	writeError(w, http.StatusServiceUnavailable, "draining", "%v", err)
 }
 
 func decodeRequest(r *http.Request, kind JobKind) (SimRequest, error) {
@@ -308,12 +421,12 @@ func decodeRequest(r *http.Request, kind JobKind) (SimRequest, error) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r, JobRun)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	j := s.newJob(JobRun, req)
 	if err := s.enqueue(j); err != nil {
-		writeRefusal(w, err)
+		s.writeRefusal(w, err)
 		return
 	}
 	select {
@@ -321,12 +434,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// The client went away; the job still runs to completion and
 		// remains pollable at /v1/jobs/{id}.
-		writeError(w, http.StatusRequestTimeout, "client cancelled while job %s still runs", j.ID)
+		writeError(w, http.StatusRequestTimeout, "client_cancelled",
+			"client cancelled while job %s still runs", j.ID)
 		return
 	}
 	body, errMsg := j.Envelope()
 	if errMsg != "" {
-		writeError(w, http.StatusInternalServerError, "%s", errMsg)
+		writeError(w, http.StatusInternalServerError, "job_failed", "%s", errMsg)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -334,75 +448,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// handleSweep enqueues an asynchronous sweep and answers 202 with the job
-// id to poll.
+// handleSweep, handleFaults, and handleAttacks are the pre-/v1/jobs
+// submission routes, kept as thin aliases: same decode, same queue, same
+// job — only a Deprecation header distinguishes them from the unified
+// endpoint they forward to.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeRequest(r, JobSweep)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	j := s.newJob(JobSweep, req)
-	if err := s.enqueue(j); err != nil {
-		writeRefusal(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/v1/jobs/"+j.ID)
-	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]string{
-		"id":     j.ID,
-		"state":  string(j.State()),
-		"status": "/v1/jobs/" + j.ID,
-	})
+	s.handleDeprecatedAlias(w, r, JobSweep)
 }
 
-// handleFaults enqueues an asynchronous fault-injection campaign and answers
-// 202 with the job id to poll, exactly like handleSweep; the finished job's
-// result is the campaign envelope faultsim -json emits.
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeRequest(r, JobFaults)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	j := s.newJob(JobFaults, req)
-	if err := s.enqueue(j); err != nil {
-		writeRefusal(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/v1/jobs/"+j.ID)
-	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]string{
-		"id":     j.ID,
-		"state":  string(j.State()),
-		"status": "/v1/jobs/" + j.ID,
-	})
+	s.handleDeprecatedAlias(w, r, JobFaults)
 }
 
-// handleAttacks enqueues an asynchronous adversary-in-the-loop attack
-// campaign, exactly like handleFaults; the finished job's result is the
-// work-factor envelope attacksim -json emits.
 func (s *Server) handleAttacks(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeRequest(r, JobAttacks)
+	s.handleDeprecatedAlias(w, r, JobAttacks)
+}
+
+func (s *Server) handleDeprecatedAlias(w http.ResponseWriter, r *http.Request, kind JobKind) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/jobs>; rel="successor-version"`)
+	req, err := decodeRequest(r, kind)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	j := s.newJob(JobAttacks, req)
-	if err := s.enqueue(j); err != nil {
-		writeRefusal(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/v1/jobs/"+j.ID)
-	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]string{
-		"id":     j.ID,
-		"state":  string(j.State()),
-		"status": "/v1/jobs/" + j.ID,
-	})
+	s.submitAsync(w, r, kind, req)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -411,7 +481,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[id]
 	s.jobMu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		writeError(w, http.StatusNotFound, "not_found", "no job %q", id)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -429,7 +499,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[id]
 	s.jobMu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		writeError(w, http.StatusNotFound, "not_found", "no job %q", id)
 		return
 	}
 	switch j.State() {
@@ -439,10 +509,10 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(body)
 	case JobFailed:
 		_, errMsg := j.Envelope()
-		writeError(w, http.StatusInternalServerError, "%s", errMsg)
+		writeError(w, http.StatusInternalServerError, "job_failed", "%s", errMsg)
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, "job %s still %s", id, j.State())
+		writeError(w, http.StatusConflict, "conflict", "job %s still %s", id, j.State())
 	}
 }
 
@@ -455,7 +525,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	for _, n := range workloads.Names() {
 		wl, err := workloads.ByName(n, 1)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 			return
 		}
 		out = append(out, entry{Name: n, Desc: wl.Desc})
