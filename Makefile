@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack bench-service experiments results examples vet fmt fmtcheck cover race check trace serve serve-fleet serve-smoke faults fault-smoke attacks attack-smoke
+.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack bench-service bench-multicore experiments results examples vet fmt fmtcheck cover race check trace serve serve-fleet serve-smoke faults fault-smoke attacks attack-smoke multicore
 
 all: build test
 
@@ -21,9 +21,10 @@ test-short:
 # executor calls into, the shared trace cache, the versioned wire format,
 # the vcfrd job queue / worker pool, and the sharded fault-injection
 # campaign runner, and the sharded adversary-in-the-loop attack campaign,
-# the fleet coordinator, and the content-addressed artifact store.
+# the sharded multi-tenant interference campaign, the fleet coordinator, and
+# the content-addressed artifact store.
 race:
-	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack ./internal/fleet ./internal/artifact
+	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack ./internal/multicore ./internal/fleet ./internal/artifact
 
 # The full pre-commit gate.
 check: build vet fmtcheck test race
@@ -73,6 +74,11 @@ bench-attack:
 # 1-coordinator + 2-worker fleet, archived as BENCH_service.json.
 bench-service:
 	./scripts/bench_service.sh
+
+# Scheduled-cluster throughput (ns/instr), archived as BENCH_multicore.json
+# and held within 1.5x of the single-core execute budget.
+bench-multicore:
+	./scripts/bench_multicore.sh
 
 # Every table and figure, as readable text tables.
 experiments:
@@ -125,6 +131,10 @@ attacks:
 # envelope is byte-identical to attacksim -json, and drain on SIGTERM.
 attack-smoke:
 	./scripts/attack_smoke.sh
+
+# The canonical multi-tenant interference campaign as a text table.
+multicore:
+	$(GO) run ./cmd/clustersim
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,99 @@
+// Command clustersim runs the multi-tenant interference campaign: a grid of
+// cores × tenants cells co-running a tenant mix on scheduled clusters
+// (shared L2, private DRCs, quantum time-sharing) under every architecture
+// mode, judged against per-tenant solo references. The table ranks the
+// paper's consolidation claim (Sec. IV-D): VCFR's co-run degradation tracks
+// the baseline's, while naive ILR pays extra for the scattered footprint its
+// location maps press into the shared L2.
+//
+// Usage:
+//
+//	clustersim
+//	clustersim -cells 2c4t,1c2t -workloads bzip2,sjeng
+//	clustersim -quantum 2000 -seed 7 -json
+//	clustersim -mode vcfr -instructions 50000
+//
+// The default invocation is the canonical campaign (three workloads, three
+// modes, the 2c2t and 1c2t cells); `experiments -mode multicore` and the
+// vcfrd POST /v1/jobs kind=multicore endpoint run the same campaign and emit
+// byte-identical envelopes with -json.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+
+	"vcfr/internal/harness"
+	"vcfr/internal/multicore"
+	"vcfr/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadsF = flag.String("workloads", "", "comma-separated tenant workload pool (default: the canonical set)")
+		mode       = flag.String("mode", "all", "architecture modes: baseline | naive | vcfr | all")
+		cellsF     = flag.String("cells", "", "comma-separated cores×tenants cells, e.g. 2c4t,1c2t (default: the canonical grid)")
+		quantum    = flag.Uint64("quantum", 0, "scheduler time slice in committed instructions (0 = default 10000)")
+		seed       = flag.Int64("seed", 42, "campaign seed (every tenant layout derives from it)")
+		scale      = flag.Int("scale", 1, "workload iteration scale")
+		spread     = flag.Int("spread", 0, "ILR scatter factor (0 = default)")
+		maxInsts   = flag.Uint64("instructions", 0, "per-tenant instruction cap (0 = default 25000)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel cell workers")
+		jsonOut    = flag.Bool("json", false, "emit the campaign as a versioned results envelope instead of a text table")
+	)
+	flag.Parse()
+
+	modes, err := multicore.ParseModes(*mode)
+	if err != nil {
+		return err
+	}
+	cfg := multicore.Config{
+		Modes:    modes,
+		Quantum:  *quantum,
+		Seed:     *seed,
+		Scale:    *scale,
+		Spread:   *spread,
+		MaxInsts: *maxInsts,
+	}
+	if *workloadsF != "" {
+		cfg.Workloads = strings.Split(*workloadsF, ",")
+	}
+	if *cellsF != "" {
+		cells, err := multicore.ParseCells(*cellsF)
+		if err != nil {
+			return err
+		}
+		cfg.Cells = cells
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := multicore.RunCampaign(ctx, harness.NewRunner(*workers), cfg, nil)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := results.Write(os.Stdout, rep.Envelope()); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Table().Render())
+	}
+	if rep.Partial {
+		return fmt.Errorf("campaign incomplete: some cells were not executed")
+	}
+	return nil
+}

@@ -11,6 +11,8 @@
 //	experiments -mode faults -injections 200 -stats-json
 //	experiments -mode attacks
 //	experiments -mode attacks -payloads exfiltrate -stats-json
+//	experiments -mode multicore
+//	experiments -mode multicore -cells 2c4t -stats-json
 //
 // -mode faults runs the dependability fault-injection campaign instead of
 // the timing tables: the same campaign `faultsim` runs, across all three
@@ -21,6 +23,10 @@
 // -mode attacks runs the adversary-in-the-loop security evaluation: the same
 // campaign `attacksim` runs, printing the work-factor table (or, with
 // -stats-json, the envelope byte-identical to `attacksim -json`).
+//
+// -mode multicore runs the multi-tenant interference campaign: the same
+// campaign `clustersim` runs, printing the co-run slowdown table (or, with
+// -stats-json, the envelope byte-identical to `clustersim -json`).
 //
 // Each experiment prints an aligned text table with the same rows/series the
 // paper reports, plus the paper's headline number for comparison.
@@ -47,6 +53,7 @@ import (
 	"vcfr/internal/attack"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
+	"vcfr/internal/multicore"
 	"vcfr/internal/results"
 	"vcfr/internal/trace"
 )
@@ -60,7 +67,7 @@ func main() {
 
 func run() error {
 	var (
-		mode       = flag.String("mode", "tables", "what to run: tables (the paper's timing tables) | faults (the dependability fault campaign) | attacks (the adversary-in-the-loop security evaluation)")
+		mode       = flag.String("mode", "tables", "what to run: tables (the paper's timing tables) | faults (the dependability fault campaign) | attacks (the adversary-in-the-loop security evaluation) | multicore (the multi-tenant interference campaign)")
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 		workloadsF = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own set)")
 		scale      = flag.Int("scale", 1, "workload iteration scale")
@@ -80,6 +87,8 @@ func run() error {
 		payloadsF  = flag.String("payloads", "", "with -mode attacks: comma-separated payload templates (default: all three)")
 		budget     = flag.Int("budget", 0, "with -mode attacks: leak budget B0 (0 = default 16)")
 		rerandN    = flag.Int("rerand-every", 0, "with -mode attacks: re-randomization period in leak ops (0 = default 5)")
+		cellsF     = flag.String("cells", "", "with -mode multicore: comma-separated cores×tenants cells, e.g. 2c4t,1c2t (default: the canonical grid)")
+		quantum    = flag.Uint64("quantum", 0, "with -mode multicore: scheduler time slice in instructions (0 = default 10000)")
 	)
 	flag.Parse()
 
@@ -189,8 +198,39 @@ func run() error {
 			return fmt.Errorf("campaign incomplete: some cells were not executed")
 		}
 		return nil
+	case "multicore":
+		mcfg := multicore.Config{
+			Workloads: cfg.Workloads,
+			Quantum:   *quantum,
+			Seed:      *seed,
+			Scale:     *scale,
+			Spread:    *spread,
+			MaxInsts:  *maxInsts,
+		}
+		if *cellsF != "" {
+			cells, err := multicore.ParseCells(*cellsF)
+			if err != nil {
+				return err
+			}
+			mcfg.Cells = cells
+		}
+		rep, err := multicore.RunCampaign(ctx, r, mcfg, nil)
+		if err != nil {
+			return err
+		}
+		if *statsJSON {
+			if err := results.Write(os.Stdout, rep.Envelope()); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(rep.Table().Render())
+		}
+		if rep.Partial {
+			return fmt.Errorf("campaign incomplete: some cells were not executed")
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown -mode %q (want tables, faults, or attacks)", *mode)
+		return fmt.Errorf("unknown -mode %q (want tables, faults, attacks, or multicore)", *mode)
 	}
 
 	if *statsJSON {

@@ -33,9 +33,14 @@ import (
 //     memory from outside the pipeline (test harnesses, attack payloads,
 //     mid-run re-randomization that rewrites image bytes in place).
 //
-// Context switches flush the DRC and iTLB but not this cache: the cached
-// decode depends only on image bytes and the static translator, neither of
-// which a switch changes.
+// Same-process context switches (Config.ContextSwitchEvery) flush the DRC
+// and iTLB but not this cache: the cached decode depends only on image bytes
+// and the static translator, neither of which such a switch changes. A
+// *tenant* switch on a multi-core cluster is different — the incoming
+// process brings its own image and tables — so Pipeline.SwitchIn drops the
+// cache for per-process-key modes; the drop is timing-invariant (the cache
+// memoizes work, it never changes it), which FuzzBlockCacheInvalidation's
+// context-switch action checks against the per-instruction path.
 
 // maxBlockInsts caps one cached block. Blocks end at the first control
 // transfer anyway; the cap only bounds pathological straight-line runs so a

@@ -22,14 +22,19 @@ import (
 //
 // The script is interpreted as 4-byte records [action, a, b, c]:
 //
-//	action%5 == 0  run a segment of 1 + (a|b<<8)%6000 instructions
-//	action%5 == 1  rewrite the text byte at offset (a|b<<8)%len(text) to c
+//	action%6 == 0  run a segment of 1 + (a|b<<8)%6000 instructions
+//	action%6 == 1  rewrite the text byte at offset (a|b<<8)%len(text) to c
 //	               on both pipelines, then InvalidateBlocks (a re-rand poke)
-//	action%5 == 2  arm deterministic injector hooks parameterized by a, b
-//	action%5 == 3  disarm the injector
-//	action%5 == 4  full mid-run re-randomization: rewrite the program with a
+//	action%6 == 2  arm deterministic injector hooks parameterized by a, b
+//	action%6 == 3  disarm the injector
+//	action%6 == 4  full mid-run re-randomization: rewrite the program with a
 //	               fresh seed derived from a|b<<8 and swap both pipelines
 //	               onto the new layout (no-op under baseline mode)
+//	action%6 == 5  scheduler context switch: SwitchIn on both pipelines —
+//	               the DRC/iTLB flush plus per-process-key block drop a
+//	               multi-tenant cluster charges when a core changes tenants.
+//	               The cached pipeline loses its memoized blocks, the direct
+//	               one has none: timing and state must still agree exactly.
 func FuzzBlockCacheInvalidation(f *testing.F) {
 	f.Add(uint32(300), []byte{0, 100, 10, 0, 1, 40, 0, byte(isa.OpNop), 0, 200, 20, 0})
 	f.Add(uint32(301), []byte{0, 0, 4, 0, 2, 7, 3, 0, 0, 0, 8, 0, 3, 0, 0, 0, 0, 0, 40, 0})
@@ -40,6 +45,11 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 	f.Add(uint32(301), []byte{4, 1, 0, 0, 0, 100, 10, 0, 4, 2, 0, 0, 0, 200, 20, 0})
 	f.Add(uint32(305), []byte{0, 16, 1, 0, 2, 9, 4, 0, 4, 77, 0, 0, 0, 100, 30, 0, 3, 0, 0, 0})
 	f.Add(uint32(302), []byte{1, 12, 0, 0x40, 4, 5, 1, 0, 0, 150, 8, 0, 1, 3, 0, 0x11, 0, 90, 2, 0})
+	// Context-switch schedules: run-switch-run, a switch racing an armed
+	// injector, and a switch back-to-back with a re-randomization swap.
+	f.Add(uint32(300), []byte{0, 100, 10, 0, 5, 0, 0, 0, 0, 200, 20, 0})
+	f.Add(uint32(304), []byte{2, 17, 2, 0, 0, 60, 5, 0, 5, 0, 0, 0, 0, 90, 1, 0, 3, 0, 0, 0})
+	f.Add(uint32(301), []byte{0, 30, 2, 0, 4, 9, 0, 0, 5, 0, 0, 0, 0, 150, 12, 0})
 
 	f.Fuzz(func(t *testing.T, seed uint32, script []byte) {
 		seed = 300 + seed%8 // a small stable pool keeps rewrites cheap
@@ -107,7 +117,7 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 		var ran uint64
 		for rec := 0; rec+4 <= len(script) && ran < 60_000; rec += 4 {
 			action, a, b, c := script[rec], script[rec+1], script[rec+2], script[rec+3]
-			switch action % 5 {
+			switch action % 6 {
 			case 0:
 				ran += 1 + (uint64(a)|uint64(b)<<8)%6000
 				cr, cerr := cached.Run(ran)
@@ -155,6 +165,9 @@ func FuzzBlockCacheInvalidation(f *testing.F) {
 				if !compare(rec) {
 					return
 				}
+			case 5:
+				cached.SwitchIn()
+				direct.SwitchIn()
 			}
 		}
 		// Drain to a final common cap so every schedule ends in a compared

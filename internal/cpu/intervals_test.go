@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"strings"
 	"testing"
 
 	"vcfr/internal/ilr"
@@ -158,36 +159,144 @@ func TestSamplingOffKeepsIntervalsEmpty(t *testing.T) {
 	}
 }
 
-// TestClusterRegistriesLabelled checks the multi-core dimension: each core's
-// registry carries a core="<i>" label on every entry, so per-core series stay
-// distinguishable when merged into one exposition.
+// TestClusterRegistriesLabelled checks the multi-tenant dimension: each
+// tenant's registry carries core="<pin>",tenant="<i>" labels on every entry,
+// so per-tenant series stay distinguishable when merged into one exposition —
+// including when several tenants time-share one core.
 func TestClusterRegistriesLabelled(t *testing.T) {
 	res := rewriteSrc(t, "fib", fibSrc)
 	cfg := DefaultConfig(ModeVCFR)
-	cl, err := NewCluster(cfg, []ClusterProc{
+	procs := []ClusterProc{
 		{Img: res.VCFR, Trans: res.Tables, RandRA: res.RandRA},
 		{Img: res.VCFR, Trans: res.Tables, RandRA: res.RandRA},
-	})
+	}
+	for _, tc := range []struct {
+		name  string
+		cores int
+		want  []string
+	}{
+		{"one-per-core", 2, []string{`core="0",tenant="0"`, `core="1",tenant="1"`}},
+		{"time-shared", 1, []string{`core="0",tenant="0"`, `core="0",tenant="1"`}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cl, err := NewScheduledCluster(cfg, SchedConfig{Cores: tc.cores}, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs := cl.Registries()
+			if len(regs) != len(procs) {
+				t.Fatalf("Registries() = %d, want one per tenant", len(regs))
+			}
+			for i, r := range regs {
+				want := tc.want[i]
+				if r.Labels() != want {
+					t.Errorf("tenant %d labels = %q, want %q", i, r.Labels(), want)
+				}
+				s := r.Snapshot()
+				if s.Len() == 0 {
+					t.Fatalf("tenant %d registry is empty", i)
+				}
+				sched := false
+				s.Each(func(d stats.Desc, _ stats.Value) {
+					if d.Labels != want {
+						t.Errorf("tenant %d entry %s labels = %q, want %q", i, d.Name, d.Labels, want)
+					}
+					if d.Name == "sched.quanta" {
+						sched = true
+					}
+				})
+				if !sched {
+					t.Errorf("tenant %d registry misses the pinned core's sched.* counters", i)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterIntervalConservation extends the conservation property to the
+// labeled multi-tenant dimension: with several tenants time-sharing a core
+// under the quantum scheduler (context switches flushing the DRC and block
+// cache between them), each tenant's interval deltas must still sum to that
+// tenant's final totals, every mid-run snapshot must land on an exact
+// SampleEvery edge of the tenant's own instruction counter, and the series
+// must stay monotonic. Preemption mid-window must neither lose nor double a
+// window.
+func TestClusterIntervalConservation(t *testing.T) {
+	res := rewriteSrc(t, "callheavy", callHeavySrc)
+	const every = 1000
+	cfg := DefaultConfig(ModeVCFR)
+	cfg.SampleEvery = every
+	proc := ClusterProc{Img: res.VCFR, Trans: res.Tables, RandRA: res.RandRA}
+	cl, err := NewScheduledCluster(cfg, SchedConfig{Cores: 2, Quantum: 1531},
+		[]ClusterProc{proc, proc, proc, proc})
 	if err != nil {
 		t.Fatal(err)
 	}
-	regs := cl.Registries()
-	if len(regs) != 2 {
-		t.Fatalf("Registries() = %d, want one per core", len(regs))
+	out, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i, r := range regs {
-		want := `core="` + string(rune('0'+i)) + `"`
-		if r.Labels() != want {
-			t.Errorf("core %d labels = %q, want %q", i, r.Labels(), want)
+	sstats := cl.SchedStats()
+	if sstats[0].Switches == 0 || sstats[1].Switches == 0 {
+		t.Fatalf("no context switches under 2 tenants/core (sched: %+v) — property not exercised", sstats)
+	}
+	regs := cl.Registries()
+	for ti, res := range out {
+		snaps := res.Intervals
+		if len(snaps) < 2 {
+			t.Fatalf("tenant %d: got %d snapshots, want >= 2", ti, len(snaps))
 		}
-		s := r.Snapshot()
-		if s.Len() == 0 {
-			t.Fatalf("core %d registry is empty", i)
+		for i := 1; i < len(snaps); i++ {
+			if err := snaps[i].Monotonic(snaps[i-1]); err != nil {
+				t.Fatalf("tenant %d: snapshot %d not monotonic over %d: %v", ti, i, i-1, err)
+			}
 		}
-		s.Each(func(d stats.Desc, _ stats.Value) {
-			if d.Labels != want {
-				t.Errorf("core %d entry %s labels = %q, want %q", i, d.Name, d.Labels, want)
+		for i, s := range snaps[:len(snaps)-1] {
+			n := snapshotInsts(s)
+			if want := uint64(every) * uint64(i+1); n != want {
+				t.Errorf("tenant %d: snapshot %d at %d instructions, want edge %d", ti, i, n, want)
+			}
+		}
+		sums := make(map[string]uint64)
+		var prev stats.Snapshot
+		for i, s := range snaps {
+			win := s
+			if i > 0 {
+				d, err := s.Delta(prev)
+				if err != nil {
+					t.Fatalf("tenant %d: Delta(%d, %d): %v", ti, i, i-1, err)
+				}
+				win = d
+			}
+			win.Each(func(d stats.Desc, v stats.Value) {
+				if d.Kind == stats.KindCounter {
+					sums[d.Name] += v.U
+				}
+			})
+			prev = s
+		}
+		// Totals come from the tenant's labeled live registry. The sched.*
+		// counters are core-scoped (shared with co-tenants) and not part of
+		// the tenant's sampled series, so they are excluded; everything else
+		// — including the core-shared cache levels, static once the cluster
+		// has halted — must be conserved window by window.
+		final := regs[ti].Snapshot()
+		checked := 0
+		final.Each(func(d stats.Desc, v stats.Value) {
+			if d.Kind != stats.KindCounter || strings.HasPrefix(d.Name, "sched.") {
+				return
+			}
+			checked++
+			if got := sums[d.Name]; got != v.U {
+				t.Errorf("tenant %d: %s interval deltas sum to %d, final total %d", ti, d.Name, got, v.U)
 			}
 		})
+		if checked == 0 {
+			t.Fatalf("tenant %d: labeled registry exposed no counters", ti)
+		}
+		if sums["cpu.instructions"] != res.Stats.Instructions {
+			t.Errorf("tenant %d: cpu.instructions deltas sum to %d, Result says %d",
+				ti, sums["cpu.instructions"], res.Stats.Instructions)
+		}
 	}
 }

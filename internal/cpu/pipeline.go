@@ -105,6 +105,7 @@ type Pipeline struct {
 	pc         uint32 // UPC: the original-space cursor
 	inRand     bool
 	curLine    uint32
+	asTag      uint32 // per-tenant physical page tag (see phys); 0 = identity
 	tableSlots uint32
 	tableEnd   uint32 // TableBase + tableSlots*8, hoisted out of stepTail
 	itlb       *itlb
@@ -112,9 +113,13 @@ type Pipeline struct {
 
 	// reg is the lazily built live counter registry (see register.go);
 	// intervals accumulates the cumulative snapshots Config.SampleEvery
-	// asks for.
-	reg       *stats.Registry
-	intervals []stats.Snapshot
+	// asks for. nextSample is the next sampling edge, persistent across
+	// advanceTo slices so a scheduler preempting mid-window (multicore
+	// quanta) keeps every snapshot on an exact SampleEvery boundary; 0
+	// means not yet initialized.
+	reg        *stats.Registry
+	intervals  []stats.Snapshot
+	nextSample uint64
 
 	// pendingDerands counts auto-de-randomizing stack-bitmap loads performed
 	// by the current instruction (timing charged after Exec).
@@ -372,15 +377,25 @@ func (t *itlb) access(addr uint32) bool {
 	return true
 }
 
+// phys maps a process-virtual address onto the shared hierarchy's physical
+// address space: a page-granular per-tenant tag XORed in above the page
+// offset. Co-tenants of a cluster occupy distinct physical pages, so equal
+// virtual addresses from different processes never alias in a shared cache's
+// tags; within one page, locality is untouched. Solo pipelines and tenant 0
+// carry tag 0, making the mapping the identity there (byte-identical solo
+// timing).
+func (p *Pipeline) phys(addr uint32) uint32 { return addr ^ p.asTag }
+
 // fetchLine brings a new line into the byte queue and returns its fetch
-// latency. It also fires the next-line prefetcher and the iTLB.
+// latency. It also fires the next-line prefetcher and the iTLB. The iTLB is
+// process-private and virtually indexed; the cache sees physical lines.
 func (p *Pipeline) fetchLine(line uint32) int {
 	p.stats.FetchLines++
-	lat := p.hier.IL1.Access(line, false)
+	lat := p.hier.IL1.Access(p.phys(line), false)
 	if p.itlb.access(line) {
 		lat += p.cfg.PageWalkLatency
 	}
-	p.hier.IL1.Prefetch(line + uint32(p.cfg.Mem.IL1.LineSize))
+	p.hier.IL1.Prefetch(p.phys(line + uint32(p.cfg.Mem.IL1.LineSize)))
 	p.curLine = line
 	return lat
 }
@@ -448,7 +463,7 @@ func (p *Pipeline) drcLookup(kind lookupKind, key uint32, overlap int) (val uint
 		}
 	}
 	p.drc.stats.TableWalks++
-	walk := p.hier.L2.Access(p.drcWalkAddr(key), false)
+	walk := p.hier.L2.Access(p.phys(p.drcWalkAddr(key)), false)
 	if walk > overlap {
 		stall = uint64(walk - overlap)
 	}
@@ -456,6 +471,21 @@ func (p *Pipeline) drcLookup(kind lookupKind, key uint32, overlap int) (val uint
 		p.drc2.install(kind, key, val)
 	}
 	return val, ok, stall
+}
+
+// SwitchIn models a scheduler dispatching this pipeline onto a core another
+// process just used: process-private translation state (DRC hierarchy,
+// iTLB) is flushed and refills cold, and for per-process-key modes —
+// everything but the baseline, whose decode is address-space independent —
+// the decoded-block memoization is dropped too, since cached blocks encode
+// the previous process's randomized layout. The drop is timing-invariant
+// (the cache memoizes work, it never changes it), so differential and
+// replay equivalence hold across switches.
+func (p *Pipeline) SwitchIn() {
+	p.contextSwitch()
+	if p.cfg.Mode != ModeBaseline {
+		p.InvalidateBlocks()
+	}
 }
 
 // contextSwitch models a switch-out/switch-in pair: process-private
@@ -630,14 +660,14 @@ func (p *Pipeline) execStall(in *isa.Inst, out *emu.Outcome) uint64 {
 	switch out.MemKind {
 	case emu.MemLoad:
 		p.stats.Loads++
-		lat := p.hier.DL1.Access(out.MemAddr, false)
+		lat := p.hier.DL1.Access(p.phys(out.MemAddr), false)
 		if lat > p.cfg.Mem.DL1.Latency {
 			stall += uint64(lat - p.cfg.Mem.DL1.Latency)
 		}
 	case emu.MemStore:
 		p.stats.Stores++
 		// Stores retire through the write buffer: traffic, no stall.
-		p.hier.DL1.Access(out.MemAddr, true)
+		p.hier.DL1.Access(p.phys(out.MemAddr), true)
 	}
 	p.stats.MemStall += stall
 
@@ -937,23 +967,6 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 		maxInsts = emu.DefaultMaxSteps
 	}
 	next := p.stats.Instructions + cancelCheckEvery
-	// Interval sampling piggybacks on the same threshold pattern as the
-	// cancellation check: one uint64 compare per instruction when sampling
-	// is off, so the hot loop pays nothing for the spine.
-	sampleEvery := p.cfg.SampleEvery
-	nextSample := ^uint64(0)
-	if sampleEvery > 0 {
-		p.Registry() // build p.reg before the loop
-		nextSample = p.stats.Instructions + sampleEvery
-	}
-	// The block-cached fast path executes whole pre-decoded blocks per call,
-	// so every count-triggered event (cancellation check, sample edge,
-	// context-switch boundary) is folded into the per-call instruction limit
-	// and lands exactly where the per-instruction path would put it. Replayed,
-	// injected, and traced runs take the per-instruction Step path: replay
-	// substitutes recorded outcomes for fetch/decode, injection must observe
-	// every raw fetch, and the tracer reads live cumulative counters.
-	useBlocks := p.bb != nil && p.replay == nil
 	for p.stats.Instructions < maxInsts {
 		if p.stats.Instructions >= next {
 			next = p.stats.Instructions + cancelCheckEvery
@@ -961,19 +974,62 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 				return p.result(), err
 			}
 		}
+		target := next
+		if maxInsts < target {
+			target = maxInsts
+		}
+		running, err := p.advanceTo(target)
+		if err != nil {
+			return p.result(), err
+		}
+		if !running {
+			break
+		}
+	}
+	p.closeIntervals()
+	return p.result(), nil
+}
+
+// advanceTo executes until the committed-instruction counter reaches target,
+// the machine halts, or an error occurs. It is the re-enterable core of
+// RunContext and the unit of scheduling for multi-tenant clusters: a quantum
+// is one advanceTo call, and because the sampling edge (p.nextSample)
+// persists on the pipeline, a tenant preempted mid-window resumes with every
+// later snapshot still on an exact SampleEvery boundary.
+//
+// The block-cached fast path executes whole pre-decoded blocks per call,
+// so every count-triggered event (quantum end, sample edge, context-switch
+// boundary) is folded into the per-call instruction limit and lands exactly
+// where the per-instruction path would put it. Replayed, injected, and
+// traced runs take the per-instruction Step path: replay substitutes
+// recorded outcomes for fetch/decode, injection must observe every raw
+// fetch, and the tracer reads live cumulative counters.
+func (p *Pipeline) advanceTo(target uint64) (bool, error) {
+	// Interval sampling piggybacks on the same threshold pattern as the
+	// quantum bound: one uint64 compare per instruction when sampling is
+	// off, so the hot loop pays nothing for the spine.
+	sampleEvery := p.cfg.SampleEvery
+	if sampleEvery > 0 && p.nextSample == 0 {
+		p.Registry() // build p.reg before the loop
+		p.nextSample = p.stats.Instructions + sampleEvery
+	}
+	nextSample := ^uint64(0)
+	if sampleEvery > 0 {
+		nextSample = p.nextSample
+	}
+	useBlocks := p.bb != nil && p.replay == nil
+	for p.stats.Instructions < target {
 		if p.stats.Instructions >= nextSample {
 			p.intervals = append(p.intervals, p.reg.Snapshot())
 			nextSample = p.stats.Instructions + sampleEvery
+			p.nextSample = nextSample
 		}
 		var (
 			running bool
 			err     error
 		)
 		if useBlocks && p.inject == nil && p.tracer == nil {
-			limit := maxInsts
-			if next < limit {
-				limit = next
-			}
+			limit := target
 			if nextSample < limit {
 				limit = nextSample
 			}
@@ -986,21 +1042,23 @@ func (p *Pipeline) RunContext(ctx context.Context, maxInsts uint64) (Result, err
 		} else {
 			running, err = p.Step()
 		}
-		if err != nil {
-			return p.result(), err
-		}
-		if !running {
-			break
+		if err != nil || !running {
+			return running, err
 		}
 	}
-	if sampleEvery > 0 {
-		// Close the final (possibly partial) window unless the run ended
-		// exactly on the last sampled boundary.
-		if n := len(p.intervals); n == 0 || snapshotInsts(p.intervals[n-1]) < p.stats.Instructions {
-			p.intervals = append(p.intervals, p.reg.Snapshot())
-		}
+	return true, nil
+}
+
+// closeIntervals closes the final (possibly partial) sampling window unless
+// the run ended exactly on the last sampled boundary. Idempotent; called
+// once per finished (or cancelled) run.
+func (p *Pipeline) closeIntervals() {
+	if p.cfg.SampleEvery == 0 {
+		return
 	}
-	return p.result(), nil
+	if n := len(p.intervals); n == 0 || snapshotInsts(p.intervals[n-1]) < p.stats.Instructions {
+		p.intervals = append(p.intervals, p.Registry().Snapshot())
+	}
 }
 
 // snapshotInsts reads the committed-instruction count out of a snapshot.

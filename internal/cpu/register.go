@@ -120,14 +120,31 @@ func (r *Result) Registry() *stats.Registry {
 	return reg
 }
 
-// Registries returns one live registry per core, labelled core="0",
-// core="1", …: the per-core dimension of the spine. Shared levels (the
-// cluster's L2 and DRAM) appear in every core's registry and read the same
-// shared counters.
+// Register registers one core's scheduler counters under the sched.* names.
+func (s *SchedStats) Register(r *stats.Registry) {
+	sc := r.Scope("sched")
+	sc.Counter("quanta", "Time slices dispatched on this core.", &s.Quanta)
+	sc.Counter("switches", "Dispatches that changed tenants (switch-in cost charged).", &s.Switches)
+	sc.Counter("preemptions", "Quanta that expired with the tenant still runnable.", &s.Preemptions)
+	sc.Counter("block_drops", "Decoded-block cache invalidations on switch-in.", &s.BlockDrops)
+	sc.Counter("switched_in", "Instructions executed in post-switch (cold) quanta.", &s.SwitchedIn)
+	sc.Counter("tenants", "Tenant processes pinned to this core.", &s.TenantsBound)
+}
+
+// Registries returns one live registry per tenant, labelled with the core
+// the tenant is pinned to and its tenant index (core="0",tenant="1", …):
+// the per-tenant dimension of the spine. Core-shared state — the pinned
+// core's scheduler counters and the cluster's L2 and DRAM — appears in
+// every co-tenant's registry and reads the same shared counters, exactly
+// like the shared cache levels always have.
 func (cl *Cluster) Registries() []*stats.Registry {
-	out := make([]*stats.Registry, len(cl.Cores))
-	for i, p := range cl.Cores {
-		out[i] = p.register(stats.NewLabeled("core", strconv.Itoa(i)))
+	out := make([]*stats.Registry, len(cl.Tenants))
+	for i, p := range cl.Tenants {
+		c := cl.CoreOf(i)
+		reg := stats.NewLabeled("core", strconv.Itoa(c), "tenant", strconv.Itoa(i))
+		p.register(reg)
+		cl.stats[c].Register(reg)
+		out[i] = reg
 	}
 	return out
 }

@@ -51,11 +51,12 @@ func (co *Coordinator) Execute(ctx context.Context, kind server.JobKind, req ser
 		return nil, errors.New("fleet: no backends configured")
 	}
 	switch kind {
-	case server.JobRun:
-		// A single run is one indivisible cell: proxy it whole to one
-		// backend (retrying elsewhere on failure) and return the result
-		// bytes verbatim.
-		return co.runShard(ctx, kind, req, nil)
+	case server.JobRun, server.JobMulticore:
+		// A single run is one indivisible cell, and a multicore campaign's
+		// cells each co-run the whole tenant mix — neither shards by
+		// workload. Proxy the job whole to one backend (retrying elsewhere
+		// on failure) and return the result bytes verbatim.
+		return co.runShard(ctx, kind, req, progress)
 	case server.JobSweep, server.JobFaults, server.JobAttacks:
 		return co.executeSharded(ctx, kind, req, progress)
 	default:

@@ -79,6 +79,10 @@ func fleetRequests() map[server.JobKind]server.SimRequest {
 			Workloads: []string{"bzip2", "sjeng", "xalan"}, Mode: "all",
 			MaxLeaks: 4, AdvanceInsts: 500, Instructions: 5000,
 		},
+		server.JobMulticore: {
+			Workloads: []string{"bzip2", "sjeng"}, Mode: "all",
+			Cells: []string{"1c2t"}, Quantum: 1000, Instructions: 5000,
+		},
 	}
 }
 

@@ -201,6 +201,8 @@ func envelopePartial(body []byte) (bool, error) {
 		return env.Campaign.Partial, nil
 	case env.Attack != nil:
 		return env.Attack.Partial, nil
+	case env.Multicore != nil:
+		return env.Multicore.Partial, nil
 	default:
 		for _, r := range env.Run {
 			if r.Failed() {

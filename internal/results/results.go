@@ -41,7 +41,12 @@ import (
 //	    internal/attack: static chain building, JIT-ROP disclosure work
 //	    factors, and re-randomization racing). Purely additive: all prior
 //	    kinds are unchanged, and Unmarshal accepts 1..4.
-const SchemaVersion = 4
+//	5 — new envelope kind `multicore` (the multi-tenant interference
+//	    campaign, internal/multicore: cores × tenants × mode cells with
+//	    per-tenant rows, per-cell cluster totals, and scheduler switch
+//	    counters). Purely additive: all prior kinds are unchanged, and
+//	    Unmarshal accepts 1..5.
+const SchemaVersion = 5
 
 // minSchemaVersion is the oldest version Unmarshal still accepts; every
 // version in [minSchemaVersion, SchemaVersion] is additive-compatible.
@@ -69,11 +74,14 @@ const (
 	// KindAttack is an attack campaign's work-factor table (schema v4; see
 	// internal/attack).
 	KindAttack Kind = "attack"
+	// KindMulticore is a multi-tenant interference campaign's table (schema
+	// v5; see internal/multicore).
+	KindMulticore Kind = "multicore"
 )
 
 // Envelope is the single top-level object every producer emits. Exactly one
-// of Run, Sweep, Trace, Campaign, Gadget, Attack is populated, selected by
-// Kind.
+// of Run, Sweep, Trace, Campaign, Gadget, Attack, Multicore is populated,
+// selected by Kind.
 type Envelope struct {
 	SchemaVersion int           `json:"schema_version"`
 	Kind          Kind          `json:"kind"`
@@ -83,6 +91,7 @@ type Envelope struct {
 	Campaign      *Campaign     `json:"campaign,omitempty"`
 	Gadget        *GadgetReport `json:"gadget,omitempty"`
 	Attack        *Attack       `json:"attack,omitempty"`
+	Multicore     *Multicore    `json:"multicore,omitempty"`
 }
 
 // Run is one (workload, mode) simulation's complete output: the exact
@@ -347,6 +356,99 @@ func NewAttack(a Attack) Envelope {
 		}
 	}
 	return Envelope{SchemaVersion: SchemaVersion, Kind: KindAttack, Attack: &a}
+}
+
+// Multicore is one multi-tenant interference campaign's table (schema v5).
+// The header pins every input that shaped the campaign, so a consumer can
+// re-run it bit-identically; Rows come in the fixed (cell, mode, tenant)
+// order the campaign planner emits, one row per tenant process plus a solo
+// reference row per (workload instance, mode).
+type Multicore struct {
+	Seed     int64  `json:"seed"`
+	Scale    int    `json:"scale"`
+	Spread   int    `json:"spread"`
+	MaxInsts uint64 `json:"max_insts"` // per-tenant instruction cap
+	Quantum  uint64 `json:"quantum"`   // scheduler time slice, instructions
+	// Workloads is the tenant pool: tenant i of a cell runs workload
+	// instance i%len(Workloads), epoch i/len(Workloads).
+	Workloads []string `json:"workloads"`
+	Modes     []string `json:"modes"`
+	Cells     []string `json:"cells"` // cores×tenants grid, e.g. "2c4t"
+
+	Rows      []MulticoreRow         `json:"rows"`
+	Summaries []MulticoreModeSummary `json:"summaries"`
+	Totals    []MulticoreTotal       `json:"totals"` // one per (cell, mode), plan order
+	// Partial is set when any row failed or the campaign was cancelled
+	// mid-flight; finished rows keep their counters.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// MulticoreRow is one tenant process of one (cell, mode) cluster run. Solo
+// reference rows carry cell "solo" and leave the interference fields zero.
+type MulticoreRow struct {
+	Cell         string  `json:"cell"`
+	Cores        int     `json:"cores"`
+	Tenants      int     `json:"tenants"`
+	Mode         string  `json:"mode"`
+	Tenant       int     `json:"tenant"` // tenant index within the cell
+	Core         int     `json:"core"`   // core the tenant is pinned to
+	Workload     string  `json:"workload"`
+	Epoch        int     `json:"epoch"` // randomization epoch of this instance
+	Seed         int64   `json:"seed"`  // derived layout seed of this instance
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	// SoloIPC is this workload instance's IPC alone on one core under the
+	// same mode; Slowdown is SoloIPC/IPC — the co-run degradation factor
+	// (1.0 = no interference). Zero on the solo reference rows themselves.
+	SoloIPC     float64 `json:"solo_ipc,omitempty"`
+	Slowdown    float64 `json:"slowdown,omitempty"`
+	DRCFlushes  uint64  `json:"drc_flushes"`
+	DRCMissRate float64 `json:"drc_miss_rate"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// MulticoreTotal aggregates one (cell, mode) cluster run: makespan timing,
+// scheduler activity, and the shared-L2 view all tenants contend in.
+type MulticoreTotal struct {
+	Cell         string  `json:"cell"`
+	Mode         string  `json:"mode"`
+	Instructions uint64  `json:"instructions"` // sum over tenants
+	Cycles       uint64  `json:"cycles"`       // makespan: max core cycles
+	IPC          float64 `json:"ipc"`          // throughput: instructions/makespan
+	Quanta       uint64  `json:"quanta"`
+	Switches     uint64  `json:"switches"`
+	Preemptions  uint64  `json:"preemptions"`
+	BlockDrops   uint64  `json:"block_drops"`
+	DRCFlushes   uint64  `json:"drc_flushes"`
+	L2Accesses   uint64  `json:"l2_accesses"`
+	L2MissRate   float64 `json:"l2_miss_rate"`
+	MeanSlowdown float64 `json:"mean_slowdown,omitempty"` // geomean over tenants
+}
+
+// MulticoreModeSummary is one mode's aggregate over every co-run cell — the
+// ordering the paper's consolidation claim ranks: VCFR's co-run degradation
+// tracks baseline while naive ILR pays extra for its scattered footprint in
+// the shared L2.
+type MulticoreModeSummary struct {
+	Mode         string  `json:"mode"`
+	Rows         int     `json:"rows"` // co-run tenant rows aggregated
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MaxSlowdown  float64 `json:"max_slowdown"`
+	Switches     uint64  `json:"switches"`
+	DRCFlushes   uint64  `json:"drc_flushes"`
+}
+
+// NewMulticore wraps an interference table in a versioned envelope. Partial
+// is derived from the rows: any error row marks the campaign partial.
+func NewMulticore(m Multicore) Envelope {
+	for _, r := range m.Rows {
+		if r.Error != "" {
+			m.Partial = true
+			break
+		}
+	}
+	return Envelope{SchemaVersion: SchemaVersion, Kind: KindMulticore, Multicore: &m}
 }
 
 // Marshal is the one serialization path: two-space-indented JSON with a

@@ -151,12 +151,54 @@ func fixtures() map[string]Envelope {
 			NoEffect: 6, Leaks: 99, CodePages: 77, MapPages: 17, Rerandomizations: 22},
 	}
 
+	multicoreRep := Multicore{
+		Seed:      42,
+		Scale:     1,
+		Spread:    8,
+		MaxInsts:  25000,
+		Quantum:   10000,
+		Workloads: []string{"bzip2", "sjeng"},
+		Modes:     []string{"baseline", "naive-ilr", "vcfr"},
+		Cells:     []string{"2c2t", "1c2t"},
+		Rows: []MulticoreRow{
+			{Cell: "solo", Cores: 1, Tenants: 1, Mode: "vcfr", Tenant: 0, Core: 0,
+				Workload: "bzip2", Epoch: 0, Seed: 811, Instructions: 25000,
+				Cycles: 38000, IPC: 0.6579, DRCMissRate: 0.012},
+			{Cell: "2c2t", Cores: 2, Tenants: 2, Mode: "vcfr", Tenant: 0, Core: 0,
+				Workload: "bzip2", Epoch: 0, Seed: 811, Instructions: 25000,
+				Cycles: 39100, IPC: 0.6394, SoloIPC: 0.6579, Slowdown: 1.0289,
+				DRCMissRate: 0.013},
+			{Cell: "1c2t", Cores: 1, Tenants: 2, Mode: "vcfr", Tenant: 1, Core: 0,
+				Workload: "sjeng", Epoch: 0, Seed: 913, Instructions: 25000,
+				Cycles: 40800, IPC: 0.6127, SoloIPC: 0.648, Slowdown: 1.0576,
+				DRCFlushes: 4, DRCMissRate: 0.019},
+			{Cell: "1c2t", Cores: 1, Tenants: 2, Mode: "vcfr", Tenant: 0, Core: 0,
+				Workload: "bzip2", Epoch: 0, Seed: 811,
+				Error: "context deadline exceeded"},
+		},
+		Summaries: []MulticoreModeSummary{
+			{Mode: "baseline", Rows: 4, MeanSlowdown: 1.021, MaxSlowdown: 1.044, Switches: 8},
+			{Mode: "naive-ilr", Rows: 4, MeanSlowdown: 1.089, MaxSlowdown: 1.131, Switches: 8},
+			{Mode: "vcfr", Rows: 4, MeanSlowdown: 1.034, MaxSlowdown: 1.058,
+				Switches: 8, DRCFlushes: 8},
+		},
+		Totals: []MulticoreTotal{
+			{Cell: "2c2t", Mode: "vcfr", Instructions: 50000, Cycles: 39500,
+				IPC: 1.2658, Quanta: 6, L2Accesses: 2900, L2MissRate: 0.21,
+				MeanSlowdown: 1.0301},
+			{Cell: "1c2t", Mode: "vcfr", Instructions: 50000, Cycles: 81400,
+				IPC: 0.6143, Quanta: 6, Switches: 5, Preemptions: 4, BlockDrops: 5,
+				DRCFlushes: 5, L2Accesses: 3100, L2MissRate: 0.24, MeanSlowdown: 1.0511},
+		},
+	}
+
 	return map[string]Envelope{
-		"run":      NewRun(run, emulated),
-		"sweep":    NewSweep([]Run{run, failed}),
-		"campaign": NewCampaign(campaign),
-		"gadget":   NewGadget(gadgetRep),
-		"attack":   NewAttack(attackRep),
+		"run":       NewRun(run, emulated),
+		"sweep":     NewSweep([]Run{run, failed}),
+		"campaign":  NewCampaign(campaign),
+		"gadget":    NewGadget(gadgetRep),
+		"attack":    NewAttack(attackRep),
+		"multicore": NewMulticore(multicoreRep),
 		"trace": NewTrace(Trace{
 			Workload:     "h264ref",
 			Mode:         "vcfr",
@@ -251,6 +293,19 @@ func TestAttackPartial(t *testing.T) {
 	bad := NewAttack(Attack{Rows: []AttackRow{{Workload: "a"}, {Workload: "b", Error: "boom"}}})
 	if !bad.Attack.Partial {
 		t.Error("attack campaign with error row not marked partial")
+	}
+}
+
+// TestMulticorePartial locks the same derivation rule for multicore
+// campaigns.
+func TestMulticorePartial(t *testing.T) {
+	ok := NewMulticore(Multicore{Rows: []MulticoreRow{{Workload: "a"}}})
+	if ok.Multicore.Partial {
+		t.Error("clean multicore campaign marked partial")
+	}
+	bad := NewMulticore(Multicore{Rows: []MulticoreRow{{Workload: "a"}, {Workload: "b", Error: "boom"}}})
+	if !bad.Multicore.Partial {
+		t.Error("multicore campaign with error row not marked partial")
 	}
 }
 

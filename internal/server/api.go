@@ -14,19 +14,19 @@ import (
 // JobRequest is the body of POST /v1/jobs: the kind discriminator plus the
 // selected kind's parameters (the same fields the per-kind routes accept).
 type JobRequest struct {
-	// Kind selects the computation: run | sweep | faults | attacks.
+	// Kind selects the computation: run | sweep | faults | attacks | multicore.
 	Kind string `json:"kind"`
 	SimRequest
 }
 
 func parseKind(s string) (JobKind, error) {
 	switch k := JobKind(s); k {
-	case JobRun, JobSweep, JobFaults, JobAttacks:
+	case JobRun, JobSweep, JobFaults, JobAttacks, JobMulticore:
 		return k, nil
 	case "":
-		return "", fmt.Errorf(`job needs a "kind" (run, sweep, faults, or attacks)`)
+		return "", fmt.Errorf(`job needs a "kind" (run, sweep, faults, attacks, or multicore)`)
 	default:
-		return "", fmt.Errorf("unknown job kind %q (want run, sweep, faults, or attacks)", s)
+		return "", fmt.Errorf("unknown job kind %q (want run, sweep, faults, attacks, or multicore)", s)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"vcfr/internal/cpu"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
+	"vcfr/internal/multicore"
 	"vcfr/internal/results"
 	"vcfr/internal/workloads"
 )
@@ -36,6 +38,9 @@ const (
 	// JobAttacks is an adversary-in-the-loop attack campaign — the service
 	// twin of `attacksim -json` and `experiments -mode attacks`.
 	JobAttacks JobKind = "attacks"
+	// JobMulticore is a multi-tenant interference campaign — the service
+	// twin of `clustersim -json` and `experiments -mode multicore`.
+	JobMulticore JobKind = "multicore"
 )
 
 // JobState is a job's position in its lifecycle. Transitions are strictly
@@ -111,6 +116,14 @@ type SimRequest struct {
 	// AdvanceInsts is how many instructions the victim executes between leak
 	// ops. Default 2000. Only attacks jobs read it.
 	AdvanceInsts uint64 `json:"advance_insts,omitempty"`
+	// Cells restricts a multicore campaign to a cores×tenants grid subset
+	// ("2c4t" form, as clustersim -cells). Default: the canonical grid.
+	// Only multicore jobs read it.
+	Cells []string `json:"cells,omitempty"`
+	// Quantum is the multicore scheduler's time slice in committed
+	// instructions. Default 10000 (clustersim's default). Only multicore
+	// jobs read it.
+	Quantum uint64 `json:"quantum,omitempty"`
 	// TimeoutMS bounds the job's execution wall clock, refining the
 	// server's default job timeout. 0 = server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -122,9 +135,9 @@ type SimRequest struct {
 func (r *SimRequest) normalize(kind JobKind) error {
 	if r.Mode == "" {
 		r.Mode = "vcfr"
-		if kind == JobFaults || kind == JobAttacks {
-			// A campaign's point is the cross-mode comparison; default to
-			// all three architectures (faultsim's/attacksim's -mode default).
+		if kind == JobFaults || kind == JobAttacks || kind == JobMulticore {
+			// A campaign's point is the cross-mode comparison; default to all
+			// three architectures (the campaign CLIs' -mode default).
 			r.Mode = "all"
 		}
 	}
@@ -140,6 +153,11 @@ func (r *SimRequest) normalize(kind JobKind) error {
 		}
 		if r.Bits < 0 {
 			return fmt.Errorf("bits must be >= 0")
+		}
+	}
+	if kind == JobMulticore && len(r.Cells) > 0 {
+		if _, err := multicore.ParseCells(strings.Join(r.Cells, ",")); err != nil {
+			return err
 		}
 	}
 	if kind == JobAttacks {
@@ -281,6 +299,28 @@ func (r *SimRequest) attackConfig() attack.Config {
 		MaxLeaks:     r.MaxLeaks,
 		RerandEvery:  r.RerandEvery,
 		AdvanceInsts: r.AdvanceInsts,
+	}
+}
+
+// multicoreConfig maps the request onto a multicore campaign config. Call
+// only after normalize has filled the pointer fields. Like faultConfig, the
+// campaign runs the default machine configuration per mode, so the machine
+// tuning knobs do not apply here.
+func (r *SimRequest) multicoreConfig() multicore.Config {
+	modes, _ := multicore.ParseModes(r.Mode)
+	var cells []multicore.Cell
+	if len(r.Cells) > 0 {
+		cells, _ = multicore.ParseCells(strings.Join(r.Cells, ","))
+	}
+	return multicore.Config{
+		Workloads: r.Workloads,
+		Modes:     modes,
+		Cells:     cells,
+		Quantum:   r.Quantum,
+		Seed:      *r.Seed,
+		Scale:     *r.Scale,
+		Spread:    *r.Spread,
+		MaxInsts:  r.Instructions,
 	}
 }
 
@@ -618,6 +658,12 @@ func (s *Server) execute(ctx context.Context, j *Job) (results.Envelope, error) 
 			return results.Envelope{}, err
 		}
 		s.metrics.attackCampaignFinished(rep.Totals)
+		return rep.Envelope(), nil
+	case JobMulticore:
+		rep, err := multicore.RunCampaign(ctx, s.runner, j.Req.multicoreConfig(), j.setProgress)
+		if err != nil {
+			return results.Envelope{}, err
+		}
 		return rep.Envelope(), nil
 	default:
 		return results.Envelope{}, fmt.Errorf("unknown job kind %q", j.Kind)

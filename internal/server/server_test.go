@@ -15,6 +15,7 @@ import (
 	"vcfr/internal/cpu"
 	"vcfr/internal/fault"
 	"vcfr/internal/harness"
+	"vcfr/internal/multicore"
 	"vcfr/internal/results"
 	"vcfr/internal/trace"
 )
@@ -614,6 +615,67 @@ func TestAttacksEndpointLifecycle(t *testing.T) {
 	}
 	if resp, _ := post(t, s, "/v1/attacks", `{"leak_budget": -1}`); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("negative leak_budget accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestMulticoreEndpointLifecycle follows a multicore campaign submitted
+// through the unified jobs route from 202 through done and pins the
+// acceptance criterion for the service surface: the finished result must be
+// byte-identical to what multicore.RunCampaign emits for the same config
+// (which is what `clustersim -json` prints).
+func TestMulticoreEndpointLifecycle(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, body := post(t, s, "/v1/jobs",
+		`{"kind": "multicore", "workloads": ["bzip2"], "mode": "vcfr", "cells": ["1c2t"], "quantum": 1000, "instructions": 5000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("multicore: %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct{ ID string }
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	v := pollJob(t, s, accepted.ID)
+	if v.State != JobDone {
+		t.Fatalf("multicore job failed: %s", v.Error)
+	}
+	if v.Progress == nil || v.Progress.CellsDone != v.Progress.CellsTotal || v.Progress.CellsDone == 0 {
+		t.Errorf("final progress = %+v, want all units done", v.Progress)
+	}
+
+	// The CLI equivalent: clustersim -workloads bzip2 -mode vcfr -cells 1c2t
+	// -quantum 1000 -instructions 5000 (defaults: seed 42, spread 8).
+	rep, err := multicore.RunCampaign(context.Background(), harness.NewRunner(1), multicore.Config{
+		Workloads: []string{"bzip2"},
+		Modes:     []cpu.Mode{cpu.ModeVCFR},
+		Cells:     []multicore.Cell{{Cores: 1, Tenants: 2}},
+		Quantum:   1000,
+		MaxInsts:  5000,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := results.Marshal(rep.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultResp, resultBody := get(t, s, "/v1/jobs/"+accepted.ID+"/result")
+	if resultResp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: %d: %s", resultResp.StatusCode, resultBody)
+	}
+	if !bytes.Equal(resultBody, want) {
+		t.Errorf("service campaign differs from CLI bytes:\n--- service ---\n%.600s\n--- cli ---\n%.600s", resultBody, want)
+	}
+	if env, err := results.Unmarshal(v.Result); err != nil || env.Kind != results.KindMulticore {
+		t.Errorf("job view result: kind=%v err=%v, want multicore", env.Kind, err)
+	}
+
+	// Request validation rides the same vocabulary as the CLI flags.
+	if resp, _ := post(t, s, "/v1/jobs", `{"kind": "multicore", "cells": ["2x4"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cell spec accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, s, "/v1/jobs", `{"kind": "multicore", "workloads": ["doom"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload accepted: %d", resp.StatusCode)
 	}
 }
 

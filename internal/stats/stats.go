@@ -88,11 +88,17 @@ func New() *Registry {
 	return &Registry{index: make(map[string]int)}
 }
 
-// NewLabeled returns an empty registry whose every entry carries the label
-// pair key="value" — the per-core dimension multi-core clusters use.
-func NewLabeled(key, value string) *Registry {
+// NewLabeled returns an empty registry whose every entry carries the given
+// key="value" pairs (alternating key, value arguments) — the per-core and
+// per-tenant dimensions multi-core clusters use.
+func NewLabeled(pairs ...string) *Registry {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		panic("stats: NewLabeled needs alternating key, value pairs")
+	}
 	r := New()
-	r.labels = fmt.Sprintf("%s=%q", key, value)
+	for i := 0; i < len(pairs); i += 2 {
+		r.labels = joinLabels(r.labels, fmt.Sprintf("%s=%q", pairs[i], pairs[i+1]))
+	}
 	return r
 }
 

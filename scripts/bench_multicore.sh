@@ -1,0 +1,81 @@
+#!/bin/sh
+# Run the scheduled-cluster benchmark and archive its numbers — ns/op and
+# ns per simulated instruction per mode — as JSON in BENCH_multicore.json.
+# The multi-tenant path must stay close to the single-core hot loop: the
+# script fails if the vcfr cluster's ns/instr exceeds BENCH_MAX_RATIO
+# (default 1.5) times the single-core execute budget pinned in
+# BENCH_pipeline.json. That bound is the consolidation story's simulator-
+# side acceptance criterion: scheduling, switch costs, and the shared L2
+# must not wreck throughput.
+#
+# Usage: scripts/bench_multicore.sh [output.json]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_multicore.json}"
+PIPE="${BENCH_PIPELINE:-BENCH_pipeline.json}"
+RATIO="${BENCH_MAX_RATIO:-1.5}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+if [ ! -f "$PIPE" ]; then
+    echo "bench_multicore: no pipeline baseline $PIPE — record one with scripts/bench_pipeline.sh" >&2
+    exit 1
+fi
+
+echo "== bench (benchtime 3x, count $COUNT)"
+"$GO" test ./internal/cpu -run '^$' -bench 'BenchmarkCluster' \
+    -benchtime 3x -count "$COUNT" | tee "$TMP"
+
+# Benchmark lines look like:
+#   BenchmarkCluster/vcfr-8  3  10323653 ns/op  43.01 ns/instr
+# Average per mode over the -count repetitions, then hold vcfr against the
+# pinned single-core execute budget.
+awk -v out="$OUT" -v pipe="$PIPE" -v ratio="$RATIO" '
+FILENAME != pipe && /^BenchmarkCluster\// {
+    split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
+    v = parts[2]
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")    { nsop[v] += $i; n[v]++ }
+        if ($(i+1) == "ns/instr") { nsinstr[v] += $i }
+    }
+}
+FILENAME == pipe && /"execute"/ {
+    s = $0
+    sub(/.*"ns_per_instr": */, "", s); sub(/[^0-9.].*/, "", s)
+    execute = s + 0
+}
+END {
+    if (!n["baseline"] || !n["vcfr"]) {
+        print "bench_multicore: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    if (!(execute > 0)) {
+        print "bench_multicore: could not parse pinned execute ns_per_instr from " pipe > "/dev/stderr"
+        exit 1
+    }
+    for (v in n) fresh[v] = nsinstr[v] / n[v]
+    budget = execute * ratio
+    printf "== vcfr cluster %.4f ns/instr  single-core execute %.4f  (%.2fx, budget %.4f)\n",
+        fresh["vcfr"], execute, fresh["vcfr"] / execute, budget
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkCluster\",\n" >> out
+    printf "  \"config\": \"h264ref x4 tenants on 2 cores, 60000-instruction cap, benchtime 3x\",\n" >> out
+    printf "  \"count\": %d,\n", n["vcfr"] >> out
+    printf "  \"baseline\": {\"ns_per_op\": %.0f, \"ns_per_instr\": %.4f},\n",
+        nsop["baseline"] / n["baseline"], fresh["baseline"] >> out
+    printf "  \"vcfr\": {\"ns_per_op\": %.0f, \"ns_per_instr\": %.4f},\n",
+        nsop["vcfr"] / n["vcfr"], fresh["vcfr"] >> out
+    printf "  \"vcfr_vs_pipeline_execute\": %.4f\n", fresh["vcfr"] / execute >> out
+    printf "}\n" >> out
+    if (fresh["vcfr"] > budget) {
+        printf "bench_multicore: FAIL: vcfr cluster ns/instr %.4f exceeds %.1fx the pinned single-core execute budget %.4f\n",
+            fresh["vcfr"], ratio, execute > "/dev/stderr"
+        exit 1
+    }
+}
+' "$PIPE" "$TMP"
+
+echo "== wrote $OUT"
+cat "$OUT"

@@ -2,9 +2,10 @@
 # Smoke test for vcfrd: boot the service, hit every endpoint once, prove the
 # simulate response is byte-identical to vcfrsim -stats-json, prove a
 # timing-only repeat is served from the trace cache, exercise the unified
-# /v1/jobs API and its deprecated aliases, boot a 1-coordinator + 2-worker
-# fleet and prove a sharded fault campaign merges byte-identically to
-# faultsim -json, and prove SIGTERM drains cleanly. Exits non-zero on the
+# /v1/jobs API and its deprecated aliases, prove a kind=multicore job's
+# envelope is byte-identical to clustersim -json, boot a 1-coordinator +
+# 2-worker fleet and prove a sharded fault campaign merges byte-identically
+# to faultsim -json, and prove SIGTERM drains cleanly. Exits non-zero on the
 # first failure.
 set -eu
 
@@ -92,6 +93,16 @@ curl -fsS "http://$ADDR/v1/jobs?state=done&limit=1" | grep -q '"jobs"'
 
 echo "== workloads catalog"
 curl -fsS "http://$ADDR/v1/workloads" | grep -q '"name"'
+
+echo "== multicore campaign via POST /v1/jobs is byte-identical to clustersim -json"
+MREQ='{"kind": "multicore", "workloads": ["bzip2", "sjeng"], "mode": "vcfr", "cells": ["1c2t"], "quantum": 2000, "instructions": 10000}'
+MJOB="$(curl -fsS -d "$MREQ" "http://$ADDR/v1/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$MJOB" ] || { echo "/v1/jobs returned no multicore job id"; exit 1; }
+poll_job "$ADDR" "$MJOB"
+curl -fsS "http://$ADDR/v1/jobs/$MJOB/result" >"$TMP/multicore.json"
+"$GO" run ./cmd/clustersim -workloads bzip2,sjeng -mode vcfr -cells 1c2t \
+    -quantum 2000 -instructions 10000 -json >"$TMP/multicore-cli.json"
+cmp "$TMP/multicore.json" "$TMP/multicore-cli.json"
 
 echo "== fleet: 2 workers + 1 coordinator, sharded campaign merges byte-identically"
 W1="$(start_vcfrd worker1)"
