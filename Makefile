@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack bench-service bench-multicore experiments results examples vet fmt fmtcheck cover race check trace serve serve-fleet serve-smoke faults fault-smoke attacks attack-smoke multicore
+.PHONY: all build test test-short bench bench-pipeline bench-pipeline-record bench-check bench-fault bench-attack bench-service bench-multicore bench-realbin experiments results examples vet fmt fmtcheck cover race check trace serve serve-fleet serve-smoke faults fault-smoke attacks attack-smoke multicore realbin
 
 all: build test
 
@@ -26,8 +26,18 @@ test-short:
 race:
 	$(GO) test -race ./internal/harness ./internal/cpu ./internal/emu ./internal/trace ./internal/results ./internal/server ./internal/fault ./internal/attack ./internal/multicore ./internal/fleet ./internal/artifact
 
-# The full pre-commit gate.
-check: build vet fmtcheck test race
+# The full pre-commit gate. `test` runs every fuzz corpus as seeds
+# (including the ELF-parser and RV64-decoder corpora under
+# internal/realbin/testdata/fuzz); `realbin` additionally verifies the
+# checked-in fixture binaries against their generator and SHA-256 pins.
+check: build vet fmtcheck test race realbin
+
+# The real-binary front end's own wall: verify the checked-in ELF fixtures
+# (generator-identical + pin-clean), then run the parser/decoder/lifter
+# tests and fuzz seeds.
+realbin:
+	./scripts/realbin_fixtures.sh
+	$(GO) test ./internal/realbin/...
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +89,11 @@ bench-service:
 # and held within 1.5x of the single-core execute budget.
 bench-multicore:
 	./scripts/bench_multicore.sh
+
+# Real-binary front-end throughput (lift instrs/s, simulate ns/instr on
+# lifted text), archived as BENCH_realbin.json. Non-gating.
+bench-realbin:
+	./scripts/bench_realbin.sh
 
 # Every table and figure, as readable text tables.
 experiments:

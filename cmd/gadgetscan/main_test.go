@@ -16,51 +16,57 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestScanEnvelopeGolden pins the -json output byte for byte: the scanner
 // and the randomizer are deterministic per seed, so the envelope for a
-// built-in workload is a fixed document. Regenerate with -update after a
+// built-in workload is a fixed document. elf-dispatch exercises the same
+// pin over lifted real-binary text. Regenerate with -update after a
 // deliberate scanner or schema change.
 func TestScanEnvelopeGolden(t *testing.T) {
-	w, err := workloads.ByName("xalan", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	env, err := scanEnvelope(w.Img, gadget.DefaultMaxInsts, true, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := results.Marshal(env)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join("testdata", "xalan.golden.json")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("gadget envelope drifted from %s:\n--- got ---\n%s", path, got)
-	}
+	for _, name := range []string{"xalan", "elf-dispatch"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := scanEnvelope(w.Img, gadget.DefaultMaxInsts, true, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := results.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("gadget envelope drifted from %s:\n--- got ---\n%s", path, got)
+			}
 
-	// Sanity beyond the bytes: the envelope round-trips under the pinned
-	// schema and the randomized section reports a strictly smaller pool.
-	env2, err := results.Unmarshal(got)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g := env2.Gadget
-	if g == nil || g.Randomized == nil {
-		t.Fatal("envelope missing gadget report or randomized section")
-	}
-	if g.Randomized.Survivors >= g.Total || g.Randomized.RemovalRate <= 0 {
-		t.Errorf("randomization removed nothing: %d of %d survive, removal %.3f",
-			g.Randomized.Survivors, g.Total, g.Randomized.RemovalRate)
+			// Sanity beyond the bytes: the envelope round-trips under the
+			// pinned schema and the randomized section reports a strictly
+			// smaller pool.
+			env2, err := results.Unmarshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := env2.Gadget
+			if g == nil || g.Randomized == nil {
+				t.Fatal("envelope missing gadget report or randomized section")
+			}
+			if g.Randomized.Survivors >= g.Total || g.Randomized.RemovalRate <= 0 {
+				t.Errorf("randomization removed nothing: %d of %d survive, removal %.3f",
+					g.Randomized.Survivors, g.Total, g.Randomized.RemovalRate)
+			}
+		})
 	}
 }

@@ -6,6 +6,8 @@
 //	vcfrsim -workload h264ref -mode vcfr -drc 128
 //	vcfrsim -mode naive -instructions 2000000 app.s
 //	vcfrsim -workload xalan -mode all
+//	vcfrsim -workload elf-fib -mode all
+//	vcfrsim -elf ./prog.elf -mode vcfr
 //	vcfrsim -workload h264ref -mode vcfr -record h264.vxt
 //	vcfrsim -workload h264ref -replay h264.vxt -drc 64
 //	vcfrsim -workload lbm -mode all -stats-json
@@ -51,6 +53,7 @@ func main() {
 func run() error {
 	var (
 		workload = flag.String("workload", "", "built-in workload name (see -list)")
+		elfPath  = flag.String("elf", "", "run a RV64 ELF binary, lifted through the real-binary front end")
 		bundle   = flag.String("bundle", "", "run a randomization bundle produced by ilrrand")
 		list     = flag.Bool("list", false, "list built-in workloads")
 		mode     = flag.String("mode", "vcfr", "baseline | naive | vcfr | all")
@@ -71,12 +74,15 @@ func run() error {
 	flag.Parse()
 
 	if *list {
+		// The name/source/desc columns mirror the fields of GET /v1/workloads,
+		// so the CLI listing and the service listing describe the same registry
+		// the same way.
 		for _, n := range workloads.Names() {
 			w, err := workloads.ByName(n, 1)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-12s %s\n", n, w.Desc)
+			fmt.Printf("%-12s %-10s %s\n", n, w.Source, w.Desc)
 		}
 		return nil
 	}
@@ -146,6 +152,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	case *elfPath != "":
+		data, err := os.ReadFile(*elfPath)
+		if err != nil {
+			return err
+		}
+		name = strings.TrimSuffix(filepath.Base(*elfPath), filepath.Ext(*elfPath))
+		w, err := workloads.FromELF(data, name)
+		if err != nil {
+			return err
+		}
+		sys, err = core.NewSystem(w.Img, core.Options{Seed: *seed, Spread: *spread})
+		if err != nil {
+			return err
+		}
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -157,7 +177,7 @@ func run() error {
 			return err
 		}
 	default:
-		return fmt.Errorf("need -workload or a source file; see -h")
+		return fmt.Errorf("need -workload, -elf, or a source file; see -h")
 	}
 
 	// With -stats-json, every remaining path accumulates envelope rows and

@@ -1,8 +1,9 @@
-package cfg
+package cfg_test
 
 import (
 	"testing"
 
+	"vcfr/internal/cfg"
 	"vcfr/internal/workloads"
 )
 
@@ -12,16 +13,16 @@ import (
 // start, predecessors mirror successors, and control transfers only ever end
 // blocks.
 func TestGraphStructuralInvariants(t *testing.T) {
-	var graphs []*Graph
+	var graphs []*cfg.Graph
 	for seed := uint32(0); seed < 12; seed++ {
-		g, err := Build(workloads.Random(seed).Img)
+		g, err := cfg.Build(workloads.Random(seed).Img)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		graphs = append(graphs, g)
 	}
 	for _, name := range workloads.SpecNames {
-		g, err := Build(workloads.MustByName(name, 1).Img)
+		g, err := cfg.Build(workloads.MustByName(name, 1).Img)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -22,7 +22,10 @@ import (
 // sample edges fall mid-block and the final interval is a partial window.
 func TestBlockCacheLockstepEnvelopes(t *testing.T) {
 	modes := []cpu.Mode{cpu.ModeBaseline, cpu.ModeNaiveILR, cpu.ModeVCFR}
-	for _, name := range workloads.SpecNames {
+	// The ELF fixtures join the wall: lifted real-binary text must hold the
+	// same cache-vs-direct equivalence as the synthetic analogs.
+	names := append(append([]string{}, workloads.SpecNames...), workloads.ELFNames()...)
+	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -6,16 +6,18 @@ import (
 	"testing"
 
 	"vcfr/internal/results"
+	"vcfr/internal/workloads"
 )
 
 // TestStatsSweepWorkerDeterminism pins scheduling-independence across the
-// block-cached execution path: a full 11-workload stats sweep must
-// serialize byte-identically whether cells run sequentially on one worker
-// or concurrently on eight. Each cell's pipeline (and its block cache) is
-// private, so any divergence means shared mutable state leaked between
-// concurrently executing cells.
+// block-cached execution path: a stats sweep over all 11 analogs plus the
+// lifted real-binary fixtures must serialize byte-identically whether cells
+// run sequentially on one worker or concurrently on eight. Each cell's
+// pipeline (and its block cache) is private, so any divergence means shared
+// mutable state leaked between concurrently executing cells.
 func TestStatsSweepWorkerDeterminism(t *testing.T) {
-	cfg := Config{MaxInsts: 30_000, Scale: 1, Seed: 42, Spread: 8}
+	cfg := Config{MaxInsts: 30_000, Scale: 1, Seed: 42, Spread: 8,
+		Workloads: append(append([]string{}, workloads.SpecNames...), workloads.ELFNames()...)}
 	run := func(workers int) []byte {
 		rows, err := StatsSweep(context.Background(), NewRunner(workers), cfg)
 		if err != nil {

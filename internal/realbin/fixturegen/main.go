@@ -1,0 +1,35 @@
+// Command fixturegen deterministically regenerates the RV64 ELF fixture
+// binaries under internal/realbin/fixtures. The programs themselves live in
+// internal/realbin/rvasm (a tiny RV64I+M assembler plus an ELF64 writer):
+// the container that grows this repo has no riscv64 cross-compiler, so the
+// checked-in fixtures are built by this tool from the same programs the C
+// sources under fixtures/src document. With a real toolchain present,
+// scripts/realbin_fixtures.sh can rebuild from C instead (a golden-repinning
+// developer operation).
+//
+// Output is byte-deterministic: same source, same bytes, stable SHA256s.
+//
+//	go run ./internal/realbin/fixturegen -out internal/realbin/fixtures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcfr/internal/realbin/rvasm"
+)
+
+func main() {
+	out := flag.String("out", "internal/realbin/fixtures", "output directory")
+	flag.Parse()
+	for _, fx := range rvasm.Fixtures() {
+		path := filepath.Join(*out, fx.Name)
+		if err := os.WriteFile(path, fx.Data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fixturegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(fx.Data))
+	}
+}

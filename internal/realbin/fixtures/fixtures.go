@@ -1,0 +1,56 @@
+// Package fixtures embeds the checked-in RV64 ELF fixture binaries so the
+// rest of the tree (workloads registry, tests, benchmarks, the server) can
+// load them without filesystem paths. The binaries are byte-deterministic
+// outputs of internal/realbin/fixturegen; scripts/realbin_fixtures.sh
+// rebuilds or verifies them against SHA256SUMS.
+package fixtures
+
+import _ "embed"
+
+//go:embed fib.elf
+var Fib []byte
+
+//go:embed crc32.elf
+var CRC32 []byte
+
+//go:embed dispatch.elf
+var Dispatch []byte
+
+// Fixture is one embedded fixture binary.
+type Fixture struct {
+	Name string // workload-style short name
+	File string // file name under internal/realbin/fixtures
+	Desc string
+	Data []byte
+}
+
+// All returns the fixture set in its canonical order.
+func All() []Fixture {
+	return []Fixture{
+		{
+			Name: "elf-fib", File: "fib.elf",
+			Desc: "recursive fib(12): deep call/return chains (return-address channel)",
+			Data: Fib,
+		},
+		{
+			Name: "elf-crc32", File: "crc32.elf",
+			Desc: "bit-serial CRC-32 over a rodata message (la/lbu/W-shifts)",
+			Data: CRC32,
+		},
+		{
+			Name: "elf-dispatch", File: "dispatch.elf",
+			Desc: "function-pointer table dispatch: landing pads + scan-only failover",
+			Data: Dispatch,
+		},
+	}
+}
+
+// ByName returns the named fixture, or false.
+func ByName(name string) (Fixture, bool) {
+	for _, f := range All() {
+		if f.Name == name || f.File == name {
+			return f, true
+		}
+	}
+	return Fixture{}, false
+}

@@ -1,0 +1,21 @@
+/* crc32.c: bit-serial IEEE CRC-32 over a rodata message — exercises la
+ * (auipc+addi), byte loads, W-form shifts, and lui+addi constant building.
+ * Prints the checksum as a signed 32-bit decimal.
+ *
+ * The checked-in crc32.elf is the fixturegen-assembled equivalent of this
+ * program. See vcfr_rt.h for build flags.
+ */
+#include "vcfr_rt.h"
+
+static const char msg[] =
+    "hardware supported instruction address space randomization";
+
+void _start(void) {
+  unsigned int crc = 0xffffffffu;
+  for (const char *p = msg; *p; p++) {
+    crc ^= (unsigned char)*p;
+    for (int i = 0; i < 8; i++)
+      crc = (crc >> 1) ^ (crc & 1 ? 0xedb88320u : 0);
+  }
+  vcfr_print_result((int)~crc);
+}

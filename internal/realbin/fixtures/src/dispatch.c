@@ -1,0 +1,30 @@
+/* dispatch.c: a writable function-pointer table driving indirect calls —
+ * the CFG-recovery stress case. Four handlers open with `auipc x0` landing
+ * pads (the Zicfilp lpad / ENDBR analog, ground truth for the rewriter);
+ * the fifth is static, unsymboled, and pad-less, so its table slot can only
+ * be found by the byte scan and exercises the scan-only failover path.
+ *
+ * The checked-in dispatch.elf is the fixturegen-assembled equivalent of
+ * this program (the landing pads are emitted explicitly there; a real
+ * Zicfilp toolchain would emit them with -fcf-protection). See vcfr_rt.h
+ * for build flags.
+ */
+#include "vcfr_rt.h"
+
+#define LPAD __asm__ volatile("auipc x0, 0")
+
+long op_add(long a, long b) { LPAD; return a + b; }
+long op_sub(long a, long b) { LPAD; return a - b; }
+long op_mul(long a, long b) { LPAD; return a * b; }
+long op_xor(long a, long b) { LPAD; return a ^ b; }
+/* no symbol in the fixture, no landing pad: scan-only failover */
+static long op_secret(long a, long b) { return a + 2 * b; }
+
+long (*table[5])(long, long) = {op_add, op_sub, op_mul, op_xor, op_secret};
+
+void _start(void) {
+  long acc = 0;
+  for (long i = 0; i < 16; i++)
+    acc = table[i % 5](acc, 3 * i + 1);
+  vcfr_print_result(acc);
+}

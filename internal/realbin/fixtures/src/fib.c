@@ -1,0 +1,17 @@
+/* fib.c: deep recursive call/return chains — exercises the return-address
+ * channel VCFR randomizes. Prints fib(12) = 144.
+ *
+ * The checked-in fib.elf is the fixturegen-assembled equivalent of this
+ * program (same algorithm, same runtime convention, hand-scheduled
+ * registers); rebuilding from this source with a riscv64 toolchain is a
+ * golden-repinning operation. See vcfr_rt.h for build flags.
+ */
+#include "vcfr_rt.h"
+
+static long fib(long n) {
+  if (n < 2)
+    return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+void _start(void) { vcfr_print_result(fib(12)); }

@@ -1,0 +1,40 @@
+/* vcfr_rt.h: the freestanding runtime convention the fixture binaries use.
+ *
+ * The VX machine exposes four syscalls; the lift recognizes `ecall` with a
+ * statically resolved a7 and maps these numbers onto them. 93 is the
+ * standard RISC-V Linux exit number; the I/O calls use private numbers
+ * small enough for `li a7, n` to stay a single addi.
+ *
+ * Build (golden repinning, requires a riscv64 cross toolchain):
+ *   riscv64-linux-gnu-gcc -nostdlib -static -march=rv64im -mabi=lp64 \
+ *     -mcmodel=medany -fno-builtin -O1 -o fib.elf fib.c
+ * See scripts/realbin_fixtures.sh. Without a toolchain the checked-in
+ * binaries are regenerated bit-exactly by internal/realbin/fixturegen.
+ */
+#ifndef VCFR_RT_H
+#define VCFR_RT_H
+
+#define SYS_EXIT 93
+#define SYS_PUTCHAR 1001
+#define SYS_GETCHAR 1002
+#define SYS_WRITEINT 1003
+
+static inline long vcfr_ecall1(long num, long arg) {
+  register long a0 __asm__("a0") = arg;
+  register long a7 __asm__("a7") = num;
+  __asm__ volatile("ecall" : "+r"(a0) : "r"(a7) : "memory");
+  return a0;
+}
+
+static inline void vcfr_exit(long code) { vcfr_ecall1(SYS_EXIT, code); }
+static inline void vcfr_putchar(long c) { vcfr_ecall1(SYS_PUTCHAR, c); }
+static inline long vcfr_getchar(void) { return vcfr_ecall1(SYS_GETCHAR, 0); }
+static inline void vcfr_writeint(long v) { vcfr_ecall1(SYS_WRITEINT, v); }
+
+static inline void vcfr_print_result(long v) {
+  vcfr_writeint(v);
+  vcfr_putchar('\n');
+  vcfr_exit(0);
+}
+
+#endif /* VCFR_RT_H */

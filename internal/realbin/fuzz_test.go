@@ -1,0 +1,59 @@
+package realbin
+
+import (
+	"testing"
+
+	"vcfr/internal/realbin/fixtures"
+	"vcfr/internal/realbin/rvasm"
+)
+
+// FuzzELFParse drives the whole front end — parser plus lifter — with
+// arbitrary bytes. The contract under test: malformed input must come back
+// as an error (*ParseError, *DecodeError, *RefuseError), never a panic, and
+// any input that does lift must produce an image that validates.
+//
+// Seeds: the real fixtures (so mutations explore the accepted format) plus
+// the checked-in corpus under testdata/fuzz/FuzzELFParse.
+func FuzzELFParse(f *testing.F) {
+	for _, fx := range fixtures.All() {
+		f.Add(fx.Data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("\x7fELF"))
+	f.Add(fixtures.Fib[:64])
+	mangled := append([]byte(nil), fixtures.Dispatch...)
+	mangled[24] = 0xff // entry low byte
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lifted, err := Load(data, "fuzz")
+		if err != nil {
+			return
+		}
+		if err := lifted.Img.Validate(); err != nil {
+			t.Fatalf("lifted image fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzRV64Decode checks the decoder never panics and that whatever decodes
+// also formats without panicking.
+func FuzzRV64Decode(f *testing.F) {
+	f.Add(uint32(0), uint64(0))
+	f.Add(uint32(0x73), uint64(0x10000)) // ecall
+	f.Add(rvasm.EncI(0x13, 0, 10, 0, -42), uint64(4))
+	f.Add(rvasm.EncJ(0x6f, 1, -2048), uint64(0x10000))
+	f.Add(rvasm.EncB(0x63, 4, 10, 5, 64), uint64(0x10000))
+	f.Add(uint32(0xffffffff), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, w uint32, addr uint64) {
+		in, err := DecodeRV64(w, addr)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty decode error")
+			}
+			return
+		}
+		if in.String() == "" {
+			t.Fatal("empty formatting")
+		}
+	})
+}

@@ -1,0 +1,343 @@
+// RV64 instruction decoding: the fixed 32-bit base encoding of RV64I plus
+// the M-extension multiply/divide group — the subset the lifter accepts.
+//
+// The decoder is deliberately strict. Anything outside the supported subset
+// (compressed 16-bit encodings, floating point, atomics, CSR accesses)
+// decodes to an error carrying the raw word and the reason, so the lifter
+// can refuse a function with a precise diagnostic instead of silently
+// mis-lifting it. This mirrors the soundness posture of CET-guided
+// disassembly: when the front end cannot prove what an instruction is, it
+// must say so, not guess.
+package realbin
+
+import "fmt"
+
+// RVReg is an RV64 integer register x0-x31.
+type RVReg uint8
+
+// ABI register names, used in diagnostics.
+var rvRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// Architectural registers the lifter treats specially.
+const (
+	rvZero RVReg = 0  // x0: hardwired zero
+	rvRA   RVReg = 1  // x1: return address
+	rvSP   RVReg = 2  // x2: stack pointer
+	rvA0   RVReg = 10 // x10: first argument / return value
+	rvA7   RVReg = 17 // x17: syscall number
+)
+
+// String returns the ABI name of the register.
+func (r RVReg) String() string {
+	if int(r) < len(rvRegNames) {
+		return rvRegNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// RVOp identifies one supported RV64 operation.
+type RVOp uint8
+
+// Supported RV64I + M operations. The zero value is invalid.
+const (
+	rvInvalid RVOp = iota
+
+	rvLUI
+	rvAUIPC
+	rvJAL
+	rvJALR
+
+	rvBEQ
+	rvBNE
+	rvBLT
+	rvBGE
+	rvBLTU
+	rvBGEU
+
+	rvLB
+	rvLBU
+	rvLW
+	rvLWU
+	rvLD
+
+	rvSB
+	rvSW
+	rvSD
+
+	rvADDI
+	rvSLTI
+	rvSLTIU
+	rvXORI
+	rvORI
+	rvANDI
+	rvSLLI
+	rvSRLI
+	rvSRAI
+
+	rvADD
+	rvSUB
+	rvSLL
+	rvSLT
+	rvSLTU
+	rvXOR
+	rvSRL
+	rvSRA
+	rvOR
+	rvAND
+
+	rvMUL
+	rvDIV
+	rvREM
+
+	rvFENCE
+	rvECALL
+	rvEBREAK
+
+	rvNumOps
+)
+
+var rvOpNames = [rvNumOps]string{
+	rvLUI: "lui", rvAUIPC: "auipc", rvJAL: "jal", rvJALR: "jalr",
+	rvBEQ: "beq", rvBNE: "bne", rvBLT: "blt", rvBGE: "bge",
+	rvBLTU: "bltu", rvBGEU: "bgeu",
+	rvLB: "lb", rvLBU: "lbu", rvLW: "lw", rvLWU: "lwu", rvLD: "ld",
+	rvSB: "sb", rvSW: "sw", rvSD: "sd",
+	rvADDI: "addi", rvSLTI: "slti", rvSLTIU: "sltiu", rvXORI: "xori",
+	rvORI: "ori", rvANDI: "andi", rvSLLI: "slli", rvSRLI: "srli", rvSRAI: "srai",
+	rvADD: "add", rvSUB: "sub", rvSLL: "sll", rvSLT: "slt", rvSLTU: "sltu",
+	rvXOR: "xor", rvSRL: "srl", rvSRA: "sra", rvOR: "or", rvAND: "and",
+	rvMUL: "mul", rvDIV: "div", rvREM: "rem",
+	rvFENCE: "fence", rvECALL: "ecall", rvEBREAK: "ebreak",
+}
+
+// String returns the mnemonic.
+func (op RVOp) String() string {
+	if op > rvInvalid && op < rvNumOps {
+		return rvOpNames[op]
+	}
+	return fmt.Sprintf("rvop(%d)", uint8(op))
+}
+
+// RVInst is one decoded RV64 instruction. Word variants (addw, slliw, ...)
+// decode to their base op: VX registers are 32-bit, so on the lifted machine
+// the W forms and the 64-bit forms coincide.
+type RVInst struct {
+	Op   RVOp
+	Rd   RVReg
+	Rs1  RVReg
+	Rs2  RVReg
+	Imm  int64  // sign-extended immediate (branch/jump offsets included)
+	Addr uint64 // virtual address the instruction was decoded from
+	Raw  uint32 // original encoding, for diagnostics
+	Word bool   // true for *W variants (32-bit result semantics)
+}
+
+// String renders the instruction for diagnostics.
+func (in RVInst) String() string {
+	suffix := ""
+	if in.Word {
+		suffix = "w"
+	}
+	switch in.Op {
+	case rvLUI, rvAUIPC:
+		return fmt.Sprintf("%s %s, %#x", in.Op, in.Rd, uint64(in.Imm)>>12&0xfffff)
+	case rvJAL:
+		return fmt.Sprintf("jal %s, %#x", in.Rd, in.Addr+uint64(in.Imm))
+	case rvJALR:
+		return fmt.Sprintf("jalr %s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+	case rvBEQ, rvBNE, rvBLT, rvBGE, rvBLTU, rvBGEU:
+		return fmt.Sprintf("%s %s, %s, %#x", in.Op, in.Rs1, in.Rs2, in.Addr+uint64(in.Imm))
+	case rvLB, rvLBU, rvLW, rvLWU, rvLD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case rvSB, rvSW, rvSD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case rvADDI, rvSLTI, rvSLTIU, rvXORI, rvORI, rvANDI, rvSLLI, rvSRLI, rvSRAI:
+		return fmt.Sprintf("%s%s %s, %s, %d", in.Op, suffix, in.Rd, in.Rs1, in.Imm)
+	case rvADD, rvSUB, rvSLL, rvSLT, rvSLTU, rvXOR, rvSRL, rvSRA, rvOR, rvAND,
+		rvMUL, rvDIV, rvREM:
+		return fmt.Sprintf("%s%s %s, %s, %s", in.Op, suffix, in.Rd, in.Rs1, in.Rs2)
+	case rvFENCE, rvECALL, rvEBREAK:
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("rv(%#08x)", in.Raw)
+	}
+}
+
+// DecodeError reports an RV64 word the decoder does not accept.
+type DecodeError struct {
+	Addr   uint64
+	Raw    uint32
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("realbin: undecodable instruction %#08x at %#x: %s", e.Raw, e.Addr, e.Reason)
+}
+
+func decErr(addr uint64, raw uint32, format string, args ...any) error {
+	return &DecodeError{Addr: addr, Raw: raw, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Immediate extraction helpers (RISC-V unprivileged spec, Sec. 2.3).
+
+func immI(w uint32) int64 { return int64(int32(w) >> 20) }
+
+func immS(w uint32) int64 {
+	return int64(int32(w)>>25<<5) | int64(w>>7&0x1f)
+}
+
+func immB(w uint32) int64 {
+	return int64(int32(w)>>31<<12) | int64(w>>7&1)<<11 | int64(w>>25&0x3f)<<5 | int64(w>>8&0xf)<<1
+}
+
+func immU(w uint32) int64 { return int64(int32(w &^ 0xfff)) }
+
+func immJ(w uint32) int64 {
+	return int64(int32(w)>>31<<20) | int64(w>>12&0xff)<<12 | int64(w>>20&1)<<11 | int64(w>>21&0x3ff)<<1
+}
+
+// DecodeRV64 decodes the 32-bit word w fetched from addr. Compressed
+// encodings and instructions outside the supported RV64I+M subset return a
+// *DecodeError; the decoder never panics, whatever the input.
+func DecodeRV64(w uint32, addr uint64) (RVInst, error) {
+	if w&3 != 3 {
+		return RVInst{}, decErr(addr, w, "compressed (C-extension) encoding; rebuild with -march=rv64i")
+	}
+	in := RVInst{
+		Rd:   RVReg(w >> 7 & 0x1f),
+		Rs1:  RVReg(w >> 15 & 0x1f),
+		Rs2:  RVReg(w >> 20 & 0x1f),
+		Addr: addr,
+		Raw:  w,
+	}
+	funct3 := w >> 12 & 7
+	funct7 := w >> 25
+
+	switch w & 0x7f {
+	case 0x37: // LUI
+		in.Op, in.Imm = rvLUI, immU(w)
+	case 0x17: // AUIPC
+		in.Op, in.Imm = rvAUIPC, immU(w)
+	case 0x6f: // JAL
+		in.Op, in.Imm = rvJAL, immJ(w)
+	case 0x67: // JALR
+		if funct3 != 0 {
+			return RVInst{}, decErr(addr, w, "jalr funct3 %d", funct3)
+		}
+		in.Op, in.Imm = rvJALR, immI(w)
+	case 0x63: // BRANCH
+		ops := map[uint32]RVOp{0: rvBEQ, 1: rvBNE, 4: rvBLT, 5: rvBGE, 6: rvBLTU, 7: rvBGEU}
+		op, ok := ops[funct3]
+		if !ok {
+			return RVInst{}, decErr(addr, w, "branch funct3 %d", funct3)
+		}
+		in.Op, in.Imm = op, immB(w)
+	case 0x03: // LOAD
+		ops := map[uint32]RVOp{0: rvLB, 2: rvLW, 3: rvLD, 4: rvLBU, 6: rvLWU}
+		op, ok := ops[funct3]
+		if !ok {
+			return RVInst{}, decErr(addr, w, "load width funct3 %d (lh/lhu unsupported)", funct3)
+		}
+		in.Op, in.Imm = op, immI(w)
+	case 0x23: // STORE
+		ops := map[uint32]RVOp{0: rvSB, 2: rvSW, 3: rvSD}
+		op, ok := ops[funct3]
+		if !ok {
+			return RVInst{}, decErr(addr, w, "store width funct3 %d (sh unsupported)", funct3)
+		}
+		in.Op, in.Imm = op, immS(w)
+	case 0x13, 0x1b: // OP-IMM, OP-IMM-32
+		in.Word = w&0x7f == 0x1b
+		switch funct3 {
+		case 0:
+			in.Op, in.Imm = rvADDI, immI(w)
+		case 2:
+			in.Op, in.Imm = rvSLTI, immI(w)
+		case 3:
+			in.Op, in.Imm = rvSLTIU, immI(w)
+		case 4:
+			in.Op, in.Imm = rvXORI, immI(w)
+		case 6:
+			in.Op, in.Imm = rvORI, immI(w)
+		case 7:
+			in.Op, in.Imm = rvANDI, immI(w)
+		case 1:
+			if funct7&^1 != 0 {
+				return RVInst{}, decErr(addr, w, "slli funct7 %#x", funct7)
+			}
+			in.Op, in.Imm = rvSLLI, int64(w>>20&0x3f)
+		case 5:
+			switch funct7 &^ 1 {
+			case 0:
+				in.Op = rvSRLI
+			case 0x20:
+				in.Op = rvSRAI
+			default:
+				return RVInst{}, decErr(addr, w, "shift-imm funct7 %#x", funct7)
+			}
+			in.Imm = int64(w >> 20 & 0x3f)
+		}
+		if in.Word && (in.Op == rvSLTI || in.Op == rvSLTIU || in.Op == rvXORI || in.Op == rvORI || in.Op == rvANDI) {
+			return RVInst{}, decErr(addr, w, "OP-IMM-32 funct3 %d", funct3)
+		}
+	case 0x33, 0x3b: // OP, OP-32
+		in.Word = w&0x7f == 0x3b
+		switch {
+		case funct7 == 0x01: // M extension
+			switch funct3 {
+			case 0:
+				in.Op = rvMUL
+			case 4:
+				in.Op = rvDIV
+			case 6:
+				in.Op = rvREM
+			case 5, 7:
+				return RVInst{}, decErr(addr, w, "unsigned divide/remainder (divu/remu) unsupported")
+			default:
+				return RVInst{}, decErr(addr, w, "M-extension funct3 %d (mulh variants unsupported)", funct3)
+			}
+		case funct7 == 0x00:
+			ops := map[uint32]RVOp{0: rvADD, 1: rvSLL, 2: rvSLT, 3: rvSLTU, 4: rvXOR, 5: rvSRL, 6: rvOR, 7: rvAND}
+			in.Op = ops[funct3]
+		case funct7 == 0x20:
+			switch funct3 {
+			case 0:
+				in.Op = rvSUB
+			case 5:
+				in.Op = rvSRA
+			default:
+				return RVInst{}, decErr(addr, w, "OP funct7 0x20 funct3 %d", funct3)
+			}
+		default:
+			return RVInst{}, decErr(addr, w, "OP funct7 %#x", funct7)
+		}
+		if in.Word && (in.Op == rvSLT || in.Op == rvSLTU) {
+			return RVInst{}, decErr(addr, w, "OP-32 funct3 %d", funct3)
+		}
+	case 0x0f: // MISC-MEM
+		if funct3 != 0 {
+			return RVInst{}, decErr(addr, w, "fence funct3 %d", funct3)
+		}
+		in.Op = rvFENCE
+	case 0x73: // SYSTEM
+		switch w >> 7 {
+		case 0:
+			in.Op = rvECALL
+		case 1 << 13:
+			in.Op = rvEBREAK
+		default:
+			return RVInst{}, decErr(addr, w, "SYSTEM encoding (CSR instructions unsupported)")
+		}
+	default:
+		return RVInst{}, decErr(addr, w, "opcode %#02x outside the RV64I+M subset", w&0x7f)
+	}
+	if in.Op == rvInvalid {
+		return RVInst{}, decErr(addr, w, "unrecognized encoding")
+	}
+	return in, nil
+}

@@ -1,0 +1,119 @@
+package realbin
+
+import (
+	"strings"
+	"testing"
+
+	"vcfr/internal/realbin/rvasm"
+)
+
+// TestDecodeKnownEncodings cross-checks DecodeRV64 against the independent
+// rvasm encoders.
+func TestDecodeKnownEncodings(t *testing.T) {
+	tests := []struct {
+		name string
+		w    uint32
+		want RVInst
+	}{
+		{"addi", rvasm.EncI(0x13, 0, 10, 0, -42), RVInst{Op: rvADDI, Rd: 10, Imm: -42}},
+		{"andi", rvasm.EncI(0x13, 7, 7, 28, 1), RVInst{Op: rvANDI, Rd: 7, Rs1: 28, Imm: 1}},
+		{"xori", rvasm.EncI(0x13, 4, 10, 28, -1), RVInst{Op: rvXORI, Rd: 10, Rs1: 28, Imm: -1}},
+		{"slli", rvasm.EncR(0x13, 1, 0, 5, 19, 3), RVInst{Op: rvSLLI, Rd: 5, Rs1: 19, Imm: 3}},
+		{"srliw", rvasm.EncR(0x1b, 5, 0, 28, 28, 1), RVInst{Op: rvSRLI, Rd: 28, Rs1: 28, Imm: 1, Word: true}},
+		{"add", rvasm.EncR(0x33, 0, 0, 10, 10, 11), RVInst{Op: rvADD, Rd: 10, Rs1: 10, Rs2: 11}},
+		{"sub", rvasm.EncR(0x33, 0, 0x20, 10, 10, 11), RVInst{Op: rvSUB, Rd: 10, Rs1: 10, Rs2: 11}},
+		{"mul", rvasm.EncR(0x33, 0, 1, 10, 10, 11), RVInst{Op: rvMUL, Rd: 10, Rs1: 10, Rs2: 11}},
+		{"lui", rvasm.EncU(0x37, 29, 0xedb88), RVInst{Op: rvLUI, Rd: 29, Imm: -0x12478000}},
+		{"auipc", rvasm.EncU(0x17, 0, 0), RVInst{Op: rvAUIPC, Imm: 0}},
+		{"jal", rvasm.EncJ(0x6f, 1, -2048), RVInst{Op: rvJAL, Rd: 1, Imm: -2048}},
+		{"jalr-ret", rvasm.EncI(0x67, 0, 0, 1, 0), RVInst{Op: rvJALR, Rs1: 1}},
+		{"beq", rvasm.EncB(0x63, 0, 5, 0, 64), RVInst{Op: rvBEQ, Rs1: 5, Imm: 64}},
+		{"blt", rvasm.EncB(0x63, 4, 10, 5, -4096), RVInst{Op: rvBLT, Rs1: 10, Rs2: 5, Imm: -4096}},
+		{"lbu", rvasm.EncI(0x03, 4, 5, 8, 0), RVInst{Op: rvLBU, Rd: 5, Rs1: 8}},
+		{"ld", rvasm.EncI(0x03, 3, 1, 2, 24), RVInst{Op: rvLD, Rd: 1, Rs1: 2, Imm: 24}},
+		{"sd", rvasm.EncS(0x23, 3, 2, 1, 24), RVInst{Op: rvSD, Rs1: 2, Rs2: 1, Imm: 24}},
+		{"ecall", 0x73, RVInst{Op: rvECALL}},
+		{"ebreak", 0x0010_0073, RVInst{Op: rvEBREAK}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeRV64(tc.w, 0x1000)
+			if err != nil {
+				t.Fatalf("DecodeRV64(%#x): %v", tc.w, err)
+			}
+			got.Addr, got.Raw = 0, 0
+			// Register fields are decoded from fixed bit positions whatever
+			// the format; blank the ones the format doesn't use (immediate
+			// bits alias them).
+			switch tc.want.Op {
+			case rvLUI, rvAUIPC, rvJAL:
+				got.Rs1, got.Rs2 = 0, 0
+			case rvJALR, rvLB, rvLBU, rvLW, rvLWU, rvLD,
+				rvADDI, rvSLTI, rvSLTIU, rvXORI, rvORI, rvANDI,
+				rvSLLI, rvSRLI, rvSRAI:
+				got.Rs2 = 0
+			case rvSB, rvSW, rvSD:
+				got.Rd = 0
+			case rvECALL, rvEBREAK:
+				got.Rd, got.Rs1, got.Rs2, got.Imm = 0, 0, 0, 0
+			}
+			if got != tc.want {
+				t.Errorf("DecodeRV64(%#x) = %+v, want %+v", tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeRejects covers the deliberate subset boundaries.
+func TestDecodeRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		w    uint32
+		sub  string
+	}{
+		{"compressed", 0x0000_4501, "compressed"},
+		{"lh", rvasm.EncI(0x03, 1, 5, 8, 0), "lh/lhu unsupported"},
+		{"sh", rvasm.EncS(0x23, 1, 2, 1, 0), "sh unsupported"},
+		{"divu", rvasm.EncR(0x33, 5, 1, 10, 10, 11), "divu/remu"},
+		{"mulh", rvasm.EncR(0x33, 1, 1, 10, 10, 11), "mulh"},
+		{"csrrw", 0x3000_1073, "CSR"},
+		{"float", 0x0000_0007, "outside the RV64I+M subset"},
+		{"atomic", 0x0000_002f, "outside the RV64I+M subset"},
+		{"bad-branch-f3", rvasm.EncB(0x63, 2, 0, 0, 0), "branch funct3"},
+		{"sltw", rvasm.EncR(0x3b, 2, 0, 5, 5, 6), "OP-32"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRV64(tc.w, 0x1000)
+			if err == nil {
+				t.Fatalf("DecodeRV64(%#x) succeeded, want error about %q", tc.w, tc.sub)
+			}
+			if !strings.Contains(err.Error(), tc.sub) {
+				t.Errorf("error %q does not mention %q", err, tc.sub)
+			}
+			de, ok := err.(*DecodeError)
+			if !ok {
+				t.Fatalf("error %T, want *DecodeError", err)
+			}
+			if de.Raw != tc.w || de.Addr != 0x1000 {
+				t.Errorf("DecodeError carries raw=%#x addr=%#x", de.Raw, de.Addr)
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanics sweeps structured corners of the encoding space.
+func TestDecodeNeverPanics(t *testing.T) {
+	words := []uint32{0, 1, 2, 3, 0xffff_ffff, 0x7fff_ffff, 0x8000_0000}
+	for op := uint32(0); op < 0x80; op++ {
+		for f3 := uint32(0); f3 < 8; f3++ {
+			words = append(words, op|f3<<12, op|f3<<12|0xfff0_0000, op|f3<<12|0x0200_0000)
+		}
+	}
+	for _, w := range words {
+		in, err := DecodeRV64(w, 0)
+		if err == nil {
+			_ = in.String() // formatting must not panic either
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package rvasm
+
+// The three checked-in fixture programs. They live here (not in the
+// fixturegen command) so the realbin tests can regenerate them and assert
+// the checked-in binaries are byte-identical — the determinism guarantee
+// scripts/realbin_fixtures.sh verifies by SHA256.
+
+// CRCMessage is the byte string the crc32 fixture checksums; the lift test
+// pins the output against Go's hash/crc32 over the same bytes.
+const CRCMessage = "hardware supported instruction address space randomization"
+
+// GenFib builds fib.elf: deep recursive call/return chains — the
+// return-address channel.
+func GenFib() []byte {
+	a := New(0x10000)
+	a.Fn("_start")
+	a.Li("a0", 12)
+	a.Call("fib")
+	a.PrintResult()
+
+	a.Fn("fib")
+	a.Li("t0", 2)
+	a.Blt("a0", "t0", "fib_ret")
+	a.Addi("sp", "sp", -32)
+	a.Sd("ra", "sp", 24)
+	a.Sd("s0", "sp", 16)
+	a.Sd("s1", "sp", 8)
+	a.Mv("s0", "a0")
+	a.Addi("a0", "a0", -1)
+	a.Call("fib")
+	a.Mv("s1", "a0")
+	a.Addi("a0", "s0", -2)
+	a.Call("fib")
+	a.Add("a0", "a0", "s1")
+	a.Ld("ra", "sp", 24)
+	a.Ld("s0", "sp", 16)
+	a.Ld("s1", "sp", 8)
+	a.Addi("sp", "sp", 32)
+	a.Label("fib_ret")
+	a.Ret()
+	return a.Emit("_start")
+}
+
+// GenCRC32 builds crc32.elf: bit-twiddling over a rodata message (la, lbu,
+// W-form shifts, lui+addi constant building). Output = IEEE CRC-32 of
+// CRCMessage.
+func GenCRC32() []byte {
+	a := New(0x10000)
+	ro := a.Seg("rodata", 0x20000, false)
+	a.DLabel(ro, "msg", true)
+	ro.Bytes(append([]byte(CRCMessage), 0))
+
+	a.Fn("_start")
+	a.La("s0", "msg")
+	a.Li("t3", -1) // crc = 0xffffffff
+	a.Lui("t4", 0xedb88)
+	a.Addi("t4", "t4", 0x320) // poly = 0xedb88320
+	a.Label("byteloop")
+	a.Lbu("t0", "s0", 0)
+	a.Beq("t0", "zero", "done")
+	a.Xor("t3", "t3", "t0")
+	a.Li("t1", 8)
+	a.Label("bitloop")
+	a.Andi("t2", "t3", 1)
+	a.Srliw("t3", "t3", 1)
+	a.Beq("t2", "zero", "skip")
+	a.Xor("t3", "t3", "t4")
+	a.Label("skip")
+	a.Addi("t1", "t1", -1)
+	a.Bne("t1", "zero", "bitloop")
+	a.Addi("s0", "s0", 1)
+	a.J("byteloop")
+	a.Label("done")
+	a.Xori("a0", "t3", -1)
+	a.PrintResult()
+	return a.Emit("_start")
+}
+
+// GenDispatch builds dispatch.elf: a writable function-pointer table driving
+// indirect calls. Four handlers open with `auipc x0` landing pads (ground
+// truth for the rewriter); the fifth is deliberately unsymboled and
+// pad-less, so its table slot exercises the scan-only failover path.
+func GenDispatch() []byte {
+	a := New(0x10000)
+
+	a.Fn("_start")
+	a.Li("s0", 0) // i
+	a.Li("s1", 0) // acc
+	a.Li("s3", 0) // table index
+	a.La("s2", "table")
+	a.Label("loop")
+	a.Slli("t0", "s3", 3)
+	a.Add("t0", "t0", "s2")
+	a.Ld("t1", "t0", 0)
+	a.Mv("a0", "s1")
+	a.Slli("a1", "s0", 1)
+	a.Add("a1", "a1", "s0")
+	a.Addi("a1", "a1", 1) // a1 = 3i + 1
+	a.JalrRA("t1")
+	a.Mv("s1", "a0")
+	a.Addi("s3", "s3", 1)
+	a.Li("t2", 5)
+	a.Bne("s3", "t2", "noreset")
+	a.Li("s3", 0)
+	a.Label("noreset")
+	a.Addi("s0", "s0", 1)
+	a.Li("t2", 16)
+	a.Blt("s0", "t2", "loop")
+	a.Mv("a0", "s1")
+	a.PrintResult()
+
+	a.Fn("op_add")
+	a.Lpad()
+	a.Add("a0", "a0", "a1")
+	a.Ret()
+	a.Fn("op_sub")
+	a.Lpad()
+	a.Sub("a0", "a0", "a1")
+	a.Ret()
+	a.Fn("op_mul")
+	a.Lpad()
+	a.Mul("a0", "a0", "a1")
+	a.Ret()
+	a.Fn("op_xor")
+	a.Lpad()
+	a.Xor("a0", "a0", "a1")
+	a.Ret()
+	// No symbol, no landing pad: only the byte scan can find this one.
+	a.Label("op_secret")
+	a.Add("a0", "a0", "a1")
+	a.Add("a0", "a0", "a1")
+	a.Ret()
+
+	data := a.Seg("data", 0x30000, true)
+	a.DLabel(data, "table", true)
+	data.DwordLabel("op_add")
+	data.DwordLabel("op_sub")
+	data.DwordLabel("op_mul")
+	data.DwordLabel("op_xor")
+	data.DwordLabel("op_secret")
+	return a.Emit("_start")
+}
+
+// Fixtures returns the fixture set in its canonical order.
+func Fixtures() []struct {
+	Name string
+	Data []byte
+} {
+	return []struct {
+		Name string
+		Data []byte
+	}{
+		{"fib.elf", GenFib()},
+		{"crc32.elf", GenCRC32()},
+		{"dispatch.elf", GenDispatch()},
+	}
+}

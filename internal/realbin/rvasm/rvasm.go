@@ -1,0 +1,429 @@
+// Package rvasm is a tiny deterministic RV64I+M assembler and ELF64 writer.
+// It exists for two consumers: the fixturegen command, which regenerates the
+// checked-in fixture binaries (the growth container has no riscv64
+// cross-compiler), and the realbin tests, which assemble purpose-built
+// binaries to exercise the lifter's refusal paths and pin the decoder
+// against known-good encodings.
+//
+// Output is byte-deterministic: same program, same bytes, stable SHA256s.
+package rvasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// registers maps ABI names to register numbers.
+var registers = map[string]uint32{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+	"a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+	"s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+// Reg returns the register number for an ABI name.
+func Reg(name string) uint32 {
+	n, ok := registers[name]
+	if !ok {
+		panic("rvasm: unknown register " + name)
+	}
+	return n
+}
+
+// Instruction encoders (RISC-V unprivileged spec formats). Exported so the
+// decoder tests can cross-check DecodeRV64 against independent encodings.
+
+// EncR encodes an R-type instruction.
+func EncR(op, f3, f7, rd, rs1, rs2 uint32) uint32 {
+	return op | rd<<7 | f3<<12 | rs1<<15 | rs2<<20 | f7<<25
+}
+
+// EncI encodes an I-type instruction.
+func EncI(op, f3, rd, rs1 uint32, imm int64) uint32 {
+	if imm < -2048 || imm > 2047 {
+		panic(fmt.Sprintf("rvasm: I-immediate %d out of range", imm))
+	}
+	return op | rd<<7 | f3<<12 | rs1<<15 | uint32(imm&0xfff)<<20
+}
+
+// EncS encodes an S-type instruction.
+func EncS(op, f3, rs1, rs2 uint32, imm int64) uint32 {
+	if imm < -2048 || imm > 2047 {
+		panic(fmt.Sprintf("rvasm: S-immediate %d out of range", imm))
+	}
+	u := uint32(imm & 0xfff)
+	return op | (u&0x1f)<<7 | f3<<12 | rs1<<15 | rs2<<20 | (u>>5)<<25
+}
+
+// EncB encodes a B-type instruction.
+func EncB(op, f3, rs1, rs2 uint32, imm int64) uint32 {
+	if imm < -4096 || imm > 4094 || imm&1 != 0 {
+		panic(fmt.Sprintf("rvasm: B-immediate %d out of range", imm))
+	}
+	u := uint32(imm) & 0x1fff
+	return op | (u>>11&1)<<7 | (u>>1&0xf)<<8 | f3<<12 | rs1<<15 | rs2<<20 |
+		(u>>5&0x3f)<<25 | (u>>12&1)<<31
+}
+
+// EncU encodes a U-type instruction.
+func EncU(op, rd, hi20 uint32) uint32 { return op | rd<<7 | hi20<<12 }
+
+// EncJ encodes a J-type instruction.
+func EncJ(op, rd uint32, imm int64) uint32 {
+	if imm < -(1<<20) || imm >= 1<<20 || imm&1 != 0 {
+		panic(fmt.Sprintf("rvasm: J-immediate %d out of range", imm))
+	}
+	u := uint32(imm) & 0x1fffff
+	return op | rd<<7 | (u>>12&0xff)<<12 | (u>>11&1)<<20 | (u>>1&0x3ff)<<21 | (u>>20&1)<<31
+}
+
+// Asm assembles one program: text words with label fixups, plus data
+// segments whose 8-byte words may hold code-label addresses.
+type Asm struct {
+	textBase uint64
+	words    []func(pc uint64) uint32 // encoded lazily once labels resolve
+	labels   map[string]uint64
+	segs     []Dseg
+	syms     []sym
+}
+
+// Dseg is one data segment under construction.
+type Dseg struct {
+	name     string
+	base     uint64
+	writable bool
+	items    []dataItem
+}
+
+type dataItem struct {
+	raw   []byte
+	label string // 8-byte code address when non-empty
+}
+
+type sym struct {
+	name  string
+	label string
+	size  uint64
+	fn    bool
+}
+
+// New opens a program whose text starts at textBase.
+func New(textBase uint64) *Asm {
+	return &Asm{textBase: textBase, labels: map[string]uint64{}}
+}
+
+// PC is the address of the next instruction.
+func (a *Asm) PC() uint64 { return a.textBase + uint64(4*len(a.words)) }
+
+// Label binds name to the current PC.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic("rvasm: duplicate label " + name)
+	}
+	a.labels[name] = a.PC()
+}
+
+// Fn binds a label and emits a GLOBAL FUNC symbol for it.
+func (a *Asm) Fn(name string) {
+	a.Label(name)
+	a.syms = append(a.syms, sym{name: name, label: name, fn: true})
+}
+
+func (a *Asm) resolve(name string) uint64 {
+	v, ok := a.labels[name]
+	if !ok {
+		panic("rvasm: unresolved label " + name)
+	}
+	return v
+}
+
+// Word appends a lazily encoded instruction word.
+func (a *Asm) Word(fn func(pc uint64) uint32) { a.words = append(a.words, fn) }
+
+// Fixed appends a pre-encoded instruction word.
+func (a *Asm) Fixed(w uint32) { a.Word(func(uint64) uint32 { return w }) }
+
+// Instruction helpers. W-suffixed forms use the *W opcodes so assembled
+// programs stay faithful 32-bit programs on real RV64 hardware too.
+
+// Li emits addi rd, zero, imm.
+func (a *Asm) Li(rd string, imm int64) { a.Fixed(EncI(0x13, 0, Reg(rd), 0, imm)) }
+
+// Addi emits addi rd, rs, imm.
+func (a *Asm) Addi(rd, rs string, imm int64) { a.Fixed(EncI(0x13, 0, Reg(rd), Reg(rs), imm)) }
+
+// Andi emits andi rd, rs, imm.
+func (a *Asm) Andi(rd, rs string, imm int64) { a.Fixed(EncI(0x13, 7, Reg(rd), Reg(rs), imm)) }
+
+// Xori emits xori rd, rs, imm.
+func (a *Asm) Xori(rd, rs string, imm int64) { a.Fixed(EncI(0x13, 4, Reg(rd), Reg(rs), imm)) }
+
+// Slli emits slli rd, rs, sh (64-bit form).
+func (a *Asm) Slli(rd, rs string, sh uint32) { a.Fixed(EncR(0x13, 1, 0, Reg(rd), Reg(rs), sh)) }
+
+// Srliw emits srliw rd, rs, sh.
+func (a *Asm) Srliw(rd, rs string, sh uint32) { a.Fixed(EncR(0x1b, 5, 0, Reg(rd), Reg(rs), sh)) }
+
+// Mv emits addi rd, rs, 0.
+func (a *Asm) Mv(rd, rs string) { a.Addi(rd, rs, 0) }
+
+// Add emits add rd, rs1, rs2.
+func (a *Asm) Add(rd, rs1, rs2 string) { a.Fixed(EncR(0x33, 0, 0, Reg(rd), Reg(rs1), Reg(rs2))) }
+
+// Sub emits sub rd, rs1, rs2.
+func (a *Asm) Sub(rd, rs1, rs2 string) { a.Fixed(EncR(0x33, 0, 0x20, Reg(rd), Reg(rs1), Reg(rs2))) }
+
+// Xor emits xor rd, rs1, rs2.
+func (a *Asm) Xor(rd, rs1, rs2 string) { a.Fixed(EncR(0x33, 4, 0, Reg(rd), Reg(rs1), Reg(rs2))) }
+
+// Mul emits mul rd, rs1, rs2.
+func (a *Asm) Mul(rd, rs1, rs2 string) { a.Fixed(EncR(0x33, 0, 1, Reg(rd), Reg(rs1), Reg(rs2))) }
+
+// Lui emits lui rd, hi20.
+func (a *Asm) Lui(rd string, hi20 uint32) { a.Fixed(EncU(0x37, Reg(rd), hi20)) }
+
+// Lbu emits lbu rd, off(rs).
+func (a *Asm) Lbu(rd, rs string, off int64) { a.Fixed(EncI(0x03, 4, Reg(rd), Reg(rs), off)) }
+
+// Ld emits ld rd, off(rs).
+func (a *Asm) Ld(rd, rs string, off int64) { a.Fixed(EncI(0x03, 3, Reg(rd), Reg(rs), off)) }
+
+// Sd emits sd rs2, off(rs1).
+func (a *Asm) Sd(rs2, rs1 string, off int64) { a.Fixed(EncS(0x23, 3, Reg(rs1), Reg(rs2), off)) }
+
+// Ecall emits ecall.
+func (a *Asm) Ecall() { a.Fixed(0x73) }
+
+// Ret emits jalr x0, 0(ra).
+func (a *Asm) Ret() { a.Fixed(EncI(0x67, 0, 0, Reg("ra"), 0)) }
+
+// JalrRA emits jalr ra, 0(rs) — an indirect call.
+func (a *Asm) JalrRA(rs string) { a.Fixed(EncI(0x67, 0, Reg("ra"), Reg(rs), 0)) }
+
+// Lpad emits auipc x0, 0 — the landing-pad convention.
+func (a *Asm) Lpad() { a.Fixed(EncU(0x17, 0, 0)) }
+
+func (a *Asm) branch(f3 uint32, rs1, rs2, label string) {
+	a.Word(func(pc uint64) uint32 {
+		return EncB(0x63, f3, Reg(rs1), Reg(rs2), int64(a.resolve(label))-int64(pc))
+	})
+}
+
+// Beq emits beq rs1, rs2, label.
+func (a *Asm) Beq(rs1, rs2, l string) { a.branch(0, rs1, rs2, l) }
+
+// Bne emits bne rs1, rs2, label.
+func (a *Asm) Bne(rs1, rs2, l string) { a.branch(1, rs1, rs2, l) }
+
+// Blt emits blt rs1, rs2, label.
+func (a *Asm) Blt(rs1, rs2, l string) { a.branch(4, rs1, rs2, l) }
+
+// Jal emits jal rd, label.
+func (a *Asm) Jal(rd, label string) {
+	a.Word(func(pc uint64) uint32 {
+		return EncJ(0x6f, Reg(rd), int64(a.resolve(label))-int64(pc))
+	})
+}
+
+// Call emits jal ra, label.
+func (a *Asm) Call(label string) { a.Jal("ra", label) }
+
+// J emits jal zero, label.
+func (a *Asm) J(label string) { a.Jal("zero", label) }
+
+// La expands to the medany auipc+addi pair.
+func (a *Asm) La(rd, label string) {
+	a.Word(func(pc uint64) uint32 {
+		off := int64(a.resolve(label)) - int64(pc)
+		hi := (off + 0x800) >> 12
+		return EncU(0x17, Reg(rd), uint32(hi)&0xfffff)
+	})
+	a.Word(func(pc uint64) uint32 {
+		off := int64(a.resolve(label)) - int64(pc-4)
+		lo := off - ((off+0x800)>>12)<<12
+		return EncI(0x13, 0, Reg(rd), Reg(rd), lo)
+	})
+}
+
+// Seg opens a data segment; labels inside it resolve like text labels.
+func (a *Asm) Seg(name string, base uint64, writable bool) *Dseg {
+	a.segs = append(a.segs, Dseg{name: name, base: base, writable: writable})
+	return &a.segs[len(a.segs)-1]
+}
+
+func (s *Dseg) size() uint64 {
+	var n uint64
+	for _, it := range s.items {
+		if it.label != "" {
+			n += 8
+		} else {
+			n += uint64(len(it.raw))
+		}
+	}
+	return n
+}
+
+// DLabel binds name to the current end of the segment; obj additionally
+// emits a GLOBAL OBJECT symbol.
+func (a *Asm) DLabel(s *Dseg, name string, obj bool) {
+	a.labels[name] = s.base + s.size()
+	if obj {
+		a.syms = append(a.syms, sym{name: name, label: name})
+	}
+}
+
+// Bytes appends raw bytes to the segment.
+func (s *Dseg) Bytes(b []byte) { s.items = append(s.items, dataItem{raw: b}) }
+
+// DwordLabel appends an 8-byte word holding a code label's address.
+func (s *Dseg) DwordLabel(l string) { s.items = append(s.items, dataItem{label: l}) }
+
+// vcfr runtime ecall numbers (see realbin/fixtures/src/vcfr_rt.h).
+const (
+	sysExit     = 93
+	sysPutChar  = 1001
+	sysWriteInt = 1003
+)
+
+// PrintResult emits writeint(a0); putchar('\n'); exit(0).
+func (a *Asm) PrintResult() {
+	a.Li("a7", sysWriteInt)
+	a.Ecall()
+	a.Li("a0", '\n')
+	a.Li("a7", sysPutChar)
+	a.Ecall()
+	a.Li("a0", 0)
+	a.Li("a7", sysExit)
+	a.Ecall()
+}
+
+// Emit lays the program out as an ELF64 RV64 ET_EXEC image.
+func (a *Asm) Emit(entryLabel string) []byte {
+	text := make([]byte, 0, 4*len(a.words))
+	for i, fn := range a.words {
+		text = binary.LittleEndian.AppendUint32(text, fn(a.textBase+uint64(4*i)))
+	}
+
+	type load struct {
+		vaddr uint64
+		data  []byte
+		flags uint32
+	}
+	loads := []load{{vaddr: a.textBase, data: text, flags: 4 | 1}} // R+X
+	for i := range a.segs {
+		s := &a.segs[i]
+		var data []byte
+		for _, it := range s.items {
+			if it.label != "" {
+				data = binary.LittleEndian.AppendUint64(data, a.resolve(it.label))
+			} else {
+				data = append(data, it.raw...)
+			}
+		}
+		flags := uint32(4)
+		if s.writable {
+			flags |= 2
+		}
+		loads = append(loads, load{vaddr: s.base, data: data, flags: flags})
+	}
+
+	// String and symbol tables.
+	strtab := []byte{0}
+	type rawSym struct {
+		nameOff uint32
+		info    byte
+		value   uint64
+		size    uint64
+	}
+	rsyms := []rawSym{{}} // index 0: null symbol
+	for _, s := range a.syms {
+		off := uint32(len(strtab))
+		strtab = append(strtab, s.name...)
+		strtab = append(strtab, 0)
+		info := byte(0x11) // GLOBAL | OBJECT
+		if s.fn {
+			info = 0x12 // GLOBAL | FUNC
+		}
+		rsyms = append(rsyms, rawSym{nameOff: off, info: info, value: a.resolve(s.label), size: s.size})
+	}
+
+	// Layout: ehdr, phdrs, page-aligned loads, symtab, strtab, shdrs.
+	const (
+		ehsize = 64
+		phsize = 56
+		shsize = 64
+		align  = 0x1000
+	)
+	alignUp := func(v uint64) uint64 { return (v + align - 1) &^ (align - 1) }
+
+	off := alignUp(uint64(ehsize + phsize*len(loads)))
+	offsets := make([]uint64, len(loads))
+	for i := range loads {
+		offsets[i] = off
+		off = alignUp(off + uint64(len(loads[i].data)))
+	}
+	symOff := off
+	symSize := uint64(24 * len(rsyms))
+	strOff := symOff + symSize
+	shOff := strOff + uint64(len(strtab))
+	total := shOff + 3*shsize
+
+	out := make([]byte, total)
+	le := binary.LittleEndian
+
+	// ELF header.
+	copy(out, "\x7fELF")
+	out[4], out[5], out[6] = 2, 1, 1 // ELF64, little-endian, current
+	le.PutUint16(out[16:], 2)        // ET_EXEC
+	le.PutUint16(out[18:], 243)      // EM_RISCV
+	le.PutUint32(out[20:], 1)
+	le.PutUint64(out[24:], a.resolve(entryLabel))
+	le.PutUint64(out[32:], ehsize) // phoff
+	le.PutUint64(out[40:], shOff)
+	le.PutUint16(out[52:], ehsize)
+	le.PutUint16(out[54:], phsize)
+	le.PutUint16(out[56:], uint16(len(loads)))
+	le.PutUint16(out[58:], shsize)
+	le.PutUint16(out[60:], 3)
+	le.PutUint16(out[62:], 0)
+
+	// Program headers + segment contents.
+	for i, l := range loads {
+		ph := out[ehsize+phsize*i:]
+		le.PutUint32(ph, 1) // PT_LOAD
+		le.PutUint32(ph[4:], l.flags)
+		le.PutUint64(ph[8:], offsets[i])
+		le.PutUint64(ph[16:], l.vaddr)
+		le.PutUint64(ph[24:], l.vaddr)
+		le.PutUint64(ph[32:], uint64(len(l.data)))
+		le.PutUint64(ph[40:], uint64(len(l.data)))
+		le.PutUint64(ph[48:], align)
+		copy(out[offsets[i]:], l.data)
+	}
+
+	// Symbol table.
+	for i, s := range rsyms {
+		sy := out[symOff+uint64(24*i):]
+		le.PutUint32(sy, s.nameOff)
+		sy[4] = s.info
+		le.PutUint16(sy[6:], 1) // st_shndx: defined
+		le.PutUint64(sy[8:], s.value)
+		le.PutUint64(sy[16:], s.size)
+	}
+	copy(out[strOff:], strtab)
+
+	// Sections: null, .symtab, .strtab.
+	sh := func(i int, typ, link uint32, o, size, entsize uint64) {
+		s := out[shOff+uint64(shsize*i):]
+		le.PutUint32(s[4:], typ)
+		le.PutUint64(s[24:], o)
+		le.PutUint64(s[32:], size)
+		le.PutUint32(s[40:], link)
+		le.PutUint64(s[56:], entsize)
+	}
+	sh(1, 2, 2, symOff, symSize, 24)            // SHT_SYMTAB, link=.strtab
+	sh(2, 3, 0, strOff, uint64(len(strtab)), 0) // SHT_STRTAB
+	return out
+}

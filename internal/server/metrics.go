@@ -10,6 +10,7 @@ import (
 
 	"vcfr/internal/attack"
 	"vcfr/internal/fault"
+	"vcfr/internal/realbin"
 	"vcfr/internal/stats"
 )
 
@@ -52,6 +53,11 @@ type metrics struct {
 	attacks         attack.Stats
 	attackCampaigns uint64
 
+	// Mirror of the process-wide real-binary front-end totals (lifts,
+	// refusals, recovered blocks), refreshed at render time like the trace
+	// cache mirrors.
+	realbin realbin.Totals
+
 	queueWait *histogram
 	runDur    *histogram
 }
@@ -85,6 +91,7 @@ func newMetrics() *metrics {
 	m.faults.Register(r)
 	r.Counter("attack.campaigns", "Adversary-in-the-loop attack campaigns finished.", &m.attackCampaigns)
 	m.attacks.Register(r)
+	m.realbin.Register(r)
 	m.reg = r
 	return m
 }
@@ -190,6 +197,7 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, traceHits, trace
 	m.queueDepth, m.queueCap = int64(queueDepth), int64(queueCap)
 	m.traceHits, m.traceMisses = traceHits, traceMisses
 	m.traceBytes, m.traceEntries = traceBytes, int64(traceEntries)
+	m.realbin = realbin.TotalsSnapshot()
 	stats.WritePrometheus(w, m.reg.Snapshot(), "vcfrd")
 
 	fmt.Fprintln(w, "# HELP vcfrd_stage_seconds Per-stage job latency: queue = acceptance to execution start, run = execution wall clock.")

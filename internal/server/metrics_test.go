@@ -1,12 +1,15 @@
 package server
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"vcfr/internal/attack"
 	"vcfr/internal/fault"
+	"vcfr/internal/realbin"
+	"vcfr/internal/realbin/fixtures"
 	"vcfr/internal/stats"
 )
 
@@ -82,6 +85,18 @@ func TestMetricsRenderFormat(t *testing.T) {
 		Successes: 2, BlockedRPC: 3, BlockedIllegal: 1, Leaks: 55,
 		CodePages: 40, MapPages: 15, Rerandomizations: 9})
 
+	// The realbin counters are process-wide and refreshed into the metrics
+	// mirror at render time. Lift a fixture so they are provably nonzero,
+	// then snapshot: the server package runs no parallel tests, so the
+	// render sees exactly this snapshot.
+	if _, err := realbin.Load(fixtures.Fib, "fib.elf"); err != nil {
+		t.Fatal(err)
+	}
+	snap := realbin.TotalsSnapshot()
+	if snap.BinariesLifted == 0 {
+		t.Fatal("realbin totals not accumulating")
+	}
+
 	var b strings.Builder
 	m.render(&b, 1, 8, 3, 1, 1024, 2)
 	out := b.String()
@@ -123,6 +138,15 @@ func TestMetricsRenderFormat(t *testing.T) {
 		"vcfrd_attack_pages_code_total 40\n",
 		"vcfrd_attack_pages_map_total 15\n",
 		"vcfrd_attack_rerandomizations_total 9\n",
+		"# HELP vcfrd_realbin_binaries_lifted_total ELF binaries lifted to VX images.\n" +
+			"# TYPE vcfrd_realbin_binaries_lifted_total counter\n" +
+			fmt.Sprintf("vcfrd_realbin_binaries_lifted_total %d\n", snap.BinariesLifted),
+		fmt.Sprintf("vcfrd_realbin_instructions_lifted_total %d\n", snap.InstructionsLifted),
+		fmt.Sprintf("vcfrd_realbin_blocks_recovered_total %d\n", snap.BlocksRecovered),
+		fmt.Sprintf("vcfrd_realbin_landing_pads_total %d\n", snap.LandingPads),
+		fmt.Sprintf("vcfrd_realbin_unresolved_indirects_total %d\n", snap.UnresolvedIndirects),
+		fmt.Sprintf("vcfrd_realbin_refused_binaries_total %d\n", snap.RefusedBinaries),
+		fmt.Sprintf("vcfrd_realbin_refused_functions_total %d\n", snap.RefusedFunctions),
 		"# TYPE vcfrd_stage_seconds histogram\n",
 	}
 	pos := 0

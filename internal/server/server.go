@@ -518,8 +518,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		Name string `json:"name"`
-		Desc string `json:"desc"`
+		Name   string `json:"name"`
+		Desc   string `json:"desc"`
+		Source string `json:"source"` // "synthetic" or "elf"
 	}
 	var out []entry
 	for _, n := range workloads.Names() {
@@ -528,7 +529,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 			return
 		}
-		out = append(out, entry{Name: n, Desc: wl.Desc})
+		out = append(out, entry{Name: n, Desc: wl.Desc, Source: wl.Source})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

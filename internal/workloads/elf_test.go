@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"vcfr/internal/realbin/fixtures"
+)
+
+func TestELFWorkloadsRegistered(t *testing.T) {
+	names := ELFNames()
+	if len(names) != 3 {
+		t.Fatalf("ELFNames = %v, want 3 fixtures", names)
+	}
+	all := strings.Join(Names(), " ")
+	for _, n := range names {
+		if !strings.Contains(all, n) {
+			t.Errorf("Names() missing %s", n)
+		}
+		w, err := ByName(n, 1)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if w.Source != SourceELF {
+			t.Errorf("%s: Source = %q, want %q", n, w.Source, SourceELF)
+		}
+		if w.Desc == "" {
+			t.Errorf("%s: empty description", n)
+		}
+	}
+}
+
+func TestSyntheticSourceField(t *testing.T) {
+	w, err := ByName("bzip2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Source != SourceSynthetic {
+		t.Errorf("Source = %q, want %q", w.Source, SourceSynthetic)
+	}
+}
+
+func TestFromELF(t *testing.T) {
+	w, err := FromELF(fixtures.Fib, "my-binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "my-binary" || w.Source != SourceELF || w.Img == nil {
+		t.Errorf("FromELF = %+v", w)
+	}
+	if _, err := FromELF([]byte("not an elf"), "bad"); err == nil {
+		t.Error("FromELF accepted garbage")
+	}
+}
+
+func TestELFSourceHasNoAssembly(t *testing.T) {
+	if _, err := Source("elf-fib", 1); err == nil ||
+		!strings.Contains(err.Error(), "no assembly source") {
+		t.Errorf("Source(elf-fib) err = %v", err)
+	}
+}

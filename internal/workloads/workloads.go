@@ -25,6 +25,13 @@
 // equivalence between the original and every randomized execution mode is
 // checked end to end. Generation is deterministic: the same name and scale
 // always produce the same image.
+//
+// Alongside the synthetic analogs, the registry serves the embedded
+// real-binary fixtures (elf-fib, elf-crc32, elf-dispatch): RV64 ELF
+// executables lifted through internal/realbin into the same Workload shape.
+// Every consumer of ByName — the harness, the fault/attack/multicore
+// campaigns, the vcfrd job API — gets real-binary support through this one
+// entry point.
 package workloads
 
 import (
@@ -33,14 +40,25 @@ import (
 
 	"vcfr/internal/asm"
 	"vcfr/internal/program"
+	"vcfr/internal/realbin"
+	"vcfr/internal/realbin/fixtures"
+)
+
+// Workload source kinds.
+const (
+	// SourceSynthetic marks workloads generated as VX assembly.
+	SourceSynthetic = "synthetic"
+	// SourceELF marks workloads lifted from embedded RV64 ELF binaries.
+	SourceELF = "elf"
 )
 
 // Workload is one benchmark program, ready to run.
 type Workload struct {
-	Name  string
-	Desc  string
-	Img   *program.Image
-	Input []byte // stdin served to SysGetChar (empty for most)
+	Name   string
+	Desc   string
+	Source string // SourceSynthetic or SourceELF
+	Img    *program.Image
+	Input  []byte // stdin served to SysGetChar (empty for most)
 }
 
 // generator builds a workload's assembly source at a given scale.
@@ -76,20 +94,39 @@ var SpecNames = []string{
 // Fig2Names are the applications of the paper's Fig. 2.
 var Fig2Names = []string{"bzip2", "h264ref", "hmmer", "memcpy", "python", "xalan"}
 
-// Names returns every available workload name, sorted.
+// ELFNames returns the embedded real-binary workload names, in canonical
+// fixture order.
+func ELFNames() []string {
+	var out []string
+	for _, f := range fixtures.All() {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// Names returns every available workload name — synthetic and ELF — sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	out = append(out, ELFNames()...)
 	sort.Strings(out)
 	return out
 }
 
 // ByName builds the named workload at the given scale (scale <= 0 means 1).
 // Scale multiplies iteration counts, not code size, so static analyses are
-// scale-invariant while dynamic instruction counts grow.
+// scale-invariant while dynamic instruction counts grow. ELF workloads are
+// fixed binaries; scale is ignored for them.
 func ByName(name string, scale int) (Workload, error) {
+	if fx, ok := fixtures.ByName(name); ok {
+		lifted, err := realbin.Load(fx.Data, fx.Name)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workloads: %s: %w", name, err)
+		}
+		return Workload{Name: fx.Name, Desc: fx.Desc, Source: SourceELF, Img: lifted.Img}, nil
+	}
 	g, ok := registry[name]
 	if !ok {
 		return Workload{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
@@ -102,7 +139,22 @@ func ByName(name string, scale int) (Workload, error) {
 	if err != nil {
 		return Workload{}, fmt.Errorf("workloads: %s: %w", name, err)
 	}
-	return Workload{Name: name, Desc: g.desc, Img: img, Input: input}, nil
+	return Workload{Name: name, Desc: g.desc, Source: SourceSynthetic, Img: img, Input: input}, nil
+}
+
+// FromELF lifts an arbitrary RV64 ELF binary (e.g. one passed to
+// `vcfrsim -elf`) into a Workload.
+func FromELF(data []byte, name string) (Workload, error) {
+	lifted, err := realbin.Load(data, name)
+	if err != nil {
+		return Workload{}, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	return Workload{
+		Name:   name,
+		Desc:   fmt.Sprintf("lifted RV64 ELF binary (%d VX instructions)", lifted.Report.VXInstructions),
+		Source: SourceELF,
+		Img:    lifted.Img,
+	}, nil
 }
 
 // Source returns the generated assembly source for the named workload at
@@ -111,6 +163,9 @@ func ByName(name string, scale int) (Workload, error) {
 func Source(name string, scale int) (string, error) {
 	g, ok := registry[name]
 	if !ok {
+		if _, elf := fixtures.ByName(name); elf {
+			return "", fmt.Errorf("workloads: %s is an ELF workload with no assembly source", name)
+		}
 		return "", fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
 	}
 	if scale <= 0 {

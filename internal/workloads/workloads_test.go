@@ -50,8 +50,10 @@ func TestWorkloadsRunAndHalt(t *testing.T) {
 				t.Error("no checksum output")
 			}
 			// Scale-1 dynamic size: big enough to be a meaningful benchmark
-			// kernel, small enough for the test suite.
-			if res.Stats.Instructions < 40_000 {
+			// kernel, small enough for the test suite. ELF fixtures are
+			// front-end correctness binaries, not benchmark kernels, so the
+			// floor applies only to the synthetic analogs.
+			if w.Source != SourceELF && res.Stats.Instructions < 40_000 {
 				t.Errorf("only %d instructions at scale 1", res.Stats.Instructions)
 			}
 			if res.Stats.Instructions > 3_000_000 {

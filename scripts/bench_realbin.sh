@@ -1,0 +1,56 @@
+#!/bin/sh
+# Run the real-binary front-end benchmarks and archive their numbers —
+# lift throughput (RV64 instructions lifted per second) and simulator
+# speed on lifted text (ns per simulated instruction) — as JSON in
+# BENCH_realbin.json. Non-gating: the file is a recorded reference for
+# refactors of the parser, decoder, or lifter, not a CI budget.
+#
+# Usage: scripts/bench_realbin.sh [output.json]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_realbin.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "== bench (benchtime 50x, count $COUNT)"
+"$GO" test ./internal/realbin -run '^$' \
+    -bench 'BenchmarkLift$|BenchmarkLiftedSimulate$' \
+    -benchtime 50x -count "$COUNT" | tee "$TMP"
+
+# Benchmark lines look like (the -N procs suffix is absent on 1-CPU hosts):
+#   BenchmarkLift-8             50   33000 ns/op   760000 instrs/s
+#   BenchmarkLiftedSimulate-8   50  270000 ns/op   61.2 ns/instr
+awk -v out="$OUT" '
+/^BenchmarkLift[-\t ]/ {
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")    { liftns += $i; ln++ }
+        if ($(i+1) == "instrs/s") { lifted += $i }
+    }
+}
+/^BenchmarkLiftedSimulate[-\t ]/ {
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")    { simns += $i; sn++ }
+        if ($(i+1) == "ns/instr") { nsinstr += $i }
+    }
+}
+END {
+    if (!ln || !sn) {
+        print "bench_realbin: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkLift + BenchmarkLiftedSimulate\",\n" >> out
+    printf "  \"config\": \"crc32.elf fixture, full lift and full vcfr-mode run, benchtime 50x\",\n" >> out
+    printf "  \"count\": %d,\n", ln >> out
+    printf "  \"lift\": {\"ns_per_op\": %.0f, \"instrs_per_sec\": %.0f},\n",
+        liftns / ln, lifted / ln >> out
+    printf "  \"simulate\": {\"ns_per_op\": %.0f, \"ns_per_instr\": %.4f}\n",
+        simns / sn, nsinstr / sn >> out
+    printf "}\n" >> out
+}
+' "$TMP"
+
+echo "== wrote $OUT"
+cat "$OUT"
