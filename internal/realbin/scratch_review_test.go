@@ -1,0 +1,75 @@
+package realbin
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// buildELF builds a minimal ELF64 RV64 ET_EXEC with given program headers and payload.
+func buildReviewELF(text []byte, extraPhdr bool, extraMemsz uint64) []byte {
+	le := binary.LittleEndian
+	phnum := 1
+	if extraPhdr {
+		phnum = 2
+	}
+	phoff := uint64(64)
+	textOff := phoff + uint64(phnum)*56
+	b := make([]byte, textOff+uint64(len(text)))
+	copy(b, "\x7fELF")
+	b[4] = 2 // ELFCLASS64
+	b[5] = 1 // LE
+	b[6] = 1
+	le.PutUint16(b[16:], 2)   // ET_EXEC
+	le.PutUint16(b[18:], 243) // EM_RISCV
+	le.PutUint64(b[24:], 0x10000)
+	le.PutUint64(b[32:], phoff)
+	le.PutUint16(b[54:], 56)
+	le.PutUint16(b[56:], uint16(phnum))
+	// phdr 0: PT_LOAD exec text at 0x10000
+	p := b[phoff:]
+	le.PutUint32(p, 1)               // PT_LOAD
+	le.PutUint32(p[4:], 4|1)         // R|X
+	le.PutUint64(p[8:], textOff)     // offset
+	le.PutUint64(p[16:], 0x10000)    // vaddr
+	le.PutUint64(p[32:], uint64(len(text))) // filesz
+	le.PutUint64(p[40:], uint64(len(text))) // memsz
+	copy(b[textOff:], text)
+	if extraPhdr {
+		p2 := b[phoff+56:]
+		le.PutUint32(p2, 1)          // PT_LOAD
+		le.PutUint32(p2[4:], 4)      // R
+		le.PutUint64(p2[8:], 0)      // offset
+		le.PutUint64(p2[16:], 0x90000) // vaddr
+		le.PutUint64(p2[32:], 0)     // filesz
+		le.PutUint64(p2[40:], extraMemsz)
+	}
+	return b
+}
+
+func TestReviewTotalMemWrap(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("ParseELF panicked: %v", r)
+		}
+	}()
+	text := make([]byte, 8)
+	binary.LittleEndian.PutUint32(text, 0x00000013) // addi x0,x0,0 (nop)
+	binary.LittleEndian.PutUint32(text[4:], 0x00000073)
+	elf := buildReviewELF(text, true, ^uint64(0)-0x40) // memsz near 2^64 wraps totalMem
+	_, err := ParseELF(elf)
+	t.Logf("err=%v", err)
+}
+
+func TestReviewTrailingAUIPC(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Load panicked: %v", r)
+		}
+	}()
+	text := make([]byte, 8)
+	binary.LittleEndian.PutUint32(text, 0x00000013)     // nop
+	binary.LittleEndian.PutUint32(text[4:], 0x00000517) // auipc a0, 0 (last slot)
+	elf := buildReviewELF(text, false, 0)
+	_, err := Load(elf, "t")
+	t.Logf("err=%v", err)
+}
